@@ -1,0 +1,84 @@
+// Section 6 "Role of Measurers": independent observers requesting *other*
+// objects concurrently with the crowd quantify cross-resource correlations —
+// e.g. how a bandwidth-intensive crowd affects a database-bound request.
+//
+// We run the Small Query stage (a DB/CPU-intensive crowd) with two measurers
+// riding along: one issuing a HEAD (front-end path) and one downloading the
+// large object (bandwidth path). On a single-box deployment the HEAD
+// measurer suffers as the query crowd grows — the DB is eating the shared
+// CPU; on a two-tier deployment it barely moves. The bandwidth measurer is
+// flat in both: a query crowd does not touch the access link.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiment_runner.h"
+#include "src/telemetry/stats.h"
+
+namespace mfc {
+namespace {
+
+void RunDeployment(const char* label, size_t db_cores) {
+  SiteInstance site = MakeQtnpProfile();
+  site.server.db_dedicated_cores = db_cores;
+  site.server.head_cpu_s = 2e-3;          // the front end itself is modest
+  site.site.query_rows_min = 2500;        // ~10 ms of DB work per query
+  site.site.query_rows_max = 2500;
+  site.server_access_bps = 200e6;         // bandwidth out of the picture
+
+  DeploymentOptions options;
+  options.seed = 61;
+  options.fleet_size = 85;
+  Deployment deployment(site, options);
+  StageObjects objects = deployment.ObjectsFromContent();
+
+  ExperimentConfig config;
+  config.threshold = Millis(100);
+  config.max_crowd = 40;
+  Coordinator coordinator(deployment.Testbed(), config, 9);
+
+  // Measurers: the last two fleet clients, observing *other* resources while
+  // the query crowd runs.
+  std::vector<MeasurerSpec> measurers;
+  measurers.push_back(MeasurerSpec{83, HttpRequest::For(HttpMethod::kHead, *objects.base_page)});
+  measurers.push_back(
+      MeasurerSpec{84, HttpRequest::For(HttpMethod::kGet, *objects.large_object)});
+  coordinator.SetMeasurers(measurers);
+
+  ExperimentResult result = coordinator.Run(objects, {StageKind::kSmallQuery});
+  const StageResult* stage = result.Stage(StageKind::kSmallQuery);
+
+  printf("\n--- %s ---\n", label);
+  printf("%-10s %-26s %-24s %-24s\n", "crowd", "crowd metric (median, ms)",
+         "HEAD measurer (ms)", "download measurer (ms)");
+  const auto& measurer_epochs = coordinator.MeasurerSamples();
+  for (size_t e = 0; e < stage->epochs.size() && e < measurer_epochs.size(); ++e) {
+    double head_ms = -1.0;
+    double download_ms = -1.0;
+    for (const RequestSample& sample : measurer_epochs[e]) {
+      if (sample.client_id == 83) {
+        head_ms = ToMillis(sample.response_time);
+      }
+      if (sample.client_id == 84) {
+        download_ms = ToMillis(sample.response_time);
+      }
+    }
+    printf("%-10zu %-26.1f %-24.1f %-24.1f\n", stage->epochs[e].crowd_size,
+           ToMillis(stage->epochs[e].metric), head_ms, download_ms);
+  }
+  printf("verdict: %s\n", StopLabel(stage).c_str());
+}
+
+}  // namespace
+}  // namespace mfc
+
+int main() {
+  mfc::PrintHeader("Measurers: cross-resource impact of a DB-intensive crowd",
+                   "Section 6, 'Role of Measurers'");
+  mfc::RunDeployment("single box (DB shares the front-end CPU)", 0);
+  mfc::RunDeployment("two-tier (dedicated DB server)", 2);
+  printf("\nReading: the query crowd degrades either way, but only on the single box\n"
+         "does the HEAD measurer's response time climb with it — the DB is eating the\n"
+         "shared CPU. The download measurer stays flat in both: the query crowd never\n"
+         "touches the access link. That cross-resource view is what measurers add.\n");
+  return 0;
+}

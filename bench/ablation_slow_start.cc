@@ -1,0 +1,66 @@
+// Ablation: why the Large Object category requires >= 100 KB (Section 2.2.2).
+//
+// "We use a fairly large lower bound (100KB) on the size of the Large Object
+// to allow TCP to exit slow start and fully utilize the available network
+// bandwidth." Below that, transfer time is dominated by cwnd growth and a
+// crowd barely moves it, so small objects cannot expose a bandwidth
+// constraint. We measure single-transfer link efficiency and the crowd's
+// response-time inflation as a function of object size.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/net/flow_network.h"
+#include "src/sim/event_loop.h"
+
+namespace mfc {
+namespace {
+
+// Time for one object of |bytes| over a dedicated link with slow start.
+double SoloTransferTime(double bytes, double link_bps, double rtt) {
+  EventLoop loop;
+  FlowNetwork net(loop);
+  LinkId link = net.AddLink(link_bps);
+  SimTime done = 0.0;
+  net.StartFlow({link}, bytes, rtt, TcpParams{}, [&] { done = loop.Now(); });
+  loop.RunUntilIdle();
+  return done;
+}
+
+// Completion time of the last of |n| simultaneous transfers sharing the link.
+double CrowdTransferTime(size_t n, double bytes, double link_bps, double rtt) {
+  EventLoop loop;
+  FlowNetwork net(loop);
+  LinkId link = net.AddLink(link_bps);
+  SimTime last = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    net.StartFlow({link}, bytes, rtt, TcpParams{}, [&] { last = loop.Now(); });
+  }
+  loop.RunUntilIdle();
+  return last;
+}
+
+}  // namespace
+}  // namespace mfc
+
+int main() {
+  mfc::PrintHeader("Ablation: object size vs slow start on a 100 Mbit/s link, RTT 80 ms",
+                   "Section 2.2.2: the 100 KB Large Object lower bound");
+  const double kLink = 12.5e6;
+  const double kRtt = 0.080;
+  printf("\n%-12s %-14s %-16s %-18s %-22s\n", "size (KB)", "solo (ms)", "ideal fluid (ms)",
+         "link efficiency", "crowd-of-30 vs solo");
+  for (double kb : {4.0, 16.0, 64.0, 100.0, 256.0, 512.0, 1024.0}) {
+    double bytes = kb * 1024.0;
+    double solo = mfc::SoloTransferTime(bytes, kLink, kRtt);
+    double ideal = bytes / kLink;
+    double crowd = mfc::CrowdTransferTime(30, bytes, kLink, kRtt);
+    printf("%-12.0f %-14.1f %-16.1f %-16.0f%% %-22.1fx\n", kb, mfc::ToMillis(solo),
+           mfc::ToMillis(ideal), 100.0 * ideal / solo, crowd / solo);
+  }
+  printf("\nExpected: small objects never leave slow start (single-digit link\n"
+         "efficiency) and a 30-strong crowd barely moves their completion time, so\n"
+         "they cannot expose a bandwidth constraint at theta=100 ms. From ~100 KB the\n"
+         "crowd penalty reaches the threshold scale and keeps growing with size —\n"
+         "hence the paper's 100 KB lower bound for the Large Object category.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared helpers for the paper-reproduction bench binaries. Each binary
+// regenerates one table or figure from the paper and prints it in a
+// comparable text form, with the paper's reported values alongside where
+// they exist.
+#ifndef MFC_BENCH_BENCH_UTIL_H_
+#define MFC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/types.h"
+
+namespace mfc {
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  printf("==============================================================================\n");
+  printf("%s\n", title.c_str());
+  printf("Reproduces: %s\n", paper_ref.c_str());
+  printf("==============================================================================\n");
+}
+
+inline std::string StopLabel(const StageResult* stage) {
+  if (stage == nullptr) {
+    return "n/a";
+  }
+  if (!stage->stopped) {
+    return "NoStop(" + std::to_string(stage->max_crowd_tested) + ")";
+  }
+  return std::to_string(stage->stopping_crowd_size);
+}
+
+}  // namespace mfc
+
+#endif  // MFC_BENCH_BENCH_UTIL_H_

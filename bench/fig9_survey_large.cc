@@ -1,0 +1,29 @@
+// Figure 9: breakdown of Large-Object-stage stopping crowd sizes across
+// Quantcast rank bands (129/100/114/103 servers in the paper).
+#include "bench/bench_util.h"
+#include "bench/survey_common.h"
+
+int main(int argc, char** argv) {
+  // Per-band server counts as in the paper; an argv override scales all bands.
+  size_t counts[] = {129, 100, 114, 103};
+  if (argc > 1) {
+    for (auto& c : counts) {
+      c = static_cast<size_t>(atoi(argv[1]));
+    }
+  }
+  mfc::PrintHeader("Survey: Large Object stage stopping crowd sizes by Quantcast rank",
+                   "Figure 9 (Section 5.1)");
+  printf("\n");
+  mfc::PrintBreakdownHeader();
+  uint64_t seed = 900;
+  mfc::Cohort bands[] = {mfc::Cohort::kRank1To1K, mfc::Cohort::kRank1KTo10K,
+                         mfc::Cohort::kRank10KTo100K, mfc::Cohort::kRank100KTo1M};
+  for (int i = 0; i < 4; ++i) {
+    mfc::PrintBreakdown(mfc::RunSurveyCohort(bands[i], mfc::StageKind::kLargeObject,
+                                             counts[i], 85, seed++));
+  }
+  printf("\nPaper shape: bandwidth provisioning is less rank-correlated than the\n"
+         "back-end: outside the top band, ~45-57%% of servers stop by 50, and the\n"
+         "lower two bands look better here than they did on Small Query.\n");
+  return 0;
+}

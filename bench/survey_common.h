@@ -1,0 +1,81 @@
+// Shared machinery for the Section 5 survey benches (Figures 7-9, Tables
+// 4-5): run one MFC stage against N sites sampled from a cohort and print
+// the paper's stopping-crowd-size breakdown.
+#ifndef MFC_BENCH_SURVEY_COMMON_H_
+#define MFC_BENCH_SURVEY_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment_runner.h"
+
+namespace mfc {
+
+struct SurveyBreakdown {
+  Cohort cohort;
+  size_t servers = 0;
+  // Counts by stopping bucket: <=10, 10-20, 20-30, 30-40, 40-50, 50+..max, NoStop.
+  size_t b10 = 0, b20 = 0, b30 = 0, b40 = 0, b50 = 0, b50plus = 0, nostop = 0;
+};
+
+inline SurveyBreakdown RunSurveyCohort(Cohort cohort, StageKind stage, size_t servers,
+                                       size_t max_crowd, uint64_t seed) {
+  Rng rng(seed);
+  SurveyBreakdown breakdown;
+  breakdown.cohort = cohort;
+  ExperimentConfig config;
+  config.threshold = Millis(100);
+  config.crowd_step = 5;
+  config.max_crowd = max_crowd;
+  config.min_clients = 50;
+  for (size_t i = 0; i < servers; ++i) {
+    ExperimentResult result =
+        RunSurveyExperiment(rng, cohort, config, {stage}, seed * 1000 + i);
+    const StageResult* stage_result = result.stages.empty() ? nullptr : &result.stages[0];
+    if (result.aborted || stage_result == nullptr) {
+      continue;
+    }
+    ++breakdown.servers;
+    if (!stage_result->stopped) {
+      ++breakdown.nostop;
+    } else if (stage_result->stopping_crowd_size <= 10) {
+      ++breakdown.b10;
+    } else if (stage_result->stopping_crowd_size <= 20) {
+      ++breakdown.b20;
+    } else if (stage_result->stopping_crowd_size <= 30) {
+      ++breakdown.b30;
+    } else if (stage_result->stopping_crowd_size <= 40) {
+      ++breakdown.b40;
+    } else if (stage_result->stopping_crowd_size <= 50) {
+      ++breakdown.b50;
+    } else {
+      ++breakdown.b50plus;
+    }
+  }
+  return breakdown;
+}
+
+inline void PrintBreakdownHeader() {
+  printf("%-20s %-8s %-7s %-7s %-7s %-7s %-7s %-7s %-8s %-10s\n", "cohort", "servers",
+         "<=10", "10-20", "20-30", "30-40", "40-50", ">50", "NoStop", "stop frac");
+}
+
+inline void PrintBreakdown(const SurveyBreakdown& b) {
+  auto pct = [&](size_t n) {
+    char buf[16];
+    double v = b.servers == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
+                                          static_cast<double>(b.servers);
+    snprintf(buf, sizeof(buf), "%.0f%%", v);
+    return std::string(buf);
+  };
+  printf("%-20s %-8zu %-7s %-7s %-7s %-7s %-7s %-7s %-8s %-10s\n",
+         std::string(CohortName(b.cohort)).c_str(), b.servers, pct(b.b10).c_str(),
+         pct(b.b20).c_str(), pct(b.b30).c_str(), pct(b.b40).c_str(), pct(b.b50).c_str(),
+         pct(b.b50plus).c_str(), pct(b.nostop).c_str(),
+         pct(b.servers - b.nostop).c_str());
+}
+
+}  // namespace mfc
+
+#endif  // MFC_BENCH_SURVEY_COMMON_H_

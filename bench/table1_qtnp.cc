@@ -1,0 +1,55 @@
+// Table 1: MFC runs against the QTNP server (top-50 commercial site's
+// non-production mirror). Two standard MFC runs at θ=100 ms, then an MFC-mr
+// run (two connections per client) at θ=250 ms.
+//
+// Paper rows:            Base        Small Qry    Large Obj
+//   MFC 100ms   (9/11)   25          55           NoStop(55)
+//   MFC 100ms   (9/12)   20          45           NoStop(55)
+//   MFC-mr 250ms(9/21)   40          90           NoStop(150)
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiment_runner.h"
+
+namespace mfc {
+namespace {
+
+void RunRow(const char* label, uint64_t seed, SimDuration theta, size_t requests_per_client,
+            size_t max_crowd) {
+  DeploymentOptions options;
+  options.seed = seed;
+  options.fleet_size = 85;
+  Deployment deployment(MakeQtnpProfile(), options);
+  ExperimentConfig config;
+  config.threshold = theta;
+  config.max_crowd = max_crowd;
+  config.requests_per_client = requests_per_client;
+  config.crowd_step = requests_per_client == 1 ? 5 : 10;
+  ExperimentResult result =
+      deployment.RunMfc(config, deployment.ObjectsFromContent(), seed * 31 + 7);
+  if (result.aborted) {
+    printf("%-22s experiment aborted: %s\n", label, result.abort_reason.c_str());
+    return;
+  }
+  printf("%-22s %-12s %-12s %-14s %-8llu\n", label,
+         StopLabel(result.Stage(StageKind::kBase)).c_str(),
+         StopLabel(result.Stage(StageKind::kSmallQuery)).c_str(),
+         StopLabel(result.Stage(StageKind::kLargeObject)).c_str(),
+         static_cast<unsigned long long>(result.TotalRequests()));
+}
+
+}  // namespace
+}  // namespace mfc
+
+int main() {
+  mfc::PrintHeader("QTNP (top-50 commercial site, non-production mirror)",
+                   "Table 1 (Section 4.1)");
+  printf("\n%-22s %-12s %-12s %-14s %-8s\n", "experiment", "Base", "SmallQry", "LargeObj",
+         "#reqs");
+  mfc::RunRow("MFC 100ms (run 1)", 101, mfc::Millis(100), 1, 55);
+  mfc::RunRow("MFC 100ms (run 2)", 202, mfc::Millis(100), 1, 55);
+  mfc::RunRow("MFC-mr 250ms", 303, mfc::Millis(250), 2, 150);
+  printf("\nPaper: Base stops at 20-25 (100ms) / 40 (mr,250ms); Small Query at 45-55 /\n"
+         "90; Large Object never stops (55 and 150 request maxima). ~1000-1600 reqs.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Capacity planning: compare two candidate upgrades before buying.
+//
+// The paper's motivating use (Section 1): "an application provider can
+// compare the impact of an increase in database-intensive requests versus an
+// increase in bandwidth-intensive requests... and make better decisions in
+// prioritizing additional provisioning."
+//
+// We take a budget-constrained deployment whose Small Query and Large Object
+// stages both stop, then evaluate the two upgrades the vendor offers —
+// a faster database tier vs. a fatter access link — by re-running MFC
+// against each candidate configuration.
+#include <cstdio>
+
+#include "src/core/experiment_runner.h"
+
+namespace {
+
+void Report(const char* label, const mfc::ExperimentResult& result) {
+  printf("%-34s", label);
+  for (mfc::StageKind kind : {mfc::StageKind::kBase, mfc::StageKind::kSmallQuery,
+                              mfc::StageKind::kLargeObject}) {
+    const mfc::StageResult* stage = result.Stage(kind);
+    std::string verdict = "n/a";
+    if (stage != nullptr) {
+      verdict = stage->stopped ? std::to_string(stage->stopping_crowd_size)
+                               : "NoStop(" + std::to_string(stage->max_crowd_tested) + ")";
+    }
+    printf(" %-14s", verdict.c_str());
+  }
+  printf("\n");
+}
+
+mfc::ExperimentResult Evaluate(const mfc::SiteInstance& site, uint64_t seed) {
+  mfc::DeploymentOptions options;
+  options.seed = seed;
+  options.fleet_size = 85;
+  mfc::Deployment deployment(site, options);
+  mfc::ExperimentConfig config;
+  config.threshold = mfc::Millis(100);
+  config.max_crowd = 85;
+  return deployment.RunMfc(config, deployment.ObjectsFromContent(), seed + 1);
+}
+
+}  // namespace
+
+int main() {
+  // The current deployment: one 2-core box, a 40 Mbit/s link, a DB that
+  // takes ~5 ms per unique query.
+  mfc::SiteInstance current = mfc::MakeQtnpProfile();
+  current.server.head_cpu_s = 5e-4;          // front end is fine
+  current.server.db_dedicated_cores = 1;     // a single creaky DB box
+  current.site.query_rows_min = 1200;
+  current.site.query_rows_max = 1200;
+  current.server_access_bps = 5e6;           // 40 Mbit/s
+
+  // Candidate A: double the DB tier (2 cores, same link).
+  mfc::SiteInstance upgrade_db = current;
+  upgrade_db.server.db_dedicated_cores = 4;
+
+  // Candidate B: upgrade the link to 200 Mbit/s (same DB).
+  mfc::SiteInstance upgrade_link = current;
+  upgrade_link.server_access_bps = 25e6;
+
+  printf("MFC verdicts (stopping crowd size per stage; bigger / NoStop = better)\n\n");
+  printf("%-34s %-14s %-14s %-14s\n", "configuration", "Base", "SmallQuery", "LargeObject");
+  Report("current (creaky DB, 40 Mbit/s)", Evaluate(current, 11));
+  Report("candidate A: 4-core DB tier", Evaluate(upgrade_db, 22));
+  Report("candidate B: 200 Mbit/s link", Evaluate(upgrade_link, 33));
+
+  printf("\nReading the table: candidate A lifts the Small Query knee but leaves the\n"
+         "Large Object knee where it was; candidate B does the opposite. Which one to\n"
+         "buy depends on which request mix your flash crowds actually bring — and MFC\n"
+         "lets you measure both ends before spending (Section 1).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// DDoS exposure audit (Section 6, "DDoS Vulnerabilities").
+//
+// "A site operator must first understand which resources are the most easily
+// vulnerable to attacks... the operator needs to understand at what volume of
+// requests a server resource starts to 'keel over'."
+//
+// This audit runs all three stages against a site, ranks the sub-systems by
+// their keel-over volume, and prints the kind of brief a security review
+// would want: the cheapest application-level attack and its request budget.
+#include <cstdio>
+#include <vector>
+
+#include "src/core/experiment_runner.h"
+#include "src/core/inference.h"
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? static_cast<uint64_t>(atoll(argv[1])) : 99;
+
+  // The audited site: decent bandwidth, mediocre back end — a common shape.
+  mfc::Rng rng(seed);
+  mfc::SiteInstance site = mfc::SampleSite(rng, mfc::Cohort::kStartup);
+  mfc::DeploymentOptions options;
+  options.seed = seed;
+  options.fleet_size = 85;
+  mfc::Deployment deployment(site, options);
+
+  mfc::ExperimentConfig config;
+  config.threshold = mfc::Millis(100);
+  config.max_crowd = 85;
+  mfc::ExperimentResult result =
+      deployment.RunMfc(config, deployment.ObjectsFromContent(), seed + 7);
+
+  struct Exposure {
+    std::string vector;
+    std::string subsystem;
+    const mfc::StageResult* stage;
+  };
+  std::vector<Exposure> exposures = {
+      {"HEAD flood of the base page", "request processing",
+       result.Stage(mfc::StageKind::kBase)},
+      {"unique-query flood (cache-busting)", "back-end data processing",
+       result.Stage(mfc::StageKind::kSmallQuery)},
+      {"bulk-download flood (e-protest)", "outbound bandwidth",
+       result.Stage(mfc::StageKind::kLargeObject)},
+  };
+
+  printf("DDoS exposure audit — keel-over request volumes (theta = 100 ms)\n\n");
+  printf("%-38s %-28s %s\n", "attack vector", "sub-system", "keel-over volume");
+  const mfc::StageResult* weakest = nullptr;
+  for (const Exposure& e : exposures) {
+    std::string volume = "unknown";
+    if (e.stage != nullptr) {
+      volume = e.stage->stopped
+                   ? std::to_string(e.stage->stopping_crowd_size) + " concurrent requests"
+                   : "> " + std::to_string(e.stage->max_crowd_tested) + " (not reached)";
+      if (e.stage->stopped &&
+          (weakest == nullptr || !weakest->stopped ||
+           e.stage->stopping_crowd_size < weakest->stopping_crowd_size)) {
+        weakest = e.stage;
+      }
+    }
+    printf("%-38s %-28s %s\n", e.vector.c_str(), e.subsystem.c_str(), volume.c_str());
+  }
+
+  printf("\n");
+  if (weakest != nullptr) {
+    printf("Weakest point: %s — a botnet needs only ~%zu synchronized requests to add\n"
+           "100 ms for most users. Mitigations to evaluate first: request shaping on\n"
+           "that path, caching dynamic responses, or capacity there (Section 6).\n",
+           std::string(SubsystemFor(weakest->kind)).c_str(), weakest->stopping_crowd_size);
+  } else {
+    printf("No sub-system keeled over at the tested volumes; at this probe budget the\n"
+           "site withstands simple application-level floods.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Staggered Mini-Flash Crowds (Section 6, "Staggered Mini-FC").
+//
+// "If a Web server performs poorly with respect to tight synchronization,
+// but provides low response times when the requests arrive somewhat
+// staggered, then we can conclude that the server can handle the medium and
+// low volume flash-crowds reasonably well."
+//
+// We profile one server under a sweep of inter-arrival spacings and report
+// the spacing at which its knee disappears — its burst tolerance.
+#include <cstdio>
+
+#include "src/core/experiment_runner.h"
+
+namespace {
+
+std::string RunWithSpacing(mfc::SimDuration spacing, uint64_t seed) {
+  mfc::SiteInstance site = mfc::MakeQtnpProfile();  // request-handling knee ~20
+  mfc::DeploymentOptions options;
+  options.seed = seed;
+  options.fleet_size = 85;
+  mfc::Deployment deployment(site, options);
+  mfc::ExperimentConfig config;
+  config.threshold = mfc::Millis(100);
+  config.max_crowd = 60;
+  config.stagger_spacing = spacing;
+  mfc::ExperimentResult result =
+      deployment.RunMfc(config, deployment.ObjectsFromContent(), seed + 3);
+  const mfc::StageResult* base = result.Stage(mfc::StageKind::kBase);
+  if (base == nullptr) {
+    return "n/a";
+  }
+  return base->stopped ? std::to_string(base->stopping_crowd_size)
+                       : "NoStop(" + std::to_string(base->max_crowd_tested) + ")";
+}
+
+}  // namespace
+
+int main() {
+  printf("Burst tolerance sweep — Base stage verdict vs. arrival spacing\n");
+  printf("(target: front end with a ~20-simultaneous-request knee)\n\n");
+  printf("%-30s %s\n", "inter-arrival spacing", "stopping crowd size");
+  struct Case {
+    const char* label;
+    mfc::SimDuration spacing;
+  };
+  const Case cases[] = {
+      {"0 ms (tight sync, std MFC)", 0.0},
+      {"5 ms", mfc::Millis(5)},
+      {"20 ms", mfc::Millis(20)},
+      {"50 ms", mfc::Millis(50)},
+      {"200 ms", mfc::Millis(200)},
+  };
+  uint64_t seed = 41;
+  for (const Case& c : cases) {
+    printf("%-30s %s\n", c.label, RunWithSpacing(c.spacing, seed++).c_str());
+  }
+  printf("\nReading the sweep: the knee under tight sync shows what a true flash crowd\n"
+         "does; the spacing at which the knee vanishes is the arrival rate the server\n"
+         "absorbs gracefully — useful for sizing request-shaping buffers (Section 6).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// httperf/SPECweb-style closed-loop LAN load generator (Section 7, "Web
+// server Benchmarking").
+//
+// N concurrent emulated users each loop request -> response -> think time.
+// This is the lab-bench comparator MFC argues against: it measures raw
+// server capacity on a LAN but cannot reflect wide-area client diversity or
+// access-bandwidth effects.
+#ifndef MFC_SRC_BASELINE_CLOSED_LOOP_LOADGEN_H_
+#define MFC_SRC_BASELINE_CLOSED_LOOP_LOADGEN_H_
+
+#include <vector>
+
+#include "src/core/sim_testbed.h"
+#include "src/http/message.h"
+
+namespace mfc {
+
+struct LoadGenReport {
+  size_t completed = 0;
+  size_t errors = 0;
+  double throughput_rps = 0.0;
+  SimDuration mean_response = 0.0;
+  SimDuration p90_response = 0.0;
+  SimDuration max_response = 0.0;
+};
+
+class ClosedLoopLoadGen {
+ public:
+  ClosedLoopLoadGen(SimTestbed& testbed, HttpRequest request, size_t concurrency,
+                    SimDuration think_time)
+      : testbed_(testbed), request_(std::move(request)), concurrency_(concurrency),
+        think_time_(think_time) {}
+
+  // Drives the loop for |duration| of simulated time.
+  LoadGenReport Run(SimDuration duration);
+
+ private:
+  SimTestbed& testbed_;
+  HttpRequest request_;
+  size_t concurrency_;
+  SimDuration think_time_;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_BASELINE_CLOSED_LOOP_LOADGEN_H_

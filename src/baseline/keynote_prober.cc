@@ -1,0 +1,28 @@
+#include "src/baseline/keynote_prober.h"
+
+#include "src/telemetry/stats.h"
+
+namespace mfc {
+
+ProbeReport KeynoteProber::Run(size_t count) {
+  ProbeReport report;
+  std::vector<double> times;
+  times.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t client = next_client_++ % testbed_.ClientCount();
+    RequestSample sample = testbed_.FetchOnce(client, request_);
+    ++report.probes;
+    if (sample.timed_out || !IsSuccess(sample.code)) {
+      ++report.failures;
+    }
+    times.push_back(sample.response_time);
+    testbed_.WaitUntil(testbed_.Now() + interval_);
+  }
+  report.mean_response = Mean(times);
+  report.median_response = Median(times);
+  report.p95_response = Percentile(times, 95.0);
+  report.max_response = Max(times);
+  return report;
+}
+
+}  // namespace mfc

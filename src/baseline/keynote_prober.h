@@ -1,0 +1,45 @@
+// Keynote-style single-request monitoring (Section 7, "Commercial Services").
+//
+// A global network of monitors measures response times for single requests,
+// one at a time, with no synchronization. The ablation bench uses this to
+// show what such probing can and cannot see: it tracks baseline latency
+// accurately but never drives concurrency, so bottlenecks that only surface
+// under synchronized load stay invisible.
+#ifndef MFC_SRC_BASELINE_KEYNOTE_PROBER_H_
+#define MFC_SRC_BASELINE_KEYNOTE_PROBER_H_
+
+#include <vector>
+
+#include "src/core/sim_testbed.h"
+#include "src/http/message.h"
+
+namespace mfc {
+
+struct ProbeReport {
+  size_t probes = 0;
+  size_t failures = 0;
+  SimDuration mean_response = 0.0;
+  SimDuration median_response = 0.0;
+  SimDuration p95_response = 0.0;
+  SimDuration max_response = 0.0;
+};
+
+class KeynoteProber {
+ public:
+  KeynoteProber(SimTestbed& testbed, HttpRequest request, SimDuration interval)
+      : testbed_(testbed), request_(std::move(request)), interval_(interval) {}
+
+  // Issues |count| sequential probes from rotating vantage clients, spaced by
+  // the configured interval, and summarizes.
+  ProbeReport Run(size_t count);
+
+ private:
+  SimTestbed& testbed_;
+  HttpRequest request_;
+  SimDuration interval_;
+  size_t next_client_ = 0;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_BASELINE_KEYNOTE_PROBER_H_

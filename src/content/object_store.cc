@@ -1,0 +1,67 @@
+#include "src/content/object_store.h"
+
+namespace mfc {
+
+void ContentStore::Add(WebObject object) {
+  for (auto& existing : objects_) {
+    if (existing.path == object.path) {
+      existing = std::move(object);
+      return;
+    }
+  }
+  objects_.push_back(std::move(object));
+}
+
+const WebObject* ContentStore::Find(std::string_view path) const {
+  for (const auto& object : objects_) {
+    if (object.path == path) {
+      return &object;
+    }
+  }
+  return nullptr;
+}
+
+const WebObject* ContentStore::BasePage() const {
+  if (const WebObject* root = Find("/")) {
+    return root;
+  }
+  if (const WebObject* index = Find("/index.html")) {
+    return index;
+  }
+  for (const auto& object : objects_) {
+    if (object.content_class == ContentClass::kText && !object.dynamic) {
+      return &object;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t ContentStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& object : objects_) {
+    total += object.size_bytes;
+  }
+  return total;
+}
+
+size_t ContentStore::CountOf(ContentClass c) const {
+  size_t n = 0;
+  for (const auto& object : objects_) {
+    if (object.content_class == c) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t ContentStore::DynamicCount() const {
+  size_t n = 0;
+  for (const auto& object : objects_) {
+    if (object.dynamic) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace mfc

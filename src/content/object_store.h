@@ -1,0 +1,56 @@
+// The content hosted by a simulated site: static objects (pages, images,
+// binaries) and dynamic (CGI/database) endpoints. Text pages carry real HTML
+// bodies with real links so the profiling crawler exercises the actual HTTP
+// and HTML machinery.
+#ifndef MFC_SRC_CONTENT_OBJECT_STORE_H_
+#define MFC_SRC_CONTENT_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/http/content_type.h"
+
+namespace mfc {
+
+struct WebObject {
+  std::string path;                // canonical path, starts with '/'
+  ContentClass content_class = ContentClass::kText;
+  uint64_t size_bytes = 0;         // body size of a GET response
+  std::string body;                // real bytes for text pages; empty for bulk data
+  bool dynamic = false;            // served by the CGI/DB pipeline
+  uint64_t db_rows = 0;            // rows touched per query (dynamic only)
+  // Dynamic endpoints can serve per-query-string unique results. When true,
+  // distinct query strings are distinct cache keys (the paper's "unique
+  // dynamically generated object" case).
+  bool unique_per_query = false;
+};
+
+class ContentStore {
+ public:
+  // Adds an object; last add wins on duplicate paths.
+  void Add(WebObject object);
+
+  // Exact-path lookup; nullptr if absent.
+  const WebObject* Find(std::string_view path) const;
+
+  // The site's base page: "/", else "/index.html", else the first text page.
+  const WebObject* BasePage() const;
+
+  const std::vector<WebObject>& Objects() const { return objects_; }
+  size_t Size() const { return objects_.size(); }
+
+  // Totals for reporting.
+  uint64_t TotalBytes() const;
+  size_t CountOf(ContentClass c) const;
+  size_t DynamicCount() const;
+
+ private:
+  std::vector<WebObject> objects_;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_CONTENT_OBJECT_STORE_H_

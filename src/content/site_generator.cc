@@ -1,0 +1,153 @@
+#include "src/content/site_generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mfc {
+namespace {
+
+constexpr std::string_view kFiller =
+    "lorem ipsum dolor sit amet consectetur adipiscing elit sed do eiusmod tempor "
+    "incididunt ut labore et dolore magna aliqua ut enim ad minim veniam quis ";
+
+// Builds an HTML document with the given link targets, padded with filler
+// prose to approximately |target_size| bytes.
+std::string BuildHtml(const std::string& title, const std::vector<std::string>& links,
+                      uint64_t target_size) {
+  std::string html = "<html><head><title>" + title + "</title></head><body>\n";
+  html += "<h1>" + title + "</h1>\n";
+  for (const std::string& link : links) {
+    if (link.size() > 4 && (link.ends_with(".jpg") || link.ends_with(".png") ||
+                            link.ends_with(".gif"))) {
+      html += "<img src=\"" + link + "\" alt=\"img\">\n";
+    } else {
+      html += "<a href=\"" + link + "\">" + link + "</a>\n";
+    }
+  }
+  html += "<p>";
+  while (html.size() + 20 < target_size) {
+    size_t take = std::min<size_t>(kFiller.size(), target_size - 20 - html.size());
+    html.append(kFiller.substr(0, take));
+  }
+  html += "</p>\n</body></html>\n";
+  return html;
+}
+
+std::string_view BinaryExtension(Rng& rng) {
+  switch (rng.NextBelow(4)) {
+    case 0:
+      return ".pdf";
+    case 1:
+      return ".tar.gz";
+    case 2:
+      return ".zip";
+    default:
+      return ".exe";
+  }
+}
+
+std::string_view ImageExtension(Rng& rng) {
+  switch (rng.NextBelow(3)) {
+    case 0:
+      return ".jpg";
+    case 1:
+      return ".png";
+    default:
+      return ".gif";
+  }
+}
+
+}  // namespace
+
+ContentStore GenerateSite(Rng& rng, const SiteSpec& spec) {
+  ContentStore store;
+  size_t page_count = std::max<size_t>(spec.page_count, 1);
+
+  std::vector<std::string> page_paths;
+  page_paths.reserve(page_count);
+  page_paths.push_back("/");
+  for (size_t i = 1; i < page_count; ++i) {
+    page_paths.push_back("/page" + std::to_string(i) + ".html");
+  }
+
+  // Non-page assets, each assigned a hosting page that links to it.
+  struct Asset {
+    WebObject object;
+    size_t host_page;
+    std::string link_target;  // how pages reference it (may carry a query)
+  };
+  std::vector<Asset> assets;
+
+  auto host_for = [&](size_t) { return static_cast<size_t>(rng.NextBelow(page_count)); };
+
+  for (size_t i = 0; i < spec.image_count; ++i) {
+    WebObject img;
+    img.path = "/img/picture" + std::to_string(i) + std::string(ImageExtension(rng));
+    img.content_class = ContentClass::kImage;
+    img.size_bytes = static_cast<uint64_t>(
+        rng.UniformInt(static_cast<int64_t>(spec.image_size_min),
+                       static_cast<int64_t>(spec.image_size_max)));
+    assets.push_back(Asset{img, host_for(i), img.path});
+  }
+  for (size_t i = 0; i < spec.binary_count; ++i) {
+    WebObject bin;
+    bin.path = "/files/release" + std::to_string(i) + std::string(BinaryExtension(rng));
+    bin.content_class = ContentClass::kBinary;
+    bin.size_bytes = static_cast<uint64_t>(
+        rng.UniformInt(static_cast<int64_t>(spec.binary_size_min),
+                       static_cast<int64_t>(spec.binary_size_max)));
+    assets.push_back(Asset{bin, host_for(i), bin.path});
+  }
+  for (size_t i = 0; i < spec.query_endpoint_count; ++i) {
+    WebObject query;
+    query.path = "/cgi/search" + std::to_string(i) + ".php";
+    query.content_class = ContentClass::kQuery;
+    query.dynamic = true;
+    query.unique_per_query = spec.queries_unique_per_string;
+    query.size_bytes = static_cast<uint64_t>(
+        rng.UniformInt(static_cast<int64_t>(spec.query_response_min),
+                       static_cast<int64_t>(spec.query_response_max)));
+    query.db_rows = static_cast<uint64_t>(
+        rng.UniformInt(static_cast<int64_t>(spec.query_rows_min),
+                       static_cast<int64_t>(spec.query_rows_max)));
+    assets.push_back(Asset{query, host_for(i), query.path + "?id=" + std::to_string(i)});
+  }
+
+  // Per-page link lists. Pages form a random tree rooted at the index so
+  // everything is crawlable, plus random cross links up to links_per_page.
+  std::vector<std::vector<std::string>> links(page_count);
+  for (size_t i = 1; i < page_count; ++i) {
+    size_t parent = static_cast<size_t>(rng.NextBelow(i));
+    links[parent].push_back(page_paths[i]);
+  }
+  for (const Asset& asset : assets) {
+    links[asset.host_page].push_back(asset.link_target);
+  }
+  for (size_t i = 0; i < page_count; ++i) {
+    while (links[i].size() < spec.links_per_page && page_count > 1) {
+      size_t to = static_cast<size_t>(rng.NextBelow(page_count));
+      if (to != i) {
+        links[i].push_back(page_paths[to]);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < page_count; ++i) {
+    WebObject page;
+    page.path = page_paths[i];
+    page.content_class = ContentClass::kText;
+    uint64_t target = static_cast<uint64_t>(
+        rng.UniformInt(static_cast<int64_t>(spec.page_size_min),
+                       static_cast<int64_t>(spec.page_size_max)));
+    page.body = BuildHtml(i == 0 ? "index" : "page " + std::to_string(i), links[i], target);
+    page.size_bytes = page.body.size();
+    store.Add(std::move(page));
+  }
+  for (Asset& asset : assets) {
+    store.Add(std::move(asset.object));
+  }
+  return store;
+}
+
+}  // namespace mfc

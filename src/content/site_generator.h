@@ -1,0 +1,51 @@
+// Synthetic web-site generation.
+//
+// Produces a ContentStore whose text pages are real HTML documents linking to
+// each other and to images, binaries and CGI endpoints, so that crawling the
+// site from "/" discovers everything reachable — the input the MFC profiling
+// stage (Section 2.2.1) needs. Sizes are drawn from the configured ranges;
+// whether a site has any Large Object (>100 KB) or Small Query (<15 KB
+// dynamic) candidate is controlled by the spec, because the paper's survey
+// had to select sites hosting at least one object of each kind.
+#ifndef MFC_SRC_CONTENT_SITE_GENERATOR_H_
+#define MFC_SRC_CONTENT_SITE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/content/object_store.h"
+#include "src/sim/rng.h"
+
+namespace mfc {
+
+struct SiteSpec {
+  size_t page_count = 12;       // HTML pages, including the index
+  size_t image_count = 20;
+  size_t binary_count = 4;      // pdf/tarball-style downloads
+  size_t query_endpoint_count = 2;
+
+  uint64_t page_size_min = 2 * 1024;
+  uint64_t page_size_max = 40 * 1024;
+  uint64_t image_size_min = 4 * 1024;
+  uint64_t image_size_max = 80 * 1024;
+  uint64_t binary_size_min = 150 * 1024;
+  uint64_t binary_size_max = 2 * 1024 * 1024;
+  uint64_t query_response_min = 300;
+  uint64_t query_response_max = 12 * 1024;
+
+  uint64_t query_rows_min = 5'000;   // DB rows touched per dynamic request
+  uint64_t query_rows_max = 80'000;
+
+  // Dynamic endpoints accept arbitrary query strings, each a distinct result.
+  bool queries_unique_per_string = true;
+
+  // Average out-links per page to other discovered content.
+  size_t links_per_page = 6;
+};
+
+// Generates a site. Every object is reachable from the base page through
+// href/src links (pages form a random tree plus extra cross edges).
+ContentStore GenerateSite(Rng& rng, const SiteSpec& spec);
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_CONTENT_SITE_GENERATOR_H_

@@ -1,0 +1,266 @@
+#include "src/core/coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/sync_scheduler.h"
+#include "src/telemetry/stats.h"
+
+namespace mfc {
+
+StageObjects SelectStageObjects(const ContentProfile& profile, bool unique_queries) {
+  StageObjects objects;
+  objects.base_page = profile.base_page;
+  if (const DiscoveredObject* large = profile.PickLargeObject()) {
+    objects.large_object = large->url;
+  }
+  if (const DiscoveredObject* query = profile.PickSmallQuery()) {
+    objects.small_query = query->url;
+  }
+  objects.small_query_unique = unique_queries;
+  return objects;
+}
+
+Coordinator::Coordinator(ClientHarness& harness, ExperimentConfig config, uint64_t seed)
+    : harness_(harness), config_(config), rng_(seed) {}
+
+void Coordinator::SetMeasurers(std::vector<MeasurerSpec> measurers) {
+  measurers_ = std::move(measurers);
+}
+
+double Coordinator::MetricPercentile(StageKind kind) const {
+  // Large Object demands that 90% of clients observe the degradation (the
+  // 10th percentile must exceed θ) so congestion at shared remote
+  // bottlenecks — which only some clients sit behind — is not mistaken for
+  // the server's access link (Section 2.2.3).
+  return kind == StageKind::kLargeObject ? config_.large_object_percentile
+                                         : config_.default_percentile;
+}
+
+HttpRequest Coordinator::RequestFor(StageKind kind, const StageObjects& objects,
+                                    size_t client_id) const {
+  switch (kind) {
+    case StageKind::kBase:
+      return HttpRequest::For(HttpMethod::kHead, *objects.base_page);
+    case StageKind::kLargeObject:
+      // Every client requests the same large object: server-side caching then
+      // keeps the storage sub-system out of the picture (Section 2.2.2).
+      return HttpRequest::For(HttpMethod::kGet, *objects.large_object);
+    case StageKind::kSmallQuery: {
+      Url url = *objects.small_query;
+      if (objects.small_query_unique) {
+        // A unique dynamically generated object per client. Stable across
+        // epochs so the base measurement normalizes the same request.
+        std::string param = "mfc=" + std::to_string(client_id);
+        url.query = url.query.empty() ? param : url.query + "&" + param;
+      }
+      return HttpRequest::For(HttpMethod::kGet, url);
+    }
+  }
+  return HttpRequest::For(HttpMethod::kGet, *objects.base_page);
+}
+
+std::vector<Coordinator::ClientState> Coordinator::PrepareClients(
+    StageKind kind, const StageObjects& objects, const std::vector<size_t>& registered) {
+  std::vector<ClientState> clients;
+  clients.reserve(registered.size());
+  for (size_t id : registered) {
+    ClientState state;
+    state.id = id;
+    state.coord_rtt = harness_.MeasureCoordRtt(id);
+    state.target_rtt = harness_.MeasureTargetRtt(id);
+    // Base response time, measured sequentially so clients do not perturb
+    // each other (Section 2.2.3).
+    RequestSample base = harness_.FetchOnce(id, RequestFor(kind, objects, id));
+    state.base_response_time = base.response_time;
+    state.usable = !base.timed_out && IsSuccess(base.code);
+    clients.push_back(state);
+  }
+  return clients;
+}
+
+EpochResult Coordinator::RunEpoch(StageKind kind, const StageObjects& objects,
+                                  std::vector<ClientState>& clients, size_t crowd_size,
+                                  bool check_phase) {
+  EpochResult result;
+  result.crowd_size = crowd_size;
+  result.check_phase = check_phase;
+
+  // Random participant selection (Figure 2a) decouples the measured medians
+  // from any one client's local conditions. Measurer hosts never join the
+  // crowd: they must observe it from outside.
+  std::vector<ClientState*> usable;
+  for (ClientState& c : clients) {
+    bool is_measurer = false;
+    for (const MeasurerSpec& m : measurers_) {
+      if (m.client_id == c.id) {
+        is_measurer = true;
+      }
+    }
+    if (c.usable && !is_measurer) {
+      usable.push_back(&c);
+    }
+  }
+  rng_.Shuffle(usable.begin(), usable.end());
+  size_t per_client = std::max<size_t>(1, config_.requests_per_client);
+  size_t wanted_clients = (crowd_size + per_client - 1) / per_client;
+  size_t n = std::min(wanted_clients, usable.size());
+
+  std::vector<ClientLatencyEstimate> latencies;
+  latencies.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    latencies.push_back(ClientLatencyEstimate{usable[i]->id, usable[i]->coord_rtt,
+                                              usable[i]->target_rtt});
+  }
+  for (const MeasurerSpec& m : measurers_) {
+    latencies.push_back(ClientLatencyEstimate{m.client_id, 0.0, 0.0});
+  }
+
+  SimTime arrival = harness_.Now() + std::max(config_.schedule_lead, RequiredLead(latencies));
+  std::vector<DispatchTime> dispatch =
+      ComputeDispatchTimes(latencies, arrival, config_.stagger_spacing);
+
+  std::vector<CrowdRequestPlan> plans;
+  plans.reserve(n + measurers_.size());
+  for (size_t i = 0; i < n; ++i) {
+    CrowdRequestPlan plan;
+    plan.client_id = usable[i]->id;
+    plan.request = RequestFor(kind, objects, usable[i]->id);
+    plan.command_send_time = dispatch[i].command_send_time;
+    plan.intended_arrival = dispatch[i].intended_arrival;
+    plan.connections = per_client;
+    plans.push_back(std::move(plan));
+  }
+  for (size_t i = 0; i < measurers_.size(); ++i) {
+    CrowdRequestPlan plan;
+    plan.client_id = measurers_[i].client_id;
+    plan.request = measurers_[i].request;
+    plan.command_send_time = dispatch[n + i].command_send_time;
+    plan.intended_arrival = dispatch[n + i].intended_arrival;
+    plan.connections = 1;
+    plans.push_back(std::move(plan));
+  }
+
+  // All requests start by ~arrival and settle within the kill timer; poll
+  // shortly after (Figure 2a: "Wait 10s after all clients are scheduled,
+  // then poll each client").
+  SimTime last_arrival =
+      arrival + config_.stagger_spacing * static_cast<double>(latencies.size());
+  SimTime poll = last_arrival + config_.request_timeout + Seconds(1);
+  std::vector<RequestSample> raw = harness_.ExecuteCrowd(plans, poll);
+
+  // Normalize against per-client base response times; separate measurers.
+  std::map<size_t, SimDuration> base_by_client;
+  for (size_t i = 0; i < n; ++i) {
+    base_by_client[usable[i]->id] = usable[i]->base_response_time;
+  }
+  std::vector<RequestSample> measurer_out;
+  std::vector<double> normalized;
+  for (RequestSample& sample : raw) {
+    auto it = base_by_client.find(sample.client_id);
+    if (it == base_by_client.end()) {
+      measurer_out.push_back(sample);
+      continue;
+    }
+    sample.normalized = sample.response_time - it->second;
+    normalized.push_back(sample.normalized);
+    result.samples.push_back(sample);
+  }
+  if (!measurers_.empty()) {
+    measurer_samples_.push_back(std::move(measurer_out));
+  }
+
+  result.samples_received = result.samples.size();
+  result.metric = Percentile(normalized, MetricPercentile(kind));
+  result.exceeded_threshold = result.metric > config_.threshold;
+  return result;
+}
+
+StageResult Coordinator::RunStage(StageKind kind, const StageObjects& objects,
+                                  const std::vector<size_t>& registered) {
+  StageResult stage;
+  stage.kind = kind;
+  stage.started = harness_.Now();
+
+  std::vector<ClientState> clients = PrepareClients(kind, objects, registered);
+  size_t per_client = std::max<size_t>(1, config_.requests_per_client);
+  size_t usable = 0;
+  for (const ClientState& c : clients) {
+    if (c.usable) {
+      ++usable;
+    }
+  }
+
+  auto account = [&stage](const EpochResult& epoch) {
+    stage.total_requests += epoch.crowd_size;
+    stage.max_crowd_tested = std::max(stage.max_crowd_tested, epoch.crowd_size);
+  };
+
+  for (size_t e = 1; e <= config_.max_epochs; ++e) {
+    size_t crowd = config_.crowd_step * e;
+    if (crowd > config_.max_crowd || crowd > usable * per_client) {
+      break;  // ran out of budget or clients: NoStop
+    }
+    EpochResult epoch = RunEpoch(kind, objects, clients, crowd, /*check_phase=*/false);
+    account(epoch);
+    bool exceeded = epoch.exceeded_threshold;
+    stage.epochs.push_back(std::move(epoch));
+    harness_.WaitUntil(harness_.Now() + config_.epoch_gap);
+
+    if (!exceeded || crowd < config_.min_crowd_for_inference) {
+      continue;
+    }
+    // Check phase: re-run at N-1, N, N+1; any confirmation terminates the
+    // stage with stopping size N (Section 2.2.3).
+    bool confirmed = false;
+    for (long delta : {-1L, 0L, 1L}) {
+      size_t check_crowd = static_cast<size_t>(static_cast<long>(crowd) + delta);
+      EpochResult check = RunEpoch(kind, objects, clients, check_crowd, /*check_phase=*/true);
+      account(check);
+      bool check_exceeded = check.exceeded_threshold;
+      stage.epochs.push_back(std::move(check));
+      harness_.WaitUntil(harness_.Now() + config_.epoch_gap);
+      if (check_exceeded) {
+        confirmed = true;
+        break;
+      }
+    }
+    if (confirmed) {
+      stage.stopped = true;
+      stage.stopping_crowd_size = crowd;
+      break;
+    }
+  }
+  stage.finished = harness_.Now();
+  return stage;
+}
+
+ExperimentResult Coordinator::Run(const StageObjects& objects) {
+  return Run(objects,
+             {StageKind::kBase, StageKind::kSmallQuery, StageKind::kLargeObject});
+}
+
+ExperimentResult Coordinator::Run(const StageObjects& objects,
+                                  const std::vector<StageKind>& stages) {
+  ExperimentResult result;
+  std::vector<size_t> registered = harness_.ProbeClients(config_.registration_probe_timeout);
+  result.registered_clients = registered.size();
+  if (registered.size() < config_.min_clients) {
+    result.aborted = true;
+    result.abort_reason = "only " + std::to_string(registered.size()) +
+                          " clients responsive, need " + std::to_string(config_.min_clients);
+    return result;
+  }
+  for (StageKind kind : stages) {
+    bool available = (kind == StageKind::kBase && objects.base_page.has_value()) ||
+                     (kind == StageKind::kSmallQuery && objects.small_query.has_value()) ||
+                     (kind == StageKind::kLargeObject && objects.large_object.has_value());
+    if (!available) {
+      continue;
+    }
+    result.stages.push_back(RunStage(kind, objects, registered));
+  }
+  return result;
+}
+
+}  // namespace mfc

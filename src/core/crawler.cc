@@ -1,0 +1,129 @@
+#include "src/core/crawler.h"
+
+#include <deque>
+#include <set>
+#include <string>
+
+#include "src/http/html.h"
+
+namespace mfc {
+namespace {
+
+uint64_t ResponseSize(const HttpResponse& response) {
+  if (auto length = response.headers.ContentLength(); length.has_value()) {
+    return *length;
+  }
+  return response.body.size();
+}
+
+}  // namespace
+
+const DiscoveredObject* ContentProfile::PickLargeObject(uint64_t max_bytes) const {
+  const DiscoveredObject* best = nullptr;
+  for (const DiscoveredObject& object : large_objects) {
+    if (object.size_bytes > max_bytes) {
+      continue;
+    }
+    if (best == nullptr || object.size_bytes > best->size_bytes) {
+      best = &object;
+    }
+  }
+  // All candidates oversized: fall back to the smallest one.
+  if (best == nullptr && !large_objects.empty()) {
+    best = &large_objects.front();
+    for (const DiscoveredObject& object : large_objects) {
+      if (object.size_bytes < best->size_bytes) {
+        best = &object;
+      }
+    }
+  }
+  return best;
+}
+
+const DiscoveredObject* ContentProfile::PickSmallQuery() const {
+  return small_queries.empty() ? nullptr : &small_queries.front();
+}
+
+Crawler::Crawler(Fetcher& fetcher, CrawlLimits limits, ProfileThresholds thresholds)
+    : fetcher_(fetcher), limits_(limits), thresholds_(thresholds) {}
+
+ContentProfile Crawler::Crawl(const Url& root) {
+  ContentProfile profile;
+  profile.base_page = root;
+
+  std::set<std::string> visited;
+  std::deque<std::pair<Url, size_t>> frontier;  // (url, depth)
+  frontier.emplace_back(root, 0);
+  visited.insert(root.ToString());
+
+  while (!frontier.empty() && profile.urls_probed < limits_.max_probed_urls) {
+    auto [url, depth] = frontier.front();
+    frontier.pop_front();
+
+    DiscoveredObject object;
+    object.url = url;
+
+    if (url.HasQuery()) {
+      // Queries are sized with a GET: their HEAD rarely reports a length.
+      HttpResponse response = fetcher_.Fetch(HttpRequest::For(HttpMethod::kGet, url));
+      ++profile.urls_probed;
+      object.status = response.status;
+      object.content_class = ContentClass::kQuery;
+      object.size_bytes = ResponseSize(response);
+      if (IsSuccess(response.status)) {
+        profile.all_objects.push_back(object);
+        if (object.size_bytes < thresholds_.small_query_max_bytes) {
+          profile.small_queries.push_back(object);
+        }
+      }
+      continue;
+    }
+
+    ContentClass klass = ClassifyPath(url.path);
+    if (klass == ContentClass::kText && profile.pages_crawled < limits_.max_pages) {
+      // Pages are fetched fully so links can be extracted.
+      HttpResponse response = fetcher_.Fetch(HttpRequest::For(HttpMethod::kGet, url));
+      ++profile.urls_probed;
+      ++profile.pages_crawled;
+      object.status = response.status;
+      object.content_class = klass;
+      object.size_bytes = ResponseSize(response);
+      if (IsSuccess(response.status)) {
+        profile.all_objects.push_back(object);
+        if (object.size_bytes >= thresholds_.large_object_min_bytes) {
+          profile.large_objects.push_back(object);
+        }
+        if (depth < limits_.max_depth) {
+          for (const std::string& link : ExtractLinks(response.body)) {
+            auto resolved = ParseUrl(link, &url);
+            if (!resolved.has_value() || resolved->host != root.host) {
+              continue;  // stay on-site
+            }
+            if (visited.insert(resolved->ToString()).second) {
+              frontier.emplace_back(*resolved, depth + 1);
+            }
+          }
+        }
+      }
+      continue;
+    }
+
+    // Non-page static object: size via HEAD (Section 2.2.1).
+    HttpResponse response = fetcher_.Fetch(HttpRequest::For(HttpMethod::kHead, url));
+    ++profile.urls_probed;
+    object.status = response.status;
+    object.content_class = klass;
+    object.size_bytes = ResponseSize(response);
+    if (IsSuccess(response.status)) {
+      profile.all_objects.push_back(object);
+      if (object.size_bytes >= thresholds_.large_object_min_bytes &&
+          (klass == ContentClass::kText || klass == ContentClass::kBinary ||
+           klass == ContentClass::kImage)) {
+        profile.large_objects.push_back(object);
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace mfc

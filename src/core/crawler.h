@@ -1,0 +1,74 @@
+// Target-content profiling (Section 2.2.1).
+//
+// Before an MFC run against a non-cooperating server, the coordinator crawls
+// the target, classifies discovered objects by content type (text, binary,
+// image, query) and sorts them into the two probe categories by size:
+// Large Objects (regular files/binaries/images >= 100 KB, sized via HEAD) and
+// Small Queries (URLs with a '?' whose GET response is under 15 KB).
+#ifndef MFC_SRC_CORE_CRAWLER_H_
+#define MFC_SRC_CORE_CRAWLER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/http/content_type.h"
+#include "src/http/message.h"
+#include "src/http/url.h"
+
+namespace mfc {
+
+// Synchronous HTTP fetch from the coordinator's vantage point.
+class Fetcher {
+ public:
+  virtual ~Fetcher() = default;
+  virtual HttpResponse Fetch(const HttpRequest& request) = 0;
+};
+
+struct CrawlLimits {
+  size_t max_pages = 200;       // HTML documents fetched with GET
+  size_t max_probed_urls = 600; // total URLs sized (HEAD/GET)
+  size_t max_depth = 8;
+};
+
+struct DiscoveredObject {
+  Url url;
+  ContentClass content_class = ContentClass::kUnknown;
+  uint64_t size_bytes = 0;
+  HttpStatus status = HttpStatus::kOk;
+};
+
+struct ContentProfile {
+  std::optional<Url> base_page;
+  std::vector<DiscoveredObject> large_objects;   // candidates for Large Object
+  std::vector<DiscoveredObject> small_queries;   // candidates for Small Query
+  std::vector<DiscoveredObject> all_objects;
+  size_t pages_crawled = 0;
+  size_t urls_probed = 0;
+
+  bool HasLargeObject() const { return !large_objects.empty(); }
+  bool HasSmallQuery() const { return !small_queries.empty(); }
+  // The largest Large Object candidate (the paper bounds survey picks at
+  // 2 MB, so prefer candidates under |max_bytes|).
+  const DiscoveredObject* PickLargeObject(uint64_t max_bytes = 2 * 1024 * 1024) const;
+  const DiscoveredObject* PickSmallQuery() const;
+};
+
+class Crawler {
+ public:
+  Crawler(Fetcher& fetcher, CrawlLimits limits, ProfileThresholds thresholds);
+
+  // Crawls starting from |root| (typically "http://host/").
+  ContentProfile Crawl(const Url& root);
+
+ private:
+  Fetcher& fetcher_;
+  CrawlLimits limits_;
+  ProfileThresholds thresholds_;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_CORE_CRAWLER_H_

@@ -1,0 +1,165 @@
+#include "src/core/experiment_runner.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mfc {
+
+Deployment::Deployment(const SiteInstance& instance, const DeploymentOptions& options) {
+  Rng rng(options.seed);
+  content_ = GenerateSite(rng, instance.site);
+
+  // Server or cluster. The EventLoop lives inside the testbed, so build the
+  // testbed core first: construct testbed with a placeholder? No — the
+  // servers need the loop; create testbed after servers but the servers need
+  // the loop owned by the testbed. Order: testbed owns the loop, so the
+  // servers are created against it afterwards and the target pointer is
+  // injected. SimTestbed takes the target by reference at construction, so a
+  // small indirection target shim is used instead.
+  struct Shim : HttpTarget {
+    HttpTarget* inner = nullptr;
+    const ContentStore* content = nullptr;
+    void OnRequest(const HttpRequest& request, bool is_mfc, ResponseTransport transport) override {
+      inner->OnRequest(request, is_mfc, std::move(transport));
+    }
+    const ContentStore* Content() const override { return content; }
+  };
+  static_assert(sizeof(Shim) > 0);
+
+  TestbedConfig testbed_config;
+  testbed_config.wan.server_access_bps = instance.server_access_bps;
+  testbed_config.wan.jitter_sigma = options.jitter_sigma;
+  testbed_config.wan.control_loss_rate = options.control_loss_rate;
+
+  auto fleet = options.lan_clients ? MakeLanFleet(options.fleet_size)
+                                   : MakePlanetLabFleet(rng, options.fleet_size);
+
+  auto shim = std::make_unique<Shim>();
+  shim->content = &content_;
+  Shim* shim_raw = shim.get();
+  shim_.reset(shim.release());
+
+  testbed_ = std::make_unique<SimTestbed>(rng.NextU64(), testbed_config, std::move(fleet),
+                                          *shim_raw);
+
+  if (instance.replicas > 1) {
+    cluster_ = std::make_unique<ServerCluster>(testbed_->Loop(), instance.server,
+                                               instance.replicas, &content_);
+    target_ = cluster_.get();
+  } else {
+    server_ = std::make_unique<WebServer>(testbed_->Loop(), instance.server, &content_);
+    target_ = server_.get();
+  }
+  shim_raw->inner = target_;
+
+  if (options.background_rps > 0.0) {
+    BackgroundTrafficConfig bg;
+    bg.requests_per_second = options.background_rps;
+    // Background responses stream to random fleet clients so they contend
+    // for the same server access link as the probes.
+    background_ = std::make_unique<BackgroundTraffic>(
+        testbed_->Loop(), rng, bg, *target_, [this]() -> ResponseTransport {
+          size_t client = background_client_++ % testbed_->ClientCount();
+          return [this, client](HttpStatus, double bytes, std::function<void()> on_sent) {
+            testbed_->Wan().StartDownload(client, bytes, std::move(on_sent));
+          };
+        });
+  }
+}
+
+WebServer& Deployment::Server() {
+  if (server_ != nullptr) {
+    return *server_;
+  }
+  assert(cluster_ != nullptr);
+  return cluster_->Replica(0);
+}
+
+ContentProfile Deployment::CrawlProfile(CrawlLimits limits, ProfileThresholds thresholds) {
+  Url root;
+  root.host = "target.example.com";
+  Crawler crawler(*testbed_, limits, thresholds);
+  return crawler.Crawl(root);
+}
+
+StageObjects Deployment::ProfileByCrawl(CrawlLimits limits, ProfileThresholds thresholds) {
+  return SelectStageObjects(CrawlProfile(limits, thresholds),
+                            content_.Objects().empty()
+                                ? true
+                                : true /* uniqueness assumed, as in the paper */);
+}
+
+StageObjects Deployment::ObjectsFromContent() const {
+  StageObjects objects;
+  ProfileThresholds thresholds;
+  Url root;
+  root.host = "target.example.com";
+  if (content_.BasePage() != nullptr) {
+    Url base = root;
+    base.path = content_.BasePage()->path;
+    objects.base_page = base;
+  }
+  const WebObject* best_large = nullptr;
+  const WebObject* first_query = nullptr;
+  for (const WebObject& object : content_.Objects()) {
+    if (!object.dynamic && object.size_bytes >= thresholds.large_object_min_bytes &&
+        object.size_bytes <= 2 * 1024 * 1024) {
+      if (best_large == nullptr || object.size_bytes > best_large->size_bytes) {
+        best_large = &object;
+      }
+    }
+    if (object.dynamic && object.size_bytes < thresholds.small_query_max_bytes &&
+        first_query == nullptr) {
+      first_query = &object;
+    }
+  }
+  if (best_large != nullptr) {
+    Url large = root;
+    large.path = best_large->path;
+    objects.large_object = large;
+  }
+  if (first_query != nullptr) {
+    Url query = root;
+    query.path = first_query->path;
+    query.query = "id=0";
+    objects.small_query = query;
+    objects.small_query_unique = first_query->unique_per_query;
+  }
+  return objects;
+}
+
+ExperimentResult Deployment::RunMfc(const ExperimentConfig& config, const StageObjects& objects,
+                                    uint64_t coordinator_seed) {
+  Coordinator coordinator(*testbed_, config, coordinator_seed);
+  return coordinator.Run(objects);
+}
+
+void Deployment::StartBackground() {
+  if (background_ != nullptr) {
+    background_->Start();
+  }
+}
+
+void Deployment::StopBackground() {
+  if (background_ != nullptr) {
+    background_->Stop();
+  }
+}
+
+uint64_t Deployment::BackgroundRequests() const {
+  return background_ != nullptr ? background_->RequestsIssued() : 0;
+}
+
+ExperimentResult RunSurveyExperiment(Rng& rng, Cohort cohort, const ExperimentConfig& config,
+                                     const std::vector<StageKind>& stages, uint64_t seed) {
+  SiteInstance instance = SampleSite(rng, cohort);
+  DeploymentOptions options;
+  options.seed = seed;
+  options.fleet_size = std::max<size_t>(config.min_clients, 85);
+  Deployment deployment(instance, options);
+  StageObjects objects = deployment.ObjectsFromContent();
+  Coordinator coordinator(deployment.Testbed(), config, seed ^ 0x9e3779b9);
+  return coordinator.Run(objects, stages);
+}
+
+}  // namespace mfc

@@ -1,0 +1,93 @@
+#include "src/core/export.h"
+
+#include <cstdio>
+
+namespace mfc {
+namespace {
+
+std::string FormatMs(SimDuration d) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.3f", ToMillis(d));
+  return buf;
+}
+
+// Minimal JSON string escaping for the fields we emit (stage names and abort
+// reasons are ASCII, but abort reasons may carry quotes in principle).
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExportEpochsCsv(const ExperimentResult& result) {
+  std::string csv =
+      "stage,epoch,crowd_size,samples,metric_ms,exceeded,check_phase,stopped_stage\n";
+  for (const StageResult& stage : result.stages) {
+    for (size_t e = 0; e < stage.epochs.size(); ++e) {
+      const EpochResult& epoch = stage.epochs[e];
+      csv += std::string(StageName(stage.kind)) + "," + std::to_string(e + 1) + "," +
+             std::to_string(epoch.crowd_size) + "," + std::to_string(epoch.samples_received) +
+             "," + FormatMs(epoch.metric) + "," + (epoch.exceeded_threshold ? "1" : "0") + "," +
+             (epoch.check_phase ? "1" : "0") + "," + (stage.stopped ? "1" : "0") + "\n";
+    }
+  }
+  return csv;
+}
+
+std::string ExportJson(const ExperimentResult& result) {
+  std::string json = "{";
+  json += "\"aborted\":" + std::string(result.aborted ? "true" : "false");
+  if (result.aborted) {
+    json += ",\"abort_reason\":\"" + JsonEscape(result.abort_reason) + "\"";
+  }
+  json += ",\"registered_clients\":" + std::to_string(result.registered_clients);
+  json += ",\"stages\":[";
+  for (size_t s = 0; s < result.stages.size(); ++s) {
+    const StageResult& stage = result.stages[s];
+    if (s > 0) {
+      json += ",";
+    }
+    json += "{\"stage\":\"" + std::string(StageName(stage.kind)) + "\"";
+    json += ",\"stopped\":" + std::string(stage.stopped ? "true" : "false");
+    if (stage.stopped) {
+      json += ",\"stopping_crowd_size\":" + std::to_string(stage.stopping_crowd_size);
+    }
+    json += ",\"max_crowd_tested\":" + std::to_string(stage.max_crowd_tested);
+    json += ",\"total_requests\":" + std::to_string(stage.total_requests);
+    json += ",\"epochs\":[";
+    for (size_t e = 0; e < stage.epochs.size(); ++e) {
+      const EpochResult& epoch = stage.epochs[e];
+      if (e > 0) {
+        json += ",";
+      }
+      json += "{\"crowd\":" + std::to_string(epoch.crowd_size);
+      json += ",\"samples\":" + std::to_string(epoch.samples_received);
+      json += ",\"metric_ms\":" + FormatMs(epoch.metric);
+      json += ",\"exceeded\":" + std::string(epoch.exceeded_threshold ? "true" : "false");
+      json += ",\"check\":" + std::string(epoch.check_phase ? "true" : "false");
+      json += "}";
+    }
+    json += "]}";
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace mfc

@@ -1,0 +1,24 @@
+// Result serialization for downstream analysis: per-epoch CSV (one row per
+// epoch, the format the paper's figures plot from) and a JSON document with
+// the full experiment structure.
+#ifndef MFC_SRC_CORE_EXPORT_H_
+#define MFC_SRC_CORE_EXPORT_H_
+
+#include <string>
+
+#include "src/core/types.h"
+
+namespace mfc {
+
+// CSV with header:
+//   stage,epoch,crowd_size,samples,metric_ms,exceeded,check_phase,stopped_stage
+// One row per epoch across all stages, in execution order.
+std::string ExportEpochsCsv(const ExperimentResult& result);
+
+// Compact JSON: {"aborted":...,"registered_clients":N,"stages":[{...}]}
+// with per-stage verdicts and per-epoch metrics (no raw samples).
+std::string ExportJson(const ExperimentResult& result);
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_CORE_EXPORT_H_

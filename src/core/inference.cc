@@ -1,0 +1,129 @@
+#include "src/core/inference.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mfc {
+namespace {
+
+std::string FormatMs(SimDuration d) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.0f ms", ToMillis(d));
+  return buf;
+}
+
+SubsystemAssessment Assess(const StageResult& stage, const ExperimentConfig& config) {
+  SubsystemAssessment a;
+  a.stage = stage.kind;
+  a.constrained = stage.stopped;
+  a.stopping_crowd_size = stage.stopping_crowd_size;
+  a.max_crowd_tested = stage.max_crowd_tested;
+  for (const EpochResult& epoch : stage.epochs) {
+    a.worst_metric = std::max(a.worst_metric, epoch.metric);
+  }
+  std::string subsystem(SubsystemFor(stage.kind));
+  if (stage.stopped) {
+    a.summary = subsystem + ": constrained — response time degraded by more than " +
+                FormatMs(config.threshold) + " at " + std::to_string(a.stopping_crowd_size) +
+                " simultaneous requests (confirmed by check phase)";
+  } else {
+    a.summary = subsystem + ": no constraint inferred up to " +
+                std::to_string(a.max_crowd_tested) + " simultaneous requests (worst degradation " +
+                FormatMs(a.worst_metric) + ")";
+  }
+  return a;
+}
+
+}  // namespace
+
+std::string_view SubsystemFor(StageKind kind) {
+  switch (kind) {
+    case StageKind::kBase:
+      return "basic HTTP request processing";
+    case StageKind::kSmallQuery:
+      return "back-end data processing sub-system";
+    case StageKind::kLargeObject:
+      return "outbound access bandwidth";
+  }
+  return "unknown sub-system";
+}
+
+bool InferenceReport::AnyConstraint() const {
+  for (const SubsystemAssessment& a : assessments) {
+    if (a.constrained) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string InferenceReport::ToText() const {
+  std::string out = "=== MFC inference report ===\n";
+  for (const SubsystemAssessment& a : assessments) {
+    out += "  [" + std::string(StageName(a.stage)) + "] " + a.summary + "\n";
+  }
+  if (!notes.empty()) {
+    out += "  Observations:\n";
+    for (const std::string& note : notes) {
+      out += "   - " + note + "\n";
+    }
+  }
+  return out;
+}
+
+InferenceReport AnalyzeExperiment(const ExperimentResult& result,
+                                  const ExperimentConfig& config) {
+  InferenceReport report;
+  if (result.aborted) {
+    report.notes.push_back("experiment aborted: " + result.abort_reason);
+    return report;
+  }
+  for (const StageResult& stage : result.stages) {
+    report.assessments.push_back(Assess(stage, config));
+  }
+
+  const StageResult* base = result.Stage(StageKind::kBase);
+  const StageResult* query = result.Stage(StageKind::kSmallQuery);
+  const StageResult* large = result.Stage(StageKind::kLargeObject);
+
+  if (base != nullptr && large != nullptr && base->stopped && !large->stopped) {
+    // The Univ-3 incident diagnosis: Base degrades while Large Object does
+    // not, so slow downloads point at request handling, not the pipe.
+    report.notes.push_back(
+        "Base degrades while Large Object does not: poor performance under "
+        "simultaneous downloads is more likely request handling than bandwidth "
+        "provisioning");
+  }
+  if (query != nullptr && query->stopped && large != nullptr && !large->stopped) {
+    report.notes.push_back(
+        "back-end data processing keels over at " +
+        std::to_string(query->stopping_crowd_size) +
+        " requests while bandwidth holds: highly vulnerable to simple "
+        "application-level (request-flood) attacks on the database path");
+  }
+  if (query != nullptr && base != nullptr && query->stopped && base->stopped &&
+      query->stopping_crowd_size < base->stopping_crowd_size) {
+    report.notes.push_back(
+        "queries are costlier than base HTTP processing; consider caching "
+        "dynamic responses or shaping query traffic");
+  }
+  bool all_nostop = !report.AnyConstraint() && !report.assessments.empty();
+  if (all_nostop) {
+    report.notes.push_back(
+        "no sub-system showed a confirmed degradation at the tested loads: the "
+        "infrastructure is well-provisioned for crowds of this size");
+  }
+  // "Poorly provisioned overall" needs corroboration from several stages.
+  bool all_stopped = report.assessments.size() >= 2;
+  for (const SubsystemAssessment& a : report.assessments) {
+    all_stopped = all_stopped && a.constrained;
+  }
+  if (all_stopped) {
+    report.notes.push_back(
+        "every probed sub-system is constrained at small crowd sizes: the "
+        "server is poorly provisioned overall");
+  }
+  return report;
+}
+
+}  // namespace mfc

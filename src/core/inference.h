@@ -1,0 +1,41 @@
+// Turning raw stage results into the operator-facing assessment the paper's
+// cooperating sites received: which sub-system is constrained, at what
+// request volume, and what cross-stage comparisons imply (Sections 4 and 6).
+#ifndef MFC_SRC_CORE_INFERENCE_H_
+#define MFC_SRC_CORE_INFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/types.h"
+
+namespace mfc {
+
+// The sub-system a stage exercises (Section 2.2.2).
+std::string_view SubsystemFor(StageKind kind);
+
+struct SubsystemAssessment {
+  StageKind stage = StageKind::kBase;
+  bool constrained = false;        // check phase confirmed a stop
+  size_t stopping_crowd_size = 0;  // valid when constrained
+  size_t max_crowd_tested = 0;
+  SimDuration worst_metric = 0.0;  // largest epoch metric observed
+  std::string summary;
+};
+
+struct InferenceReport {
+  std::vector<SubsystemAssessment> assessments;
+  // Cross-stage observations: request-handling vs bandwidth, DDoS exposure,
+  // overall provisioning grade.
+  std::vector<std::string> notes;
+
+  bool AnyConstraint() const;
+  std::string ToText() const;
+};
+
+InferenceReport AnalyzeExperiment(const ExperimentResult& result, const ExperimentConfig& config);
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_CORE_INFERENCE_H_

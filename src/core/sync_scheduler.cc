@@ -1,0 +1,32 @@
+#include "src/core/sync_scheduler.h"
+
+#include <algorithm>
+
+namespace mfc {
+
+std::vector<DispatchTime> ComputeDispatchTimes(const std::vector<ClientLatencyEstimate>& clients,
+                                               SimTime arrival_time,
+                                               SimDuration stagger_spacing) {
+  std::vector<DispatchTime> out;
+  out.reserve(clients.size());
+  for (size_t i = 0; i < clients.size(); ++i) {
+    const ClientLatencyEstimate& c = clients[i];
+    SimTime arrival = arrival_time + stagger_spacing * static_cast<double>(i);
+    DispatchTime d;
+    d.client_id = c.client_id;
+    d.intended_arrival = arrival;
+    d.command_send_time = arrival - 0.5 * c.coord_rtt - 1.5 * c.target_rtt;
+    out.push_back(d);
+  }
+  return out;
+}
+
+SimDuration RequiredLead(const std::vector<ClientLatencyEstimate>& clients) {
+  SimDuration lead = 0.0;
+  for (const ClientLatencyEstimate& c : clients) {
+    lead = std::max(lead, 0.5 * c.coord_rtt + 1.5 * c.target_rtt);
+  }
+  return lead;
+}
+
+}  // namespace mfc

@@ -1,0 +1,47 @@
+// Request-synchronization arithmetic (Section 2.2.4).
+//
+// To make the first HTTP byte of every client arrive at the target at the
+// common instant T, the coordinator issues the command to client i at
+//     T - 0.5 * T_coord(i) - 1.5 * T_target(i)
+// so that (assuming stationary latencies) the command reaches the client at
+// T - 1.5 * T_target(i), the client starts its TCP handshake, and the request
+// byte lands at T. The staggered variant (Section 6) offsets each client's
+// target arrival by i * spacing instead.
+#ifndef MFC_SRC_CORE_SYNC_SCHEDULER_H_
+#define MFC_SRC_CORE_SYNC_SCHEDULER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+
+namespace mfc {
+
+struct ClientLatencyEstimate {
+  size_t client_id = 0;
+  SimDuration coord_rtt = 0.0;   // T_coord(i): coordinator <-> client
+  SimDuration target_rtt = 0.0;  // T_target(i): client <-> target
+};
+
+struct DispatchTime {
+  size_t client_id = 0;
+  SimTime command_send_time = 0.0;   // when the coordinator transmits
+  SimTime intended_arrival = 0.0;    // when the request should hit the target
+};
+
+// Computes command-send instants for a crowd whose requests should arrive at
+// |arrival_time| (plus i * |stagger_spacing| for the staggered variant, in
+// the order given). Dispatch times may lie in the past relative to "now" if
+// |arrival_time| is too close; callers choose arrival_time at least
+// max(0.5*Tc + 1.5*Tt) in the future (the schedule lead).
+std::vector<DispatchTime> ComputeDispatchTimes(const std::vector<ClientLatencyEstimate>& clients,
+                                               SimTime arrival_time,
+                                               SimDuration stagger_spacing = 0.0);
+
+// The minimum lead (seconds before T) needed so no command is sent in the
+// past: max over clients of 0.5*Tc + 1.5*Tt.
+SimDuration RequiredLead(const std::vector<ClientLatencyEstimate>& clients);
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_CORE_SYNC_SCHEDULER_H_

@@ -1,0 +1,34 @@
+#include "src/core/types.h"
+
+namespace mfc {
+
+std::string_view StageName(StageKind kind) {
+  switch (kind) {
+    case StageKind::kBase:
+      return "Base";
+    case StageKind::kSmallQuery:
+      return "SmallQuery";
+    case StageKind::kLargeObject:
+      return "LargeObject";
+  }
+  return "Unknown";
+}
+
+const StageResult* ExperimentResult::Stage(StageKind kind) const {
+  for (const StageResult& stage : stages) {
+    if (stage.kind == kind) {
+      return &stage;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t ExperimentResult::TotalRequests() const {
+  uint64_t total = 0;
+  for (const StageResult& stage : stages) {
+    total += stage.total_requests;
+  }
+  return total;
+}
+
+}  // namespace mfc

@@ -1,0 +1,71 @@
+// Shared value types of the MFC service.
+#ifndef MFC_SRC_CORE_TYPES_H_
+#define MFC_SRC_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/http/message.h"
+#include "src/sim/sim_time.h"
+
+namespace mfc {
+
+// The three probe categories of Section 2.2.2.
+enum class StageKind {
+  kBase,         // HEAD of the base page: basic HTTP request processing
+  kSmallQuery,   // dynamic response < 15 KB: back-end data processing
+  kLargeObject,  // static object >= 100 KB: outbound access bandwidth
+};
+
+std::string_view StageName(StageKind kind);
+
+// What a client reports to the coordinator after each epoch (Figure 2b:
+// client ID, HTTP code, numbytes, response time).
+struct RequestSample {
+  size_t client_id = 0;
+  HttpStatus code = HttpStatus::kOk;
+  double bytes = 0.0;
+  SimDuration response_time = 0.0;  // capped at the 10 s kill timer
+  SimDuration normalized = 0.0;     // response_time - base response time
+  bool timed_out = false;
+};
+
+// One epoch's outcome as the coordinator saw it.
+struct EpochResult {
+  size_t crowd_size = 0;  // concurrent requests scheduled (clients x conns)
+  size_t samples_received = 0;
+  SimDuration metric = 0.0;  // median (or 90th pct) normalized response time
+  bool exceeded_threshold = false;
+  bool check_phase = false;  // one of the N-1 / N / N+1 confirmation crowds
+  std::vector<RequestSample> samples;
+};
+
+// Per-stage verdict.
+struct StageResult {
+  StageKind kind = StageKind::kBase;
+  // True if the check phase confirmed a constraint; false = "NoStop".
+  bool stopped = false;
+  size_t stopping_crowd_size = 0;  // valid when stopped
+  size_t max_crowd_tested = 0;
+  std::vector<EpochResult> epochs;
+  uint64_t total_requests = 0;
+  SimTime started = 0.0;
+  SimTime finished = 0.0;
+
+  SimDuration Span() const { return finished - started; }
+};
+
+struct ExperimentResult {
+  bool aborted = false;           // registration check failed
+  std::string abort_reason;
+  size_t registered_clients = 0;
+  std::vector<StageResult> stages;
+
+  const StageResult* Stage(StageKind kind) const;
+  uint64_t TotalRequests() const;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_CORE_TYPES_H_

@@ -1,0 +1,87 @@
+#include "src/http/content_type.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace mfc {
+namespace {
+
+std::string ExtensionOf(std::string_view path) {
+  auto slash = path.rfind('/');
+  std::string_view file = slash == std::string_view::npos ? path : path.substr(slash + 1);
+  auto dot = file.rfind('.');
+  if (dot == std::string_view::npos) {
+    return "";
+  }
+  std::string ext(file.substr(dot + 1));
+  std::transform(ext.begin(), ext.end(), ext.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return ext;
+}
+
+}  // namespace
+
+ContentClass ClassifyPath(std::string_view path) {
+  std::string ext = ExtensionOf(path);
+  if (ext.empty() || ext == "html" || ext == "htm" || ext == "txt" || ext == "css" ||
+      ext == "xml" || ext == "js" || ext == "php" || ext == "asp" || ext == "jsp") {
+    return ContentClass::kText;
+  }
+  if (ext == "gif" || ext == "jpg" || ext == "jpeg" || ext == "png" || ext == "bmp" ||
+      ext == "ico" || ext == "svg") {
+    return ContentClass::kImage;
+  }
+  if (ext == "pdf" || ext == "exe" || ext == "gz" || ext == "tgz" || ext == "zip" ||
+      ext == "tar" || ext == "bz2" || ext == "iso" || ext == "dmg" || ext == "msi" ||
+      ext == "bin" || ext == "rpm" || ext == "deb" || ext == "avi" || ext == "mpg" ||
+      ext == "mpeg" || ext == "mp4" || ext == "mp3" || ext == "mov" || ext == "wmv" ||
+      ext == "ps" || ext == "doc" || ext == "ppt" || ext == "xls") {
+    return ContentClass::kBinary;
+  }
+  return ContentClass::kUnknown;
+}
+
+std::string_view MimeTypeForPath(std::string_view path) {
+  std::string ext = ExtensionOf(path);
+  if (ext.empty() || ext == "html" || ext == "htm" || ext == "php" || ext == "asp" ||
+      ext == "jsp") {
+    return "text/html";
+  }
+  if (ext == "txt") {
+    return "text/plain";
+  }
+  if (ext == "css") {
+    return "text/css";
+  }
+  if (ext == "js") {
+    return "application/javascript";
+  }
+  if (ext == "xml") {
+    return "application/xml";
+  }
+  if (ext == "gif") {
+    return "image/gif";
+  }
+  if (ext == "jpg" || ext == "jpeg") {
+    return "image/jpeg";
+  }
+  if (ext == "png") {
+    return "image/png";
+  }
+  if (ext == "pdf") {
+    return "application/pdf";
+  }
+  if (ext == "gz" || ext == "tgz") {
+    return "application/gzip";
+  }
+  if (ext == "zip") {
+    return "application/zip";
+  }
+  if (ext == "mp4" || ext == "mpg" || ext == "mpeg") {
+    return "video/mpeg";
+  }
+  return "application/octet-stream";
+}
+
+}  // namespace mfc

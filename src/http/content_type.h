@@ -1,0 +1,28 @@
+// File-extension → content classification heuristics, as in Section 2.2.1:
+// the profiler classifies crawled objects into regular/text, binaries,
+// images, and queries using file name extensions and sizes.
+#ifndef MFC_SRC_HTTP_CONTENT_TYPE_H_
+#define MFC_SRC_HTTP_CONTENT_TYPE_H_
+
+#include <string_view>
+
+namespace mfc {
+
+enum class ContentClass {
+  kText,     // .html, .txt, .css, ...
+  kBinary,   // .pdf, .exe, .tar.gz, .zip, ...
+  kImage,    // .gif, .jpg, .png, ...
+  kQuery,    // URL with '?' (CGI script)
+  kUnknown,
+};
+
+// Classifies by URL path (extension heuristics). Query detection is the
+// caller's job since it depends on the full URL, not the path.
+ContentClass ClassifyPath(std::string_view path);
+
+// MIME type string for a path, e.g. "text/html".
+std::string_view MimeTypeForPath(std::string_view path);
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_HTTP_CONTENT_TYPE_H_

@@ -1,0 +1,106 @@
+#include "src/http/html.h"
+
+#include <cctype>
+
+namespace mfc {
+namespace {
+
+char ToLowerAscii(char c) { return static_cast<char>(std::tolower(static_cast<unsigned char>(c))); }
+
+// Case-insensitive match of |word| at position |pos|.
+bool MatchesAt(std::string_view text, size_t pos, std::string_view word) {
+  if (pos + word.size() > text.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < word.size(); ++i) {
+    if (ToLowerAscii(text[pos + i]) != word[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Finds attribute |attr| inside the tag body [pos, end) and returns its value.
+std::string_view FindAttr(std::string_view tag, std::string_view attr) {
+  for (size_t i = 0; i + attr.size() < tag.size(); ++i) {
+    if (!MatchesAt(tag, i, attr)) {
+      continue;
+    }
+    // Must be a word boundary before the attribute name.
+    if (i > 0 && (std::isalnum(static_cast<unsigned char>(tag[i - 1])) || tag[i - 1] == '-')) {
+      continue;
+    }
+    size_t j = i + attr.size();
+    while (j < tag.size() && std::isspace(static_cast<unsigned char>(tag[j]))) {
+      ++j;
+    }
+    if (j >= tag.size() || tag[j] != '=') {
+      continue;
+    }
+    ++j;
+    while (j < tag.size() && std::isspace(static_cast<unsigned char>(tag[j]))) {
+      ++j;
+    }
+    if (j >= tag.size()) {
+      return {};
+    }
+    if (tag[j] == '"' || tag[j] == '\'') {
+      char quote = tag[j];
+      size_t close = tag.find(quote, j + 1);
+      if (close == std::string_view::npos) {
+        return {};
+      }
+      return tag.substr(j + 1, close - j - 1);
+    }
+    size_t end = j;
+    while (end < tag.size() && !std::isspace(static_cast<unsigned char>(tag[end])) &&
+           tag[end] != '>') {
+      ++end;
+    }
+    return tag.substr(j, end - j);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::string> ExtractLinks(std::string_view html) {
+  std::vector<std::string> links;
+  size_t pos = 0;
+  while (pos < html.size()) {
+    size_t open = html.find('<', pos);
+    if (open == std::string_view::npos) {
+      break;
+    }
+    size_t close = html.find('>', open);
+    if (close == std::string_view::npos) {
+      break;
+    }
+    std::string_view tag = html.substr(open + 1, close - open - 1);
+    pos = close + 1;
+    if (tag.empty() || tag.front() == '/' || tag.front() == '!') {
+      continue;
+    }
+    // Tag name.
+    size_t name_end = 0;
+    while (name_end < tag.size() && !std::isspace(static_cast<unsigned char>(tag[name_end]))) {
+      ++name_end;
+    }
+    std::string name;
+    for (size_t i = 0; i < name_end; ++i) {
+      name.push_back(ToLowerAscii(tag[i]));
+    }
+    std::string_view value;
+    if (name == "a" || name == "link") {
+      value = FindAttr(tag, "href");
+    } else if (name == "img" || name == "script" || name == "iframe") {
+      value = FindAttr(tag, "src");
+    }
+    if (!value.empty()) {
+      links.emplace_back(value);
+    }
+  }
+  return links;
+}
+
+}  // namespace mfc

@@ -1,0 +1,18 @@
+// Tiny HTML scanner for the profiling crawler: extracts link targets from
+// <a href>, <img src>, <script src> and <link href> attributes. Not a real
+// HTML parser — exactly the heuristic level the paper's crawler needs.
+#ifndef MFC_SRC_HTTP_HTML_H_
+#define MFC_SRC_HTTP_HTML_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfc {
+
+// Returns raw attribute values, in document order, duplicates preserved.
+std::vector<std::string> ExtractLinks(std::string_view html);
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_HTTP_HTML_H_

@@ -1,0 +1,91 @@
+#include "src/http/message.h"
+
+namespace mfc {
+
+std::string_view MethodName(HttpMethod method) {
+  switch (method) {
+    case HttpMethod::kGet:
+      return "GET";
+    case HttpMethod::kHead:
+      return "HEAD";
+    case HttpMethod::kPost:
+      return "POST";
+  }
+  return "GET";
+}
+
+HttpRequest HttpRequest::For(HttpMethod method, const Url& url) {
+  HttpRequest req;
+  req.method = method;
+  req.target = url.RequestTarget();
+  std::string host = url.host;
+  if (url.port != 80) {
+    host += ":" + std::to_string(url.port);
+  }
+  req.headers.Set("Host", host);
+  req.headers.Set("User-Agent", "mfc-client/1.0");
+  return req;
+}
+
+std::string_view HttpRequest::Path() const {
+  std::string_view t = target;
+  auto q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+std::string_view HttpRequest::Query() const {
+  std::string_view t = target;
+  auto q = t.find('?');
+  return q == std::string_view::npos ? std::string_view() : t.substr(q + 1);
+}
+
+std::string HttpRequest::Serialize() const {
+  std::string out;
+  out.reserve(64 + body.size());
+  out.append(MethodName(method));
+  out.push_back(' ');
+  out.append(target);
+  out.append(" HTTP/1.1\r\n");
+  bool have_length = headers.Has("Content-Length");
+  for (const auto& e : headers.Entries()) {
+    out.append(e.name).append(": ").append(e.value).append("\r\n");
+  }
+  if (!have_length && !body.empty()) {
+    out.append("Content-Length: ").append(std::to_string(body.size())).append("\r\n");
+  }
+  out.append("\r\n");
+  out.append(body);
+  return out;
+}
+
+HttpResponse HttpResponse::Make(HttpStatus status, std::string_view content_type,
+                                std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = std::move(body);
+  resp.headers.Set("Content-Type", content_type);
+  resp.headers.Set("Content-Length", std::to_string(resp.body.size()));
+  return resp;
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out;
+  out.reserve(64 + body.size());
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(static_cast<int>(status)));
+  out.push_back(' ');
+  out.append(ReasonPhrase(status));
+  out.append("\r\n");
+  bool have_length = headers.Has("Content-Length");
+  for (const auto& e : headers.Entries()) {
+    out.append(e.name).append(": ").append(e.value).append("\r\n");
+  }
+  if (!have_length) {
+    out.append("Content-Length: ").append(std::to_string(body.size())).append("\r\n");
+  }
+  out.append("\r\n");
+  out.append(body);
+  return out;
+}
+
+}  // namespace mfc

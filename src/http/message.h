@@ -1,0 +1,56 @@
+// HTTP/1.1 request and response value types plus wire serialization.
+//
+// The simulated transport moves byte counts, not bytes, for performance — but
+// control-plane code (crawler, profiler, tests) works with these real message
+// types, and the parsers in parser.h accept the serialized form, so the HTTP
+// layer is a genuine implementation rather than a stub.
+#ifndef MFC_SRC_HTTP_MESSAGE_H_
+#define MFC_SRC_HTTP_MESSAGE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/http/header_map.h"
+#include "src/http/status.h"
+#include "src/http/url.h"
+
+namespace mfc {
+
+enum class HttpMethod { kGet, kHead, kPost };
+
+std::string_view MethodName(HttpMethod method);
+
+struct HttpRequest {
+  HttpMethod method = HttpMethod::kGet;
+  std::string target = "/";  // path[?query], as on the request line
+  HeaderMap headers;
+  std::string body;
+
+  // Builds a well-formed request for |url| (sets Host, Content-Length).
+  static HttpRequest For(HttpMethod method, const Url& url);
+
+  // Path component of the target (no query).
+  std::string_view Path() const;
+  // Query component (after '?'), empty if none.
+  std::string_view Query() const;
+  bool HasQuery() const { return !Query().empty(); }
+
+  // Wire form: request line + headers + CRLF + body.
+  std::string Serialize() const;
+};
+
+struct HttpResponse {
+  HttpStatus status = HttpStatus::kOk;
+  HeaderMap headers;
+  std::string body;
+
+  static HttpResponse Make(HttpStatus status, std::string_view content_type,
+                           std::string body);
+
+  // Wire form: status line + headers + CRLF + body.
+  std::string Serialize() const;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_HTTP_MESSAGE_H_

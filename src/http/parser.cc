@@ -1,0 +1,211 @@
+#include "src/http/parser.h"
+
+#include <charconv>
+
+namespace mfc {
+namespace http_internal {
+namespace {
+
+constexpr size_t kMaxLineLength = 16 * 1024;
+constexpr size_t kMaxHeaderCount = 128;
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool IsTokenChar(char c) {
+  if (c >= 'a' && c <= 'z') {
+    return true;
+  }
+  if (c >= 'A' && c <= 'Z') {
+    return true;
+  }
+  if (c >= '0' && c <= '9') {
+    return true;
+  }
+  switch (c) {
+    case '!':
+    case '#':
+    case '$':
+    case '%':
+    case '&':
+    case '\'':
+    case '*':
+    case '+':
+    case '-':
+    case '.':
+    case '^':
+    case '_':
+    case '`':
+    case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void MessageParserBase::Fail(std::string msg) {
+  phase_ = ParsePhase::kError;
+  error_ = std::move(msg);
+}
+
+void MessageParserBase::OnHeadersComplete() {
+  if (!expect_body_) {
+    phase_ = ParsePhase::kDone;
+    return;
+  }
+  auto length = Headers().ContentLength();
+  if (Headers().Has("Content-Length") && !length.has_value()) {
+    Fail("malformed Content-Length");
+    return;
+  }
+  body_remaining_ = length.value_or(0);
+  if (body_remaining_ == 0) {
+    phase_ = ParsePhase::kDone;
+  } else {
+    phase_ = ParsePhase::kBody;
+  }
+}
+
+size_t MessageParserBase::FeedInternal(std::string_view data) {
+  size_t consumed = 0;
+  while (consumed < data.size() && phase_ != ParsePhase::kDone && phase_ != ParsePhase::kError) {
+    if (phase_ == ParsePhase::kBody) {
+      size_t take = std::min<uint64_t>(body_remaining_, data.size() - consumed);
+      Body().append(data.substr(consumed, take));
+      consumed += take;
+      body_remaining_ -= take;
+      if (body_remaining_ == 0) {
+        phase_ = ParsePhase::kDone;
+      }
+      continue;
+    }
+    // Line-oriented phases: accumulate until LF.
+    auto lf = data.find('\n', consumed);
+    if (lf == std::string_view::npos) {
+      buffer_.append(data.substr(consumed));
+      consumed = data.size();
+      if (buffer_.size() > kMaxLineLength) {
+        Fail("line too long");
+      }
+      break;
+    }
+    buffer_.append(data.substr(consumed, lf - consumed));
+    consumed = lf + 1;
+    if (buffer_.size() > kMaxLineLength) {
+      Fail("line too long");
+      break;
+    }
+    std::string line = std::move(buffer_);
+    buffer_.clear();
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (phase_ == ParsePhase::kStartLine) {
+      if (line.empty()) {
+        continue;  // tolerate leading blank lines (RFC 9112 §2.2)
+      }
+      if (!ParseStartLine(line)) {
+        // ParseStartLine already set the error.
+        break;
+      }
+      phase_ = ParsePhase::kHeaders;
+    } else {  // kHeaders
+      if (line.empty()) {
+        OnHeadersComplete();
+        continue;
+      }
+      auto colon = line.find(':');
+      if (colon == std::string::npos || colon == 0) {
+        Fail("malformed header line");
+        break;
+      }
+      std::string_view name = std::string_view(line).substr(0, colon);
+      for (char c : name) {
+        if (!IsTokenChar(c)) {
+          Fail("bad header name");
+          break;
+        }
+      }
+      if (phase_ == ParsePhase::kError) {
+        break;
+      }
+      if (Headers().Size() >= kMaxHeaderCount) {
+        Fail("too many headers");
+        break;
+      }
+      Headers().Add(name, TrimOws(std::string_view(line).substr(colon + 1)));
+    }
+  }
+  return consumed;
+}
+
+}  // namespace http_internal
+
+bool RequestParser::ParseStartLine(std::string_view line) {
+  auto sp1 = line.find(' ');
+  auto sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    Fail("malformed request line");
+    return false;
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (method == "GET") {
+    request_.method = HttpMethod::kGet;
+  } else if (method == "HEAD") {
+    request_.method = HttpMethod::kHead;
+  } else if (method == "POST") {
+    request_.method = HttpMethod::kPost;
+  } else {
+    Fail("unsupported method");
+    return false;
+  }
+  if (target.empty() || target.front() != '/') {
+    Fail("bad request target");
+    return false;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    Fail("unsupported HTTP version");
+    return false;
+  }
+  request_.target = std::string(target);
+  return true;
+}
+
+bool ResponseParser::ParseStartLine(std::string_view line) {
+  // "HTTP/1.1 200 OK"
+  auto sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    Fail("malformed status line");
+    return false;
+  }
+  std::string_view version = line.substr(0, sp1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    Fail("unsupported HTTP version");
+    return false;
+  }
+  auto rest = line.substr(sp1 + 1);
+  auto sp2 = rest.find(' ');
+  std::string_view code_sv = sp2 == std::string_view::npos ? rest : rest.substr(0, sp2);
+  int code = 0;
+  auto [ptr, ec] = std::from_chars(code_sv.data(), code_sv.data() + code_sv.size(), code);
+  if (ec != std::errc() || ptr != code_sv.data() + code_sv.size() || code < 100 || code > 599) {
+    Fail("bad status code");
+    return false;
+  }
+  response_.status = static_cast<HttpStatus>(code);
+  return true;
+}
+
+}  // namespace mfc

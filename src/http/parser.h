@@ -1,0 +1,87 @@
+// Incremental HTTP/1.1 parsers.
+//
+// Feed() accepts arbitrary byte chunks (the way a socket delivers them) and
+// returns how many bytes were consumed. When Done() the parsed message is
+// available; on protocol violations the parser enters the Error state and
+// stays there. Bodies are delimited by Content-Length only (the subset our
+// servers emit); responses to HEAD must be configured via
+// set_expect_body(false) since their Content-Length does not imply a body.
+#ifndef MFC_SRC_HTTP_PARSER_H_
+#define MFC_SRC_HTTP_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/http/message.h"
+
+namespace mfc {
+
+enum class ParsePhase { kStartLine, kHeaders, kBody, kDone, kError };
+
+namespace http_internal {
+
+// Shared header/body machinery for the two parsers.
+class MessageParserBase {
+ public:
+  ParsePhase Phase() const { return phase_; }
+  bool Done() const { return phase_ == ParsePhase::kDone; }
+  bool Failed() const { return phase_ == ParsePhase::kError; }
+  const std::string& ErrorText() const { return error_; }
+
+ protected:
+  // Consumes from |data|; returns bytes consumed.
+  size_t FeedInternal(std::string_view data);
+
+  virtual bool ParseStartLine(std::string_view line) = 0;
+  virtual HeaderMap& Headers() = 0;
+  virtual std::string& Body() = 0;
+
+  void Fail(std::string msg);
+  // Called when the blank line after headers is seen; decides body length.
+  void OnHeadersComplete();
+
+  ParsePhase phase_ = ParsePhase::kStartLine;
+  bool expect_body_ = true;
+  uint64_t body_remaining_ = 0;
+  std::string buffer_;  // partial line accumulator
+  std::string error_;
+
+ public:
+  virtual ~MessageParserBase() = default;
+  // For responses to HEAD requests: headers may carry Content-Length but no
+  // body follows.
+  void set_expect_body(bool expect) { expect_body_ = expect; }
+};
+
+}  // namespace http_internal
+
+class RequestParser : public http_internal::MessageParserBase {
+ public:
+  size_t Feed(std::string_view data) { return FeedInternal(data); }
+  const HttpRequest& Message() const { return request_; }
+
+ private:
+  bool ParseStartLine(std::string_view line) override;
+  HeaderMap& Headers() override { return request_.headers; }
+  std::string& Body() override { return request_.body; }
+
+  HttpRequest request_;
+};
+
+class ResponseParser : public http_internal::MessageParserBase {
+ public:
+  size_t Feed(std::string_view data) { return FeedInternal(data); }
+  const HttpResponse& Message() const { return response_; }
+
+ private:
+  bool ParseStartLine(std::string_view line) override;
+  HeaderMap& Headers() override { return response_.headers; }
+  std::string& Body() override { return response_.body; }
+
+  HttpResponse response_;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_HTTP_PARSER_H_

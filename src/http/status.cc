@@ -1,0 +1,41 @@
+#include "src/http/status.h"
+
+namespace mfc {
+
+std::string_view ReasonPhrase(HttpStatus status) {
+  switch (status) {
+    case HttpStatus::kOk:
+      return "OK";
+    case HttpStatus::kNoContent:
+      return "No Content";
+    case HttpStatus::kMovedPermanently:
+      return "Moved Permanently";
+    case HttpStatus::kFound:
+      return "Found";
+    case HttpStatus::kNotModified:
+      return "Not Modified";
+    case HttpStatus::kBadRequest:
+      return "Bad Request";
+    case HttpStatus::kForbidden:
+      return "Forbidden";
+    case HttpStatus::kNotFound:
+      return "Not Found";
+    case HttpStatus::kRequestTimeout:
+      return "Request Timeout";
+    case HttpStatus::kTooManyRequests:
+      return "Too Many Requests";
+    case HttpStatus::kInternalServerError:
+      return "Internal Server Error";
+    case HttpStatus::kBadGateway:
+      return "Bad Gateway";
+    case HttpStatus::kServiceUnavailable:
+      return "Service Unavailable";
+    case HttpStatus::kGatewayTimeout:
+      return "Gateway Timeout";
+    case HttpStatus::kClientTimeout:
+      return "Client Timeout";
+  }
+  return "Unknown";
+}
+
+}  // namespace mfc

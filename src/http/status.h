@@ -1,0 +1,43 @@
+// HTTP status codes used by the simulated servers and the client agents.
+#ifndef MFC_SRC_HTTP_STATUS_H_
+#define MFC_SRC_HTTP_STATUS_H_
+
+#include <string_view>
+
+namespace mfc {
+
+enum class HttpStatus : int {
+  kOk = 200,
+  kNoContent = 204,
+  kMovedPermanently = 301,
+  kFound = 302,
+  kNotModified = 304,
+  kBadRequest = 400,
+  kForbidden = 403,
+  kNotFound = 404,
+  kRequestTimeout = 408,
+  kTooManyRequests = 429,
+  kInternalServerError = 500,
+  kBadGateway = 502,
+  kServiceUnavailable = 503,
+  kGatewayTimeout = 504,
+  // Client-side sentinel the paper uses: requests killed at the 10 s timeout
+  // are recorded with code=ERR. Not a wire value.
+  kClientTimeout = 0,
+};
+
+std::string_view ReasonPhrase(HttpStatus status);
+
+constexpr bool IsSuccess(HttpStatus s) {
+  int code = static_cast<int>(s);
+  return code >= 200 && code < 300;
+}
+
+constexpr bool IsServerError(HttpStatus s) {
+  int code = static_cast<int>(s);
+  return code >= 500 && code < 600;
+}
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_HTTP_STATUS_H_

@@ -1,0 +1,147 @@
+#include "src/http/url.h"
+
+#include <charconv>
+#include <vector>
+
+namespace mfc {
+namespace {
+
+// Splits "path?query" into the two halves and assigns them to |url|.
+void AssignTarget(Url& url, std::string_view target) {
+  auto q = target.find('?');
+  if (q == std::string_view::npos) {
+    url.path = std::string(target);
+    url.query.clear();
+  } else {
+    url.path = std::string(target.substr(0, q));
+    url.query = std::string(target.substr(q + 1));
+  }
+  if (url.path.empty()) {
+    url.path = "/";
+  }
+}
+
+// Directory part of a path, always ending in '/'. "/a/b.html" -> "/a/".
+std::string_view DirOf(std::string_view path) {
+  auto slash = path.rfind('/');
+  if (slash == std::string_view::npos) {
+    return "/";
+  }
+  return path.substr(0, slash + 1);
+}
+
+// Removes "./" and "a/../" segments so crawler-visited paths are canonical.
+std::string NormalizePath(std::string_view path) {
+  std::vector<std::string_view> segs;
+  size_t pos = 0;
+  while (pos < path.size()) {
+    size_t next = path.find('/', pos);
+    if (next == std::string_view::npos) {
+      next = path.size();
+    }
+    std::string_view seg = path.substr(pos, next - pos);
+    if (seg == "..") {
+      if (!segs.empty()) {
+        segs.pop_back();
+      }
+    } else if (!seg.empty() && seg != ".") {
+      segs.push_back(seg);
+    }
+    pos = next + 1;
+  }
+  std::string out = "/";
+  for (size_t i = 0; i < segs.size(); ++i) {
+    out.append(segs[i]);
+    if (i + 1 < segs.size()) {
+      out.push_back('/');
+    }
+  }
+  // Preserve a trailing slash ("directory" URLs) except for the root which
+  // already has it.
+  if (path.size() > 1 && path.back() == '/' && out.size() > 1) {
+    out.push_back('/');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Url::RequestTarget() const {
+  if (query.empty()) {
+    return path;
+  }
+  return path + "?" + query;
+}
+
+std::string Url::ToString() const {
+  std::string out = scheme + "://" + host;
+  if (port != 80) {
+    out += ":" + std::to_string(port);
+  }
+  out += RequestTarget();
+  return out;
+}
+
+std::optional<Url> ParseUrl(std::string_view text, const Url* base) {
+  // Strip fragment.
+  auto hash = text.find('#');
+  if (hash != std::string_view::npos) {
+    text = text.substr(0, hash);
+  }
+  if (text.empty()) {
+    return std::nullopt;
+  }
+
+  auto scheme_end = text.find("://");
+  if (scheme_end != std::string_view::npos) {
+    std::string_view scheme = text.substr(0, scheme_end);
+    if (scheme != "http") {
+      return std::nullopt;  // https/ftp/mailto etc. are out of scope
+    }
+    std::string_view rest = text.substr(scheme_end + 3);
+    auto path_start = rest.find('/');
+    std::string_view authority = path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+    std::string_view target = path_start == std::string_view::npos ? "/" : rest.substr(path_start);
+    if (authority.empty()) {
+      return std::nullopt;
+    }
+    Url url;
+    auto colon = authority.find(':');
+    if (colon == std::string_view::npos) {
+      url.host = std::string(authority);
+    } else {
+      url.host = std::string(authority.substr(0, colon));
+      std::string_view port_sv = authority.substr(colon + 1);
+      uint32_t port = 0;
+      auto [ptr, ec] = std::from_chars(port_sv.data(), port_sv.data() + port_sv.size(), port);
+      if (ec != std::errc() || ptr != port_sv.data() + port_sv.size() || port == 0 || port > 65535) {
+        return std::nullopt;
+      }
+      url.port = static_cast<uint16_t>(port);
+    }
+    if (url.host.empty()) {
+      return std::nullopt;
+    }
+    AssignTarget(url, target);
+    url.path = NormalizePath(url.path);
+    return url;
+  }
+
+  // Relative reference: needs a base.
+  if (base == nullptr) {
+    return std::nullopt;
+  }
+  Url url = *base;
+  if (text.front() == '/') {
+    AssignTarget(url, text);
+  } else if (text.front() == '?') {
+    url.query = std::string(text.substr(1));
+  } else {
+    std::string resolved = std::string(DirOf(base->path)) + std::string(text);
+    AssignTarget(url, resolved);
+  }
+  url.path = NormalizePath(url.path);
+  return url;
+}
+
+}  // namespace mfc

@@ -1,0 +1,46 @@
+// Minimal URL handling for the crawler and the client agents.
+//
+// Supports the subset the paper's tooling needs: http scheme, host, optional
+// port, path, optional query string. A URL with a query string is what the
+// paper treats as a candidate "Small Query" (an URL with a '?' indicating a
+// CGI script).
+#ifndef MFC_SRC_HTTP_URL_H_
+#define MFC_SRC_HTTP_URL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mfc {
+
+struct Url {
+  std::string scheme = "http";
+  std::string host;
+  uint16_t port = 80;
+  std::string path = "/";   // always starts with '/'
+  std::string query;        // without the leading '?'; empty if none
+
+  bool HasQuery() const { return !query.empty(); }
+
+  // "/path?query" — what goes on the request line.
+  std::string RequestTarget() const;
+
+  // Full canonical form "http://host[:port]/path[?query]".
+  std::string ToString() const;
+
+  bool operator==(const Url&) const = default;
+};
+
+// Parses an absolute URL ("http://host[:port][/path][?query]") or, with
+// |base| given, a relative reference the way a crawler resolves hrefs:
+//   - absolute URL: taken as-is
+//   - "/abs/path"  : base host, new path
+//   - "rel/path"   : resolved against the base path's directory
+// Fragments ("#...") are stripped. Returns nullopt for non-http schemes or
+// malformed input.
+std::optional<Url> ParseUrl(std::string_view text, const Url* base = nullptr);
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_HTTP_URL_H_

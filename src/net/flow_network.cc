@@ -1,0 +1,233 @@
+#include "src/net/flow_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mfc {
+namespace {
+
+constexpr double kByteEpsilon = 1e-6;   // flows with fewer remaining bytes are done
+constexpr double kRateEpsilon = 1e-9;
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+LinkId FlowNetwork::AddLink(double capacity) {
+  assert(capacity > 0.0 && "link capacity must be positive");
+  links_.push_back(Link{capacity, 0.0, 0.0, 0});
+  return links_.size() - 1;
+}
+
+FlowId FlowNetwork::StartFlow(std::vector<LinkId> path, double bytes, double rtt, TcpParams tcp,
+                              std::function<void()> on_complete) {
+  Advance();
+  FlowId id = next_flow_id_++;
+  Flow flow;
+  flow.path = std::move(path);
+  for (LinkId l : flow.path) {
+    assert(l < links_.size() && "unknown link in path");
+    (void)l;
+  }
+  flow.remaining = std::max(bytes, kByteEpsilon);
+  flow.rtt = std::max(rtt, 1e-6);
+  flow.on_complete = std::move(on_complete);
+  if (tcp.slow_start) {
+    flow.cwnd = tcp.init_cwnd_bytes;
+    flow.rate_cap = flow.cwnd / flow.rtt;
+    flow.next_double = loop_.Now() + flow.rtt;
+  } else {
+    flow.rate_cap = kInfinity;
+  }
+  flows_.emplace(id, std::move(flow));
+  Reallocate();
+  ScheduleNext();
+  return id;
+}
+
+void FlowNetwork::AbortFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return;
+  }
+  Advance();
+  flows_.erase(it);
+  Reallocate();
+  ScheduleNext();
+}
+
+double FlowNetwork::LinkRate(LinkId id) const {
+  double rate = 0.0;
+  for (const auto& [fid, flow] : flows_) {
+    for (LinkId l : flow.path) {
+      if (l == id) {
+        rate += flow.rate;
+        break;
+      }
+    }
+  }
+  return rate;
+}
+
+double FlowNetwork::FlowRate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void FlowNetwork::Advance() {
+  SimTime now = loop_.Now();
+  double dt = now - last_advance_;
+  last_advance_ = now;
+  if (dt <= 0.0) {
+    return;
+  }
+  for (auto& [id, flow] : flows_) {
+    double moved = flow.rate * dt;
+    flow.remaining = std::max(0.0, flow.remaining - moved);
+    for (LinkId l : flow.path) {
+      links_[l].cumulative_bytes += moved;
+    }
+  }
+}
+
+void FlowNetwork::Reallocate() {
+  // Water-filling max-min allocation with per-flow rate caps.
+  for (auto& link : links_) {
+    link.residual = link.capacity;
+    link.unfixed = 0;
+  }
+  for (auto& [id, flow] : flows_) {
+    flow.fixed = false;
+    flow.rate = 0.0;
+    for (LinkId l : flow.path) {
+      links_[l].unfixed++;
+    }
+  }
+  size_t remaining_flows = flows_.size();
+  while (remaining_flows > 0) {
+    // Smallest equal-share across contended links.
+    double link_share = kInfinity;
+    for (const auto& link : links_) {
+      if (link.unfixed > 0) {
+        link_share = std::min(link_share, link.residual / static_cast<double>(link.unfixed));
+      }
+    }
+    // Smallest unfixed per-flow cap.
+    double cap_min = kInfinity;
+    for (const auto& [id, flow] : flows_) {
+      if (!flow.fixed) {
+        cap_min = std::min(cap_min, flow.rate_cap);
+      }
+    }
+    auto fix_flow = [&](Flow& flow, double rate) {
+      flow.fixed = true;
+      flow.rate = std::max(rate, 0.0);
+      for (LinkId l : flow.path) {
+        Link& link = links_[l];
+        link.residual = std::max(0.0, link.residual - flow.rate);
+        link.unfixed--;
+      }
+      remaining_flows--;
+    };
+    if (cap_min <= link_share + kRateEpsilon) {
+      // Cap-limited flows saturate first: pin them at their caps.
+      for (auto& [id, flow] : flows_) {
+        if (!flow.fixed && flow.rate_cap <= cap_min + kRateEpsilon) {
+          fix_flow(flow, flow.rate_cap);
+        }
+      }
+    } else {
+      // Link-limited: every unfixed flow crossing a bottleneck link gets the
+      // bottleneck share.
+      bool fixed_any = false;
+      for (size_t li = 0; li < links_.size(); ++li) {
+        Link& link = links_[li];
+        if (link.unfixed == 0) {
+          continue;
+        }
+        double share = link.residual / static_cast<double>(link.unfixed);
+        if (share > link_share + kRateEpsilon) {
+          continue;
+        }
+        for (auto& [id, flow] : flows_) {
+          if (flow.fixed) {
+            continue;
+          }
+          bool on_link = std::find(flow.path.begin(), flow.path.end(), li) != flow.path.end();
+          if (on_link) {
+            fix_flow(flow, link_share);
+            fixed_any = true;
+          }
+        }
+      }
+      assert(fixed_any && "water-filling made no progress");
+      if (!fixed_any) {
+        break;  // defensive: avoid infinite loop in release builds
+      }
+    }
+  }
+}
+
+void FlowNetwork::ScheduleNext() {
+  if (timer_ != 0) {
+    loop_.Cancel(timer_);
+    timer_ = 0;
+  }
+  SimTime next = kTimeInfinity;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate > kRateEpsilon) {
+      next = std::min(next, loop_.Now() + flow.remaining / flow.rate);
+    }
+    next = std::min(next, flow.next_double);
+  }
+  if (next < kTimeInfinity) {
+    timer_ = loop_.ScheduleAt(next, [this] {
+      timer_ = 0;
+      OnTimer();
+    });
+  }
+}
+
+void FlowNetwork::OnTimer() {
+  Advance();
+  SimTime now = loop_.Now();
+  // Collect completions first so callbacks observe a consistent network.
+  std::vector<std::function<void()>> done;
+  SimDuration quantum = TimeQuantum(now);
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& flow = it->second;
+    // A flow is complete when its bytes are gone, or when the residual would
+    // take less than one representable clock tick to drain (the clock can no
+    // longer advance by that little; see TimeQuantum).
+    if (flow.remaining <= kByteEpsilon ||
+        (flow.rate > kRateEpsilon && flow.remaining / flow.rate <= quantum)) {
+      done.push_back(std::move(flow.on_complete));
+      it = flows_.erase(it);
+    } else {
+      if (flow.next_double <= now + 1e-12) {
+        flow.cwnd *= 2.0;
+        flow.rate_cap = flow.cwnd / flow.rtt;
+        // Stop doubling once the cap exceeds anything the path could give.
+        double path_cap = kInfinity;
+        for (LinkId l : flow.path) {
+          path_cap = std::min(path_cap, links_[l].capacity);
+        }
+        flow.next_double = flow.rate_cap >= path_cap ? kTimeInfinity : now + flow.rtt;
+        if (flow.rate_cap >= path_cap) {
+          flow.rate_cap = kInfinity;
+        }
+      }
+      ++it;
+    }
+  }
+  Reallocate();
+  ScheduleNext();
+  for (auto& cb : done) {
+    if (cb) {
+      cb();
+    }
+  }
+}
+
+}  // namespace mfc

@@ -1,0 +1,104 @@
+// Fluid-flow network model with event-driven max-min fair bandwidth sharing.
+//
+// Transfers are modelled as fluid flows over a path of links. Whenever the
+// flow set changes (start, completion, abort, or a TCP slow-start window
+// doubling), remaining bytes are advanced at the old rates and a max-min fair
+// allocation (water-filling with per-flow rate caps) is recomputed. This is
+// the standard fluid approximation of TCP bandwidth sharing: cheap,
+// deterministic, and it reproduces the two effects the paper's Large Object
+// stage depends on — contention at the server access link and the slow-start
+// regime that motivates the 100 KB object-size lower bound.
+#ifndef MFC_SRC_NET_FLOW_NETWORK_H_
+#define MFC_SRC_NET_FLOW_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/event_loop.h"
+
+namespace mfc {
+
+using LinkId = size_t;
+using FlowId = uint64_t;
+
+// TCP behaviour knobs for a single flow.
+struct TcpParams {
+  // Initial congestion window in bytes (10 segments of 1460 B, RFC 6928).
+  double init_cwnd_bytes = 14600.0;
+  // When false the flow is only limited by fair share (no slow start).
+  bool slow_start = true;
+};
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(EventLoop& loop) : loop_(loop) {}
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  // Adds a link with |capacity| in bytes/second. Capacity must be > 0.
+  LinkId AddLink(double capacity);
+
+  // Starts a transfer of |bytes| over |path|. |rtt| drives the slow-start
+  // cwnd-doubling cadence. |on_complete| fires (via the event loop) when the
+  // last byte leaves the final link. Returns an id usable with AbortFlow.
+  FlowId StartFlow(std::vector<LinkId> path, double bytes, double rtt, TcpParams tcp,
+                   std::function<void()> on_complete);
+
+  // Cancels a transfer; its callback never fires. No-op if already complete.
+  void AbortFlow(FlowId id);
+
+  size_t ActiveFlowCount() const { return flows_.size(); }
+
+  // Instantaneous aggregate rate through a link (bytes/second).
+  double LinkRate(LinkId id) const;
+  double LinkCapacity(LinkId id) const { return links_[id].capacity; }
+  // Total bytes that have traversed the link since creation.
+  double LinkCumulativeBytes(LinkId id) const { return links_[id].cumulative_bytes; }
+  // Utilization in [0, 1].
+  double LinkUtilization(LinkId id) const { return LinkRate(id) / links_[id].capacity; }
+
+  // Current allocated rate of a flow; 0 if unknown/finished.
+  double FlowRate(FlowId id) const;
+
+ private:
+  struct Link {
+    double capacity = 0.0;
+    double cumulative_bytes = 0.0;
+    // Scratch fields for the water-filling pass.
+    double residual = 0.0;
+    size_t unfixed = 0;
+  };
+
+  struct Flow {
+    std::vector<LinkId> path;
+    double remaining = 0.0;
+    double rate = 0.0;
+    double rate_cap = 0.0;  // cwnd/rtt slow-start cap; infinity once opened
+    double rtt = 0.0;
+    double cwnd = 0.0;
+    SimTime next_double = kTimeInfinity;  // next cwnd doubling instant
+    bool fixed = false;                   // scratch for water-filling
+    std::function<void()> on_complete;
+  };
+
+  // Advances all flows' remaining bytes to loop_.Now() at current rates.
+  void Advance();
+  // Recomputes the max-min allocation with per-flow caps.
+  void Reallocate();
+  // (Re)schedules the single pending timer for min(completion, doubling).
+  void ScheduleNext();
+  void OnTimer();
+
+  EventLoop& loop_;
+  std::vector<Link> links_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  SimTime last_advance_ = kTimeZero;
+  EventId timer_ = 0;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_NET_FLOW_NETWORK_H_

@@ -1,0 +1,91 @@
+#include "src/rt/client_agent.h"
+
+#include <cmath>
+
+namespace mfc {
+
+ClientAgent::ClientAgent(Reactor& reactor, uint64_t client_id, const sockaddr_in& coordinator)
+    : reactor_(reactor), client_id_(client_id), coordinator_(coordinator),
+      socket_(reactor, 0) {
+  socket_.SetReceiver(
+      [this](std::string_view payload, const sockaddr_in& from) { OnDatagram(payload, from); });
+}
+
+void ClientAgent::Register() { Send(MsgRegister{client_id_}); }
+
+void ClientAgent::Send(const ControlMessage& message) {
+  socket_.SendTo(EncodeMessage(message), coordinator_);
+}
+
+void ClientAgent::OnDatagram(std::string_view payload, const sockaddr_in&) {
+  auto message = DecodeMessage(payload);
+  if (!message.has_value()) {
+    return;  // garbage on the control port: drop, as any UDP service must
+  }
+  if (const auto* ping = std::get_if<MsgPing>(&*message)) {
+    Send(MsgPong{ping->seq});
+  } else if (const auto* measure = std::get_if<MsgMeasure>(&*message)) {
+    HandleMeasure(*measure);
+  } else if (const auto* fire = std::get_if<MsgFire>(&*message)) {
+    HandleFire(*fire);
+  } else if (const auto* probe = std::get_if<MsgRttProbe>(&*message)) {
+    HandleRttProbe(*probe);
+  }
+}
+
+void ClientAgent::HandleRttProbe(const MsgRttProbe& message) {
+  // TCP connect() round trip approximates the SYN RTT to the target.
+  double start = reactor_.Now();
+  uint64_t token = message.token;
+  uint64_t probe_id = next_fetch_id_++;
+  auto conn = TcpConnection::Connect(
+      reactor_, LoopbackEndpoint(message.tcp_port), [this, token, probe_id, start](bool ok) {
+        double rtt = reactor_.Now() - start;
+        if (ok) {
+          Send(MsgRtt{token, static_cast<uint64_t>(std::llround(rtt * 1e6))});
+        }
+        reactor_.ScheduleAfter(0.0, [this, probe_id] { rtt_probes_.erase(probe_id); });
+      });
+  if (conn != nullptr) {
+    rtt_probes_[probe_id] = std::move(conn);
+  }
+}
+
+void ClientAgent::HandleMeasure(const MsgMeasure& message) {
+  LaunchFetch(message.token, message.method, message.tcp_port, message.target);
+}
+
+void ClientAgent::HandleFire(const MsgFire& message) {
+  // MFC-mr: open |connections| parallel connections carrying the same
+  // request (Section 4.1).
+  for (uint32_t c = 0; c < message.connections; ++c) {
+    LaunchFetch(message.token, message.method, message.tcp_port, message.target);
+  }
+}
+
+void ClientAgent::LaunchFetch(uint64_t token, const std::string& method, uint16_t port,
+                              const std::string& target) {
+  HttpRequest request;
+  request.method = method == "HEAD" ? HttpMethod::kHead : HttpMethod::kGet;
+  request.target = target;
+  request.headers.Set("Host", "127.0.0.1");
+  request.headers.Set("User-Agent", "mfc-live-client/1.0");
+
+  ++requests_fired_;
+  uint64_t fetch_id = next_fetch_id_++;
+  auto fetch = HttpFetch::Start(
+      reactor_, port, request, request_timeout_,
+      [this, token, fetch_id](const FetchResult& result) {
+        MsgSample sample;
+        sample.token = token;
+        sample.http_code = static_cast<int>(result.status);
+        sample.bytes = result.bytes;
+        sample.rt_microseconds = static_cast<uint64_t>(std::llround(result.elapsed * 1e6));
+        sample.timed_out = result.timed_out;
+        Send(sample);
+        fetches_.erase(fetch_id);
+      });
+  fetches_[fetch_id] = std::move(fetch);
+}
+
+}  // namespace mfc

@@ -1,0 +1,57 @@
+// Live MFC client agent (Figure 2b over real sockets).
+//
+// Registers with the coordinator over UDP, answers latency probes, and on
+// command fires HTTP requests at the target the moment the command arrives —
+// the synchronization comes entirely from when the coordinator *sends* each
+// command (Section 2.2.4). Samples are pushed back over UDP as each request
+// completes or hits the kill timer.
+#ifndef MFC_SRC_RT_CLIENT_AGENT_H_
+#define MFC_SRC_RT_CLIENT_AGENT_H_
+
+#include <map>
+#include <memory>
+
+#include "src/rt/http_fetch.h"
+#include "src/rt/sockets.h"
+#include "src/rt/wire.h"
+
+namespace mfc {
+
+class ClientAgent {
+ public:
+  ClientAgent(Reactor& reactor, uint64_t client_id, const sockaddr_in& coordinator);
+  ClientAgent(const ClientAgent&) = delete;
+  ClientAgent& operator=(const ClientAgent&) = delete;
+
+  // Announces this agent to the coordinator.
+  void Register();
+
+  uint64_t ClientId() const { return client_id_; }
+  uint16_t ControlPort() const { return socket_.Port(); }
+  void set_request_timeout(double seconds) { request_timeout_ = seconds; }
+
+  uint64_t RequestsFired() const { return requests_fired_; }
+
+ private:
+  void OnDatagram(std::string_view payload, const sockaddr_in& from);
+  void HandleMeasure(const MsgMeasure& message);
+  void HandleFire(const MsgFire& message);
+  void HandleRttProbe(const MsgRttProbe& message);
+  void LaunchFetch(uint64_t token, const std::string& method, uint16_t port,
+                   const std::string& target);
+  void Send(const ControlMessage& message);
+
+  Reactor& reactor_;
+  uint64_t client_id_;
+  sockaddr_in coordinator_;
+  UdpSocket socket_;
+  double request_timeout_ = 10.0;
+  uint64_t requests_fired_ = 0;
+  uint64_t next_fetch_id_ = 1;
+  std::map<uint64_t, std::unique_ptr<HttpFetch>> fetches_;
+  std::map<uint64_t, std::unique_ptr<TcpConnection>> rtt_probes_;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_RT_CLIENT_AGENT_H_

@@ -1,0 +1,122 @@
+#include "src/rt/http_fetch.h"
+
+#include <utility>
+
+namespace mfc {
+
+HttpFetch::HttpFetch(Reactor& reactor, double timeout, DoneCallback done)
+    : reactor_(reactor), timeout_(timeout), done_(std::move(done)) {}
+
+std::unique_ptr<HttpFetch> HttpFetch::Start(Reactor& reactor, uint16_t port,
+                                            const HttpRequest& request, double timeout,
+                                            DoneCallback done) {
+  // unique_ptr with private ctor: wrap manually.
+  std::unique_ptr<HttpFetch> fetch(new HttpFetch(reactor, timeout, std::move(done)));
+  HttpFetch* self = fetch.get();
+  self->start_ = reactor.Now();
+  if (request.method == HttpMethod::kHead) {
+    self->parser_.set_expect_body(false);
+  }
+  self->kill_timer_ = reactor.ScheduleAfter(timeout, [self] {
+    self->kill_timer_ = 0;
+    FetchResult result;
+    result.timed_out = true;
+    result.status = HttpStatus::kClientTimeout;
+    result.elapsed = self->timeout_;
+    result.bytes = self->wire_bytes_;
+    self->Finish(result);
+  });
+  self->connection_ = TcpConnection::Connect(
+      reactor, LoopbackEndpoint(port),
+      [self, request](bool ok) { self->OnConnected(ok, request); });
+  if (self->connection_ == nullptr) {
+    // Immediate local failure; report asynchronously for a uniform contract.
+    reactor.ScheduleAfter(0.0, [self] {
+      FetchResult result;
+      result.connect_failed = true;
+      result.status = HttpStatus::kServiceUnavailable;
+      self->Finish(result);
+    });
+  }
+  return fetch;
+}
+
+HttpFetch::~HttpFetch() {
+  finished_ = true;  // suppress any in-flight Finish path
+  if (kill_timer_ != 0) {
+    reactor_.CancelTimer(kill_timer_);
+  }
+}
+
+void HttpFetch::OnConnected(bool ok, const HttpRequest& request) {
+  if (finished_) {
+    return;
+  }
+  if (!ok) {
+    FetchResult result;
+    result.connect_failed = true;
+    result.status = HttpStatus::kServiceUnavailable;
+    result.elapsed = reactor_.Now() - start_;
+    Finish(result);
+    return;
+  }
+  connection_->SetCallbacks([this](std::string_view data) { OnData(data); },
+                            [this] { OnClosed(); });
+  connection_->Write(request.Serialize());
+}
+
+void HttpFetch::OnData(std::string_view data) {
+  if (finished_) {
+    return;
+  }
+  wire_bytes_ += data.size();
+  parser_.Feed(data);
+  if (parser_.Done()) {
+    FetchResult result;
+    result.status = parser_.Message().status;
+    result.bytes = wire_bytes_;
+    result.elapsed = reactor_.Now() - start_;
+    Finish(result);
+  } else if (parser_.Failed()) {
+    FetchResult result;
+    result.status = HttpStatus::kBadGateway;
+    result.bytes = wire_bytes_;
+    result.elapsed = reactor_.Now() - start_;
+    Finish(result);
+  }
+}
+
+void HttpFetch::OnClosed() {
+  if (finished_) {
+    return;
+  }
+  // Peer closed before a complete response: treat as a failed fetch.
+  FetchResult result;
+  result.status = HttpStatus::kBadGateway;
+  result.bytes = wire_bytes_;
+  result.elapsed = reactor_.Now() - start_;
+  Finish(result);
+}
+
+void HttpFetch::Finish(FetchResult result) {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  if (kill_timer_ != 0) {
+    reactor_.CancelTimer(kill_timer_);
+    kill_timer_ = 0;
+  }
+  if (connection_ != nullptr) {
+    connection_->Close();
+  }
+  // Deliver off-stack so the owner may destroy us inside the callback.
+  auto callback = std::move(done_);
+  reactor_.ScheduleAfter(0.0, [callback = std::move(callback), result] {
+    if (callback) {
+      callback(result);
+    }
+  });
+}
+
+}  // namespace mfc

@@ -1,0 +1,58 @@
+// Asynchronous one-shot HTTP fetch over a real TCP connection, with the
+// client-side kill timer from Figure 2b (default 10 s; configurable).
+#ifndef MFC_SRC_RT_HTTP_FETCH_H_
+#define MFC_SRC_RT_HTTP_FETCH_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/http/message.h"
+#include "src/http/parser.h"
+#include "src/rt/sockets.h"
+
+namespace mfc {
+
+struct FetchResult {
+  HttpStatus status = HttpStatus::kClientTimeout;
+  uint64_t bytes = 0;    // wire bytes received (headers + body)
+  double elapsed = 0.0;  // seconds from connect() start to last byte (or kill)
+  bool timed_out = false;
+  bool connect_failed = false;
+};
+
+// Fires |done| exactly once, via a zero-delay reactor timer so the owner may
+// destroy the fetch from inside the callback. Destroying the handle earlier
+// cancels the operation (no callback).
+class HttpFetch {
+ public:
+  using DoneCallback = std::function<void(const FetchResult&)>;
+
+  static std::unique_ptr<HttpFetch> Start(Reactor& reactor, uint16_t port,
+                                          const HttpRequest& request, double timeout,
+                                          DoneCallback done);
+  ~HttpFetch();
+  HttpFetch(const HttpFetch&) = delete;
+  HttpFetch& operator=(const HttpFetch&) = delete;
+
+ private:
+  HttpFetch(Reactor& reactor, double timeout, DoneCallback done);
+
+  void OnConnected(bool ok, const HttpRequest& request);
+  void OnData(std::string_view data);
+  void OnClosed();
+  void Finish(FetchResult result);
+
+  Reactor& reactor_;
+  double timeout_;
+  double start_ = 0.0;
+  Reactor::TimerId kill_timer_ = 0;
+  std::unique_ptr<TcpConnection> connection_;
+  ResponseParser parser_;
+  uint64_t wire_bytes_ = 0;
+  DoneCallback done_;
+  bool finished_ = false;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_RT_HTTP_FETCH_H_

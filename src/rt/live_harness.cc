@@ -1,0 +1,170 @@
+#include "src/rt/live_harness.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mfc {
+
+LiveHarness::LiveHarness(Reactor& reactor, uint16_t target_port, uint16_t control_port)
+    : reactor_(reactor), target_port_(target_port), socket_(reactor, control_port) {
+  socket_.SetReceiver(
+      [this](std::string_view payload, const sockaddr_in& from) { OnDatagram(payload, from); });
+}
+
+void LiveHarness::OnDatagram(std::string_view payload, const sockaddr_in& from) {
+  auto message = DecodeMessage(payload);
+  if (!message.has_value()) {
+    return;
+  }
+  if (const auto* reg = std::get_if<MsgRegister>(&*message)) {
+    clients_[static_cast<size_t>(reg->client_id)] = from;
+  } else if (const auto* pong = std::get_if<MsgPong>(&*message)) {
+    auto it = pending_pongs_.find(pong->seq);
+    if (it != pending_pongs_.end()) {
+      completed_pongs_[pong->seq] = reactor_.Now() - it->second;
+      pending_pongs_.erase(it);
+    }
+  } else if (const auto* rtt = std::get_if<MsgRtt>(&*message)) {
+    completed_rtts_[rtt->token] = static_cast<double>(rtt->microseconds) * 1e-6;
+  } else if (const auto* sample = std::get_if<MsgSample>(&*message)) {
+    if (crowd_.has_value()) {
+      auto it = crowd_->token_to_client.find(sample->token);
+      if (it != crowd_->token_to_client.end()) {
+        RequestSample out;
+        out.client_id = it->second;
+        out.code = static_cast<HttpStatus>(sample->http_code);
+        out.bytes = static_cast<double>(sample->bytes);
+        out.response_time = static_cast<double>(sample->rt_microseconds) * 1e-6;
+        out.timed_out = sample->timed_out;
+        crowd_->samples.push_back(out);
+      }
+    }
+  }
+}
+
+void LiveHarness::SendTo(size_t client, const ControlMessage& message) {
+  auto it = clients_.find(client);
+  if (it != clients_.end()) {
+    socket_.SendTo(EncodeMessage(message), it->second);
+  }
+}
+
+size_t LiveHarness::WaitForRegistrations(size_t count, double timeout) {
+  double deadline = reactor_.Now() + timeout;
+  reactor_.RunUntil([this, count] { return clients_.size() >= count; }, deadline);
+  return clients_.size();
+}
+
+std::vector<size_t> LiveHarness::ProbeClients(SimDuration timeout) {
+  std::vector<size_t> responsive;
+  std::map<uint64_t, size_t> seq_to_client;
+  for (const auto& [id, addr] : clients_) {
+    uint64_t seq = next_token_++;
+    pending_pongs_[seq] = reactor_.Now();
+    seq_to_client[seq] = id;
+    SendTo(id, MsgPing{seq});
+  }
+  double deadline = reactor_.Now() + timeout;
+  reactor_.RunUntil([this] { return pending_pongs_.empty(); }, deadline);
+  for (const auto& [seq, client] : seq_to_client) {
+    if (completed_pongs_.count(seq) != 0) {
+      responsive.push_back(client);
+    }
+  }
+  std::sort(responsive.begin(), responsive.end());
+  pending_pongs_.clear();
+  return responsive;
+}
+
+SimDuration LiveHarness::MeasureCoordRtt(size_t client) {
+  uint64_t seq = next_token_++;
+  pending_pongs_[seq] = reactor_.Now();
+  SendTo(client, MsgPing{seq});
+  double deadline = reactor_.Now() + 1.0;
+  reactor_.RunUntil([this, seq] { return completed_pongs_.count(seq) != 0; }, deadline);
+  auto it = completed_pongs_.find(seq);
+  SimDuration rtt = it != completed_pongs_.end() ? it->second : 1.0;
+  completed_pongs_.erase(seq);
+  pending_pongs_.erase(seq);
+  return rtt;
+}
+
+SimDuration LiveHarness::MeasureTargetRtt(size_t client) {
+  uint64_t token = next_token_++;
+  SendTo(client, MsgRttProbe{token, target_port_});
+  double deadline = reactor_.Now() + 1.0;
+  reactor_.RunUntil([this, token] { return completed_rtts_.count(token) != 0; }, deadline);
+  auto it = completed_rtts_.find(token);
+  SimDuration rtt = it != completed_rtts_.end() ? it->second : 1.0;
+  completed_rtts_.erase(token);
+  return rtt;
+}
+
+RequestSample LiveHarness::FetchOnce(size_t client, const HttpRequest& request) {
+  uint64_t token = next_token_++;
+  // Reuse the crowd sink for singleton fetches.
+  PendingCrowd saved;
+  bool had_crowd = crowd_.has_value();
+  if (had_crowd) {
+    saved = std::move(*crowd_);
+  }
+  crowd_ = PendingCrowd{};
+  crowd_->token_to_client[token] = client;
+
+  MsgMeasure measure;
+  measure.token = token;
+  measure.method = std::string(MethodName(request.method));
+  measure.tcp_port = target_port_;
+  measure.target = request.target;
+  SendTo(client, measure);
+
+  double deadline = reactor_.Now() + request_timeout_ + 1.0;
+  reactor_.RunUntil([this] { return !crowd_->samples.empty(); }, deadline);
+
+  RequestSample sample;
+  sample.client_id = client;
+  if (!crowd_->samples.empty()) {
+    sample = crowd_->samples.front();
+  } else {
+    sample.code = HttpStatus::kClientTimeout;
+    sample.timed_out = true;
+    sample.response_time = request_timeout_;
+  }
+  crowd_.reset();
+  if (had_crowd) {
+    crowd_ = std::move(saved);
+  }
+  return sample;
+}
+
+std::vector<RequestSample> LiveHarness::ExecuteCrowd(const std::vector<CrowdRequestPlan>& plans,
+                                                     SimTime poll_time) {
+  crowd_ = PendingCrowd{};
+  size_t expected = 0;
+  for (const CrowdRequestPlan& plan : plans) {
+    uint64_t token = next_token_++;
+    crowd_->token_to_client[token] = plan.client_id;
+    expected += plan.connections;
+
+    MsgFire fire;
+    fire.token = token;
+    fire.connections = static_cast<uint32_t>(plan.connections);
+    fire.method = std::string(MethodName(plan.request.method));
+    fire.tcp_port = target_port_;
+    fire.target = plan.request.target;
+    double send_at = std::max(plan.command_send_time, reactor_.Now());
+    size_t client = plan.client_id;
+    reactor_.ScheduleAt(send_at, [this, client, fire] { SendTo(client, fire); });
+  }
+  reactor_.RunUntil([this, expected] { return crowd_->samples.size() >= expected; },
+                    poll_time);
+  std::vector<RequestSample> samples = std::move(crowd_->samples);
+  crowd_.reset();
+  return samples;
+}
+
+void LiveHarness::WaitUntil(SimTime t) {
+  reactor_.RunUntil([] { return false; }, t);
+}
+
+}  // namespace mfc

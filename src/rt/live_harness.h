@@ -1,0 +1,68 @@
+// Live-socket implementation of ClientHarness: the real MFC coordinator's
+// transport. The very same Coordinator state machine that drives the
+// simulation drives this over UDP control + TCP data on real hosts (here:
+// loopback agents).
+#ifndef MFC_SRC_RT_LIVE_HARNESS_H_
+#define MFC_SRC_RT_LIVE_HARNESS_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/core/harness.h"
+#include "src/rt/sockets.h"
+#include "src/rt/wire.h"
+
+namespace mfc {
+
+class LiveHarness : public ClientHarness {
+ public:
+  // |target_port|: TCP port of the server under test (requests carry only
+  // the path; the harness owns the endpoint). |control_port| 0 = ephemeral.
+  LiveHarness(Reactor& reactor, uint16_t target_port, uint16_t control_port = 0);
+
+  uint16_t ControlPort() const { return socket_.Port(); }
+
+  // Blocks (runs the reactor) until |count| clients have registered or
+  // |timeout| passes. Returns the registered count.
+  size_t WaitForRegistrations(size_t count, double timeout);
+
+  // Per-request client-side kill timer mirrored into fetch deadlines.
+  void set_request_timeout(double seconds) { request_timeout_ = seconds; }
+
+  // ClientHarness:
+  size_t ClientCount() const override { return clients_.size(); }
+  std::vector<size_t> ProbeClients(SimDuration timeout) override;
+  SimDuration MeasureCoordRtt(size_t client) override;
+  SimDuration MeasureTargetRtt(size_t client) override;
+  RequestSample FetchOnce(size_t client, const HttpRequest& request) override;
+  std::vector<RequestSample> ExecuteCrowd(const std::vector<CrowdRequestPlan>& plans,
+                                          SimTime poll_time) override;
+  SimTime Now() const override { return reactor_.Now(); }
+  void WaitUntil(SimTime t) override;
+
+ private:
+  void OnDatagram(std::string_view payload, const sockaddr_in& from);
+  void SendTo(size_t client, const ControlMessage& message);
+
+  Reactor& reactor_;
+  uint16_t target_port_;
+  UdpSocket socket_;
+  double request_timeout_ = 10.0;
+  std::map<size_t, sockaddr_in> clients_;  // registered agents by id
+
+  // In-flight expectations, keyed by token / seq.
+  uint64_t next_token_ = 1;
+  std::map<uint64_t, double> pending_pongs_;        // seq -> send time
+  std::map<uint64_t, double> completed_pongs_;      // seq -> rtt
+  std::map<uint64_t, double> completed_rtts_;       // token -> seconds
+  struct PendingCrowd {
+    std::map<uint64_t, size_t> token_to_client;
+    std::vector<RequestSample> samples;
+  };
+  std::optional<PendingCrowd> crowd_;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_RT_LIVE_HARNESS_H_

@@ -1,0 +1,95 @@
+#include "src/rt/live_http_server.h"
+
+#include <string>
+
+#include "src/http/content_type.h"
+
+namespace mfc {
+namespace {
+
+// Body for objects whose real bytes we do not store (bulk data): filler of
+// exactly the advertised size.
+std::string FillerBody(uint64_t size) {
+  std::string body(size, 'x');
+  return body;
+}
+
+}  // namespace
+
+LiveHttpServer::LiveHttpServer(Reactor& reactor, const ContentStore* content, uint16_t port)
+    : reactor_(reactor), content_(content),
+      listener_(reactor, port,
+                [this](std::unique_ptr<TcpConnection> conn) { OnAccept(std::move(conn)); }) {}
+
+void LiveHttpServer::OnAccept(std::unique_ptr<TcpConnection> connection) {
+  uint64_t id = next_session_id_++;
+  Session& session = sessions_[id];
+  session.id = id;
+  session.connection = std::move(connection);
+  session.connection->SetCallbacks(
+      [this, id](std::string_view data) { OnData(id, data); },
+      [this, id] { DropSession(id); });
+}
+
+void LiveHttpServer::OnData(uint64_t session_id, std::string_view data) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return;
+  }
+  Session& session = it->second;
+  session.parser.Feed(data);
+  if (session.parser.Failed()) {
+    HttpResponse bad;
+    bad.status = HttpStatus::kBadRequest;
+    session.connection->Write(bad.Serialize());
+    DropSession(session_id);
+    return;
+  }
+  if (!session.parser.Done()) {
+    return;
+  }
+  arrivals_.push_back(reactor_.Now());
+  double delay = delay_model_ ? delay_model_(sessions_.size()) : 0.0;
+  if (delay > 0.0) {
+    reactor_.ScheduleAfter(delay, [this, session_id] { Respond(session_id); });
+  } else {
+    Respond(session_id);
+  }
+}
+
+void LiveHttpServer::Respond(uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return;  // client went away while we were "working"
+  }
+  Session& session = it->second;
+  const HttpRequest& request = session.parser.Message();
+  const WebObject* object =
+      content_ != nullptr ? content_->Find(request.Path()) : nullptr;
+
+  HttpResponse response;
+  if (object == nullptr) {
+    response = HttpResponse::Make(HttpStatus::kNotFound, "text/plain", "not found\n");
+  } else if (request.method == HttpMethod::kHead) {
+    response.status = HttpStatus::kOk;
+    response.headers.Set("Content-Type", MimeTypeForPath(object->path));
+    response.headers.Set("Content-Length", std::to_string(object->size_bytes));
+  } else {
+    std::string body = object->body.empty() ? FillerBody(object->size_bytes) : object->body;
+    response = HttpResponse::Make(HttpStatus::kOk, MimeTypeForPath(object->path),
+                                  std::move(body));
+  }
+  response.headers.Set("Connection", "close");
+  session.connection->Write(response.Serialize());
+  ++requests_served_;
+  // The write buffer drains asynchronously; closing is deferred until the
+  // client reads everything, which it signals by closing its end (our
+  // on_closed drops the session). For header-only responses close now.
+  if (request.method == HttpMethod::kHead) {
+    // Leave the connection open briefly; the client closes after parsing.
+  }
+}
+
+void LiveHttpServer::DropSession(uint64_t session_id) { sessions_.erase(session_id); }
+
+}  // namespace mfc

@@ -1,0 +1,62 @@
+// Real TCP/HTTP server serving a ContentStore on loopback.
+//
+// One request per connection (like the probe clients' usage pattern): parse
+// with the incremental RequestParser, resolve against the store, optionally
+// delay the response by a configurable service model, then write real bytes
+// (text pages verbatim, bulk objects as filler of the advertised size) and
+// close. This is the target for the live-runtime integration tests and the
+// loopback demo tool.
+#ifndef MFC_SRC_RT_LIVE_HTTP_SERVER_H_
+#define MFC_SRC_RT_LIVE_HTTP_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/content/object_store.h"
+#include "src/http/parser.h"
+#include "src/rt/sockets.h"
+
+namespace mfc {
+
+class LiveHttpServer {
+ public:
+  // Seconds of artificial service time given the number of requests
+  // currently being handled (the validation server's knob, Section 3.1).
+  using ServiceDelayModel = std::function<double(size_t concurrent)>;
+
+  LiveHttpServer(Reactor& reactor, const ContentStore* content, uint16_t port = 0);
+
+  uint16_t Port() const { return listener_.Port(); }
+  void SetServiceDelay(ServiceDelayModel model) { delay_model_ = std::move(model); }
+
+  uint64_t RequestsServed() const { return requests_served_; }
+  size_t Concurrent() const { return sessions_.size(); }
+  // Arrival timestamps (reactor clock) for sync analysis.
+  const std::vector<double>& Arrivals() const { return arrivals_; }
+
+ private:
+  struct Session {
+    uint64_t id;
+    std::unique_ptr<TcpConnection> connection;
+    RequestParser parser;
+  };
+
+  void OnAccept(std::unique_ptr<TcpConnection> connection);
+  void OnData(uint64_t session_id, std::string_view data);
+  void Respond(uint64_t session_id);
+  void DropSession(uint64_t session_id);
+
+  Reactor& reactor_;
+  const ContentStore* content_;
+  TcpListener listener_;
+  ServiceDelayModel delay_model_;
+  uint64_t next_session_id_ = 1;
+  std::map<uint64_t, Session> sessions_;
+  uint64_t requests_served_ = 0;
+  std::vector<double> arrivals_;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_RT_LIVE_HTTP_SERVER_H_

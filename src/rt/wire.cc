@@ -1,0 +1,129 @@
+#include "src/rt/wire.h"
+
+#include <charconv>
+#include <vector>
+
+namespace mfc {
+namespace {
+
+std::vector<std::string_view> SplitWords(std::string_view line) {
+  std::vector<std::string_view> words;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') {
+      ++pos;
+    }
+    size_t end = pos;
+    while (end < line.size() && line[end] != ' ') {
+      ++end;
+    }
+    if (end > pos) {
+      words.push_back(line.substr(pos, end - pos));
+    }
+    pos = end;
+  }
+  return words;
+}
+
+template <typename T>
+bool ParseNumber(std::string_view word, T& out) {
+  auto [ptr, ec] = std::from_chars(word.data(), word.data() + word.size(), out);
+  return ec == std::errc() && ptr == word.data() + word.size();
+}
+
+bool ValidMethod(std::string_view method) { return method == "GET" || method == "HEAD"; }
+
+}  // namespace
+
+std::string EncodeMessage(const ControlMessage& message) {
+  struct Encoder {
+    std::string operator()(const MsgRegister& m) const {
+      return "REGISTER " + std::to_string(m.client_id);
+    }
+    std::string operator()(const MsgPing& m) const { return "PING " + std::to_string(m.seq); }
+    std::string operator()(const MsgPong& m) const { return "PONG " + std::to_string(m.seq); }
+    std::string operator()(const MsgRttProbe& m) const {
+      return "RTTPROBE " + std::to_string(m.token) + " " + std::to_string(m.tcp_port);
+    }
+    std::string operator()(const MsgRtt& m) const {
+      return "RTT " + std::to_string(m.token) + " " + std::to_string(m.microseconds);
+    }
+    std::string operator()(const MsgMeasure& m) const {
+      return "MEASURE " + std::to_string(m.token) + " " + m.method + " " +
+             std::to_string(m.tcp_port) + " " + m.target;
+    }
+    std::string operator()(const MsgFire& m) const {
+      return "FIRE " + std::to_string(m.token) + " " + std::to_string(m.connections) + " " +
+             m.method + " " + std::to_string(m.tcp_port) + " " + m.target;
+    }
+    std::string operator()(const MsgSample& m) const {
+      return "SAMPLE " + std::to_string(m.token) + " " + std::to_string(m.http_code) + " " +
+             std::to_string(m.bytes) + " " + std::to_string(m.rt_microseconds) + " " +
+             (m.timed_out ? "1" : "0");
+    }
+  };
+  return std::visit(Encoder{}, message);
+}
+
+std::optional<ControlMessage> DecodeMessage(std::string_view line) {
+  auto words = SplitWords(line);
+  if (words.empty()) {
+    return std::nullopt;
+  }
+  std::string_view verb = words[0];
+  if (verb == "REGISTER" && words.size() == 2) {
+    MsgRegister m;
+    if (ParseNumber(words[1], m.client_id)) {
+      return m;
+    }
+  } else if (verb == "PING" && words.size() == 2) {
+    MsgPing m;
+    if (ParseNumber(words[1], m.seq)) {
+      return m;
+    }
+  } else if (verb == "PONG" && words.size() == 2) {
+    MsgPong m;
+    if (ParseNumber(words[1], m.seq)) {
+      return m;
+    }
+  } else if (verb == "RTTPROBE" && words.size() == 3) {
+    MsgRttProbe m;
+    if (ParseNumber(words[1], m.token) && ParseNumber(words[2], m.tcp_port)) {
+      return m;
+    }
+  } else if (verb == "RTT" && words.size() == 3) {
+    MsgRtt m;
+    if (ParseNumber(words[1], m.token) && ParseNumber(words[2], m.microseconds)) {
+      return m;
+    }
+  } else if (verb == "MEASURE" && words.size() == 5) {
+    MsgMeasure m;
+    m.method = std::string(words[2]);
+    m.target = std::string(words[4]);
+    if (ParseNumber(words[1], m.token) && ValidMethod(m.method) &&
+        ParseNumber(words[3], m.tcp_port) && !m.target.empty() && m.target[0] == '/') {
+      return m;
+    }
+  } else if (verb == "FIRE" && words.size() == 6) {
+    MsgFire m;
+    m.method = std::string(words[3]);
+    m.target = std::string(words[5]);
+    if (ParseNumber(words[1], m.token) && ParseNumber(words[2], m.connections) &&
+        ValidMethod(m.method) && ParseNumber(words[4], m.tcp_port) && !m.target.empty() &&
+        m.target[0] == '/') {
+      return m;
+    }
+  } else if (verb == "SAMPLE" && words.size() == 6) {
+    MsgSample m;
+    int timed_out = 0;
+    if (ParseNumber(words[1], m.token) && ParseNumber(words[2], m.http_code) &&
+        ParseNumber(words[3], m.bytes) && ParseNumber(words[4], m.rt_microseconds) &&
+        ParseNumber(words[5], timed_out)) {
+      m.timed_out = timed_out != 0;
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mfc

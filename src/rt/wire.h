@@ -1,0 +1,72 @@
+// Control-plane wire protocol between the live coordinator and client
+// agents. UDP datagrams carrying one space-separated text line each — the
+// paper likewise used UDP for all control messages, with no retransmission.
+//
+//   client -> coordinator   REGISTER <client_id>
+//   coordinator -> client   PING <seq>
+//   client -> coordinator   PONG <seq>
+//   coordinator -> client   RTTPROBE <token> <tcp_port>
+//   client -> coordinator   RTT <token> <microseconds>
+//   coordinator -> client   MEASURE <token> <method> <tcp_port> <target>
+//   coordinator -> client   FIRE <token> <connections> <method> <tcp_port> <target>
+//   client -> coordinator   SAMPLE <token> <http_code> <bytes> <rt_us> <timed_out>
+#ifndef MFC_SRC_RT_WIRE_H_
+#define MFC_SRC_RT_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace mfc {
+
+struct MsgRegister {
+  uint64_t client_id = 0;
+};
+struct MsgPing {
+  uint64_t seq = 0;
+};
+struct MsgPong {
+  uint64_t seq = 0;
+};
+struct MsgRttProbe {
+  uint64_t token = 0;
+  uint16_t tcp_port = 0;
+};
+struct MsgRtt {
+  uint64_t token = 0;
+  uint64_t microseconds = 0;
+};
+struct MsgMeasure {
+  uint64_t token = 0;
+  std::string method;  // "GET" | "HEAD"
+  uint16_t tcp_port = 0;
+  std::string target;
+};
+struct MsgFire {
+  uint64_t token = 0;
+  uint32_t connections = 1;
+  std::string method;
+  uint16_t tcp_port = 0;
+  std::string target;
+};
+struct MsgSample {
+  uint64_t token = 0;
+  int http_code = 0;
+  uint64_t bytes = 0;
+  uint64_t rt_microseconds = 0;
+  bool timed_out = false;
+};
+
+using ControlMessage = std::variant<MsgRegister, MsgPing, MsgPong, MsgRttProbe, MsgRtt,
+                                    MsgMeasure, MsgFire, MsgSample>;
+
+std::string EncodeMessage(const ControlMessage& message);
+
+// Returns nullopt on malformed input (wrong verb, missing/garbage fields).
+std::optional<ControlMessage> DecodeMessage(std::string_view line);
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_RT_WIRE_H_

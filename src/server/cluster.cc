@@ -1,0 +1,67 @@
+#include "src/server/cluster.h"
+
+#include <algorithm>
+
+namespace mfc {
+
+ServerCluster::ServerCluster(EventLoop& loop, const WebServerConfig& config, size_t replica_count,
+                             const ContentStore* content)
+    : content_(content) {
+  replicas_.reserve(replica_count);
+  for (size_t i = 0; i < replica_count; ++i) {
+    WebServerConfig replica_config = config;
+    replica_config.name = config.name + "-" + std::to_string(i);
+    replicas_.push_back(std::make_unique<WebServer>(loop, replica_config, content));
+  }
+  outstanding_.assign(replica_count, 0);
+}
+
+size_t ServerCluster::PickReplica() const {
+  size_t best = 0;
+  for (size_t i = 1; i < outstanding_.size(); ++i) {
+    if (outstanding_[i] < outstanding_[best]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void ServerCluster::OnRequest(const HttpRequest& request, bool is_mfc,
+                              ResponseTransport transport) {
+  size_t idx = PickReplica();
+  ++outstanding_[idx];
+  auto wrapped = [this, idx, transport = std::move(transport)](
+                     HttpStatus status, double bytes, std::function<void()> on_sent) mutable {
+    auto release = [this, idx, on_sent = std::move(on_sent)]() mutable {
+      if (outstanding_[idx] > 0) {
+        --outstanding_[idx];
+      }
+      if (on_sent) {
+        on_sent();
+      }
+    };
+    transport(status, bytes, std::move(release));
+  };
+  replicas_[idx]->OnRequest(request, is_mfc, std::move(wrapped));
+}
+
+size_t ServerCluster::TotalActiveThreads() const {
+  size_t total = 0;
+  for (const auto& replica : replicas_) {
+    total += replica->ActiveThreads();
+  }
+  return total;
+}
+
+std::vector<AccessLogEntry> ServerCluster::MergedAccessLog() const {
+  std::vector<AccessLogEntry> merged;
+  for (const auto& replica : replicas_) {
+    const auto& log = replica->AccessLog();
+    merged.insert(merged.end(), log.begin(), log.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const AccessLogEntry& a, const AccessLogEntry& b) { return a.arrival < b.arrival; });
+  return merged;
+}
+
+}  // namespace mfc

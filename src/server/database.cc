@@ -1,0 +1,64 @@
+#include "src/server/database.h"
+
+#include <utility>
+
+namespace mfc {
+
+Database::Database(EventLoop& loop, const DatabaseConfig& config, CpuResource& cpu,
+                   DiskResource& disk)
+    : loop_(loop), config_(config), cpu_(cpu), disk_(disk), cache_(config.query_cache_bytes) {}
+
+void Database::Execute(const std::string& key, uint64_t rows, double result_bytes,
+                       std::function<void()> done) {
+  Pending pending{key, rows, result_bytes, std::move(done)};
+  if (active_ < config_.connection_pool) {
+    Admit(std::move(pending));
+  } else {
+    waiting_.push_back(std::move(pending));
+  }
+}
+
+void Database::Admit(Pending pending) {
+  ++active_;
+  ++executed_;
+  bool cache_hit = config_.query_cache_bytes > 0.0 && cache_.Touch(pending.key);
+  if (cache_hit) {
+    // Result served straight from the query cache: dispatch CPU only.
+    cpu_.Submit(config_.base_query_cpu_s,
+                [this, pending = std::move(pending)]() mutable { Finish(std::move(pending)); });
+    return;
+  }
+  double scan_cpu =
+      config_.base_query_cpu_s + config_.per_row_cpu_s * static_cast<double>(pending.rows);
+  double disk_bytes =
+      config_.disk_miss_fraction * config_.row_bytes * static_cast<double>(pending.rows);
+  // Disk scan for cold rows runs first (buffer-pool misses), then the CPU
+  // aggregation pass.
+  auto after_disk = [this, scan_cpu, pending = std::move(pending)]() mutable {
+    cpu_.Submit(scan_cpu, [this, pending = std::move(pending)]() mutable {
+      if (config_.query_cache_bytes > 0.0) {
+        cache_.Insert(pending.key, pending.result_bytes);
+      }
+      Finish(std::move(pending));
+    });
+  };
+  if (disk_bytes > 0.0) {
+    disk_.Submit(disk_bytes, std::move(after_disk));
+  } else {
+    after_disk();
+  }
+}
+
+void Database::Finish(Pending pending) {
+  if (pending.done) {
+    pending.done();
+  }
+  --active_;
+  if (!waiting_.empty() && active_ < config_.connection_pool) {
+    Pending next = std::move(waiting_.front());
+    waiting_.pop_front();
+    Admit(std::move(next));
+  }
+}
+
+}  // namespace mfc

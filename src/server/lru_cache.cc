@@ -1,0 +1,52 @@
+#include "src/server/lru_cache.h"
+
+namespace mfc {
+
+bool LruByteCache::Touch(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return true;
+}
+
+void LruByteCache::Insert(const std::string& key, double bytes) {
+  if (bytes > capacity_) {
+    return;
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    used_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  EvictUntilFits(bytes);
+  lru_.push_front(Entry{key, bytes});
+  index_[key] = lru_.begin();
+  used_ += bytes;
+}
+
+void LruByteCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  used_ = 0.0;
+}
+
+double LruByteCache::HitRate() const {
+  uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void LruByteCache::EvictUntilFits(double incoming) {
+  while (!lru_.empty() && used_ + incoming > capacity_) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace mfc

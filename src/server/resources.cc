@@ -1,0 +1,162 @@
+#include "src/server/resources.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+namespace mfc {
+namespace {
+
+constexpr double kWorkEpsilon = 1e-9;
+
+}  // namespace
+
+CpuResource::CpuResource(EventLoop& loop, size_t cores, double speed)
+    : loop_(loop), cores_(cores == 0 ? 1 : cores), speed_(speed) {
+  assert(speed > 0.0);
+}
+
+double CpuResource::PerJobRate() const {
+  if (jobs_.empty()) {
+    return 0.0;
+  }
+  double share = std::min(1.0, static_cast<double>(cores_) / static_cast<double>(jobs_.size()));
+  double slowdown = slowdown_ ? std::max(1.0, slowdown_()) : 1.0;
+  return speed_ * share / slowdown;
+}
+
+void CpuResource::Submit(double demand, std::function<void()> done) {
+  Advance();
+  jobs_.emplace(next_job_id_++, Job{std::max(demand, kWorkEpsilon), std::move(done)});
+  ScheduleNext();
+}
+
+void CpuResource::Reschedule() {
+  Advance();
+  ScheduleNext();
+}
+
+double CpuResource::Utilization() const {
+  if (jobs_.empty()) {
+    return 0.0;
+  }
+  return std::min(1.0, static_cast<double>(jobs_.size()) / static_cast<double>(cores_));
+}
+
+void CpuResource::Advance() {
+  SimTime now = loop_.Now();
+  double dt = now - last_advance_;
+  last_advance_ = now;
+  if (dt <= 0.0 || jobs_.empty()) {
+    return;
+  }
+  for (auto& [id, job] : jobs_) {
+    job.remaining = std::max(0.0, job.remaining - current_rate_ * dt);
+  }
+}
+
+void CpuResource::ScheduleNext() {
+  if (timer_ != 0) {
+    loop_.Cancel(timer_);
+    timer_ = 0;
+  }
+  if (jobs_.empty()) {
+    current_rate_ = 0.0;
+    return;
+  }
+  current_rate_ = PerJobRate();
+  assert(current_rate_ > 0.0);
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, job] : jobs_) {
+    min_remaining = std::min(min_remaining, job.remaining);
+  }
+  timer_ = loop_.ScheduleAfter(min_remaining / current_rate_, [this] {
+    timer_ = 0;
+    OnTimer();
+  });
+}
+
+void CpuResource::OnTimer() {
+  Advance();
+  std::vector<std::function<void()>> done;
+  SimDuration quantum = TimeQuantum(loop_.Now());
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    // Done when the work is gone or the residual cannot advance the clock.
+    if (it->second.remaining <= kWorkEpsilon ||
+        (current_rate_ > 0.0 && it->second.remaining / current_rate_ <= quantum)) {
+      done.push_back(std::move(it->second.done));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ScheduleNext();
+  for (auto& cb : done) {
+    if (cb) {
+      cb();
+    }
+  }
+}
+
+DiskResource::DiskResource(EventLoop& loop, double seek_seconds, double bandwidth_bps)
+    : loop_(loop), seek_seconds_(seek_seconds), bandwidth_bps_(bandwidth_bps) {
+  assert(bandwidth_bps > 0.0);
+}
+
+void DiskResource::Submit(double bytes, std::function<void()> done) {
+  queue_.push_back(Op{bytes, std::move(done)});
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+double DiskResource::BusySeconds() const {
+  if (!busy_) {
+    return busy_accum_;
+  }
+  return busy_accum_ + (loop_.Now() - busy_since_);
+}
+
+void DiskResource::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  Op op = std::move(queue_.front());
+  queue_.pop_front();
+  if (!busy_) {
+    busy_ = true;
+    busy_since_ = loop_.Now();
+  }
+  double service = seek_seconds_ + op.bytes / bandwidth_bps_;
+  loop_.ScheduleAfter(service, [this, done = std::move(op.done)]() mutable {
+    if (done) {
+      done();
+    }
+    // Account busy time up to now before possibly idling.
+    busy_accum_ += loop_.Now() - busy_since_;
+    busy_since_ = loop_.Now();
+    if (queue_.empty()) {
+      busy_ = false;
+    } else {
+      StartNext();
+    }
+  });
+}
+
+MemoryModel::MemoryModel(double ram_bytes, double base_bytes, double swap_penalty)
+    : ram_(ram_bytes), used_(base_bytes), swap_penalty_(swap_penalty) {}
+
+void MemoryModel::Allocate(double bytes) { used_ += bytes; }
+
+void MemoryModel::Free(double bytes) { used_ = std::max(0.0, used_ - bytes); }
+
+double MemoryModel::SlowdownFactor() const {
+  if (used_ <= ram_) {
+    return 1.0;
+  }
+  return 1.0 + swap_penalty_ * (used_ - ram_) / ram_;
+}
+
+}  // namespace mfc

@@ -1,0 +1,167 @@
+#include "src/server/web_server.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mfc {
+
+WebServer::WebServer(EventLoop& loop, WebServerConfig config, const ContentStore* content)
+    : loop_(loop), config_(std::move(config)), content_(content),
+      cpu_(loop, config_.cpu_cores, config_.cpu_speed),
+      db_cpu_(config_.db_dedicated_cores > 0
+                  ? std::make_unique<CpuResource>(loop, config_.db_dedicated_cores,
+                                                  config_.db_cpu_speed)
+                  : nullptr),
+      disk_(loop, config_.disk_seek_s, config_.disk_bw_bps),
+      memory_(config_.ram_bytes, config_.base_memory_bytes, config_.swap_penalty),
+      db_(loop, config_.db, db_cpu_ != nullptr ? *db_cpu_ : cpu_, disk_),
+      page_cache_(config_.page_cache_bytes) {
+  cpu_.SetSlowdownProvider([this] { return memory_.SlowdownFactor(); });
+}
+
+void WebServer::OnRequest(const HttpRequest& request, bool is_mfc, ResponseTransport transport) {
+  access_log_.push_back(AccessLogEntry{loop_.Now(), request.method, request.target,
+                                       HttpStatus::kOk, 0.0, is_mfc});
+  Ctx ctx{request, is_mfc, std::move(transport), access_log_.size() - 1};
+  Enqueue(std::move(ctx));
+}
+
+void WebServer::Enqueue(Ctx ctx) {
+  if (active_threads_ < config_.worker_threads) {
+    ++active_threads_;
+    Process(std::move(ctx));
+    return;
+  }
+  if (accept_queue_.size() < config_.accept_backlog) {
+    accept_queue_.push_back(std::move(ctx));
+    return;
+  }
+  // Listen backlog exhausted: immediate refusal, no worker consumed.
+  ++rejected_;
+  Send(std::move(ctx), HttpStatus::kServiceUnavailable, 0.0);
+}
+
+void WebServer::Process(Ctx ctx) {
+  double demand = config_.request_parse_cpu_s +
+                  config_.per_connection_cpu_s * static_cast<double>(active_threads_);
+  cpu_.Submit(demand, [this, ctx = std::move(ctx)]() mutable { Dispatch(std::move(ctx)); });
+}
+
+void WebServer::Dispatch(Ctx ctx) {
+  const WebObject* object =
+      content_ != nullptr ? content_->Find(ctx.request.Path()) : nullptr;
+  if (object == nullptr) {
+    Send(std::move(ctx), HttpStatus::kNotFound, 200.0);
+    return;
+  }
+  if (ctx.request.method == HttpMethod::kHead) {
+    // Metadata only: a stat() plus header assembly; never touches the body.
+    cpu_.Submit(config_.head_cpu_s, [this, ctx = std::move(ctx)]() mutable {
+      Send(std::move(ctx), HttpStatus::kOk, 0.0);
+    });
+    return;
+  }
+  if (object->dynamic) {
+    ServeDynamic(std::move(ctx), *object);
+  } else {
+    ServeStatic(std::move(ctx), *object);
+  }
+}
+
+void WebServer::ServeStatic(Ctx ctx, const WebObject& object) {
+  double size = static_cast<double>(object.size_bytes);
+  if (page_cache_.Touch(object.path)) {
+    Send(std::move(ctx), HttpStatus::kOk, size);
+    return;
+  }
+  const std::string path = object.path;
+  disk_.Submit(size, [this, ctx = std::move(ctx), path, size]() mutable {
+    page_cache_.Insert(path, size);
+    Send(std::move(ctx), HttpStatus::kOk, size);
+  });
+}
+
+void WebServer::ServeDynamic(Ctx ctx, const WebObject& object) {
+  switch (config_.cgi_model) {
+    case CgiModel::kNone:
+      Send(std::move(ctx), HttpStatus::kNotFound, 200.0);
+      return;
+    case CgiModel::kFastCgi:
+      // Process-per-request: the forked handler inherits the parent image.
+      ++active_cgi_;
+      memory_.Allocate(config_.cgi_process_memory_bytes);
+      cpu_.Reschedule();
+      RunCgi(std::move(ctx), object);
+      return;
+    case CgiModel::kMongrel: {
+      if (active_cgi_ < config_.mongrel_pool) {
+        ++active_cgi_;
+        RunCgi(std::move(ctx), object);
+      } else {
+        // Wait for a pool worker; captures by value, object outlives us
+        // (ContentStore is owned by the testbed for the whole run).
+        const WebObject* obj = &object;
+        cgi_wait_.push_back([this, ctx = std::move(ctx), obj]() mutable {
+          ++active_cgi_;
+          RunCgi(std::move(ctx), *obj);
+        });
+      }
+      return;
+    }
+  }
+}
+
+void WebServer::RunCgi(Ctx ctx, const WebObject& object) {
+  // Query-cache key: unique-per-query endpoints key on the full target so
+  // distinct query strings never hit; otherwise all callers share one key.
+  std::string key = object.unique_per_query ? ctx.request.target : object.path;
+  uint64_t rows = object.db_rows;
+  double result_bytes = static_cast<double>(object.size_bytes);
+  cpu_.Submit(config_.cgi_cpu_s, [this, ctx = std::move(ctx), key, rows, result_bytes]() mutable {
+    db_.Execute(key, rows, result_bytes, [this, ctx = std::move(ctx), result_bytes]() mutable {
+      ReleaseCgiSlot();
+      Send(std::move(ctx), HttpStatus::kOk, result_bytes);
+    });
+  });
+}
+
+void WebServer::Send(Ctx ctx, HttpStatus status, double body_bytes) {
+  access_log_[ctx.log_index].status = status;
+  access_log_[ctx.log_index].bytes = body_bytes;
+  double wire = config_.response_header_bytes + body_bytes;
+  bool had_thread = status != HttpStatus::kServiceUnavailable;
+  auto transport = std::move(ctx.transport);
+  transport(status, wire, [this, had_thread] {
+    if (had_thread) {
+      ReleaseThread();
+    }
+  });
+}
+
+void WebServer::ReleaseThread() {
+  assert(active_threads_ > 0);
+  --active_threads_;
+  if (!accept_queue_.empty() && active_threads_ < config_.worker_threads) {
+    Ctx next = std::move(accept_queue_.front());
+    accept_queue_.pop_front();
+    ++active_threads_;
+    Process(std::move(next));
+  }
+}
+
+void WebServer::ReleaseCgiSlot() {
+  assert(active_cgi_ > 0);
+  --active_cgi_;
+  if (config_.cgi_model == CgiModel::kFastCgi) {
+    memory_.Free(config_.cgi_process_memory_bytes);
+    cpu_.Reschedule();
+    return;
+  }
+  if (config_.cgi_model == CgiModel::kMongrel && !cgi_wait_.empty()) {
+    auto next = std::move(cgi_wait_.front());
+    cgi_wait_.pop_front();
+    next();
+  }
+}
+
+}  // namespace mfc

@@ -1,0 +1,62 @@
+#include "src/sim/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mfc {
+
+double ExponentialDist::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  // 1 - u is in (0, 1], so the log is finite.
+  return -std::log(1.0 - u) / lambda_;
+}
+
+LognormalDist LognormalDist::FromMedian(double median, double sigma) {
+  return LognormalDist(std::log(median), sigma);
+}
+
+double LognormalDist::Sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * SampleStandardNormal(rng));
+}
+
+double BoundedParetoDist::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  double la = std::pow(lo_, alpha_);
+  double ha = std::pow(hi_, alpha_);
+  // Inverse CDF of the bounded Pareto.
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+}
+
+ZipfDist::ZipfDist(size_t n, double s) {
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_.push_back(total);
+  }
+  for (auto& v : cdf_) {
+    v /= total;
+  }
+}
+
+size_t ZipfDist::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double SampleStandardNormal(Rng& rng) {
+  for (;;) {
+    double x = rng.Uniform(-1.0, 1.0);
+    double y = rng.Uniform(-1.0, 1.0);
+    double s = x * x + y * y;
+    if (s > 0.0 && s < 1.0) {
+      return x * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace mfc

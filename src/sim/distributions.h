@@ -1,0 +1,74 @@
+// Random-variate generators used across the simulation.
+//
+// Wide-area RTTs are modelled as shifted lognormals, access bandwidths and
+// object sizes as bounded Paretos, object popularity as Zipf — the standard
+// choices in web-workload literature (e.g. SPECweb, SURGE). Every sampler is
+// a small value-type over Rng so call sites can hold them by value.
+#ifndef MFC_SRC_SIM_DISTRIBUTIONS_H_
+#define MFC_SRC_SIM_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace mfc {
+
+// Exponential with rate lambda (mean 1/lambda).
+class ExponentialDist {
+ public:
+  explicit ExponentialDist(double lambda) : lambda_(lambda) {}
+  double Sample(Rng& rng) const;
+  double Mean() const { return 1.0 / lambda_; }
+
+ private:
+  double lambda_;
+};
+
+// Lognormal: exp(N(mu, sigma^2)).
+class LognormalDist {
+ public:
+  LognormalDist(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+  // Convenience: parameterize by the median and a multiplicative spread
+  // (sigma of the underlying normal); median = exp(mu).
+  static LognormalDist FromMedian(double median, double sigma);
+  double Sample(Rng& rng) const;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+// Pareto truncated to [lo, hi]; shape alpha. Samples via inverse CDF of the
+// bounded Pareto.
+class BoundedParetoDist {
+ public:
+  BoundedParetoDist(double alpha, double lo, double hi) : alpha_(alpha), lo_(lo), hi_(hi) {}
+  double Sample(Rng& rng) const;
+
+ private:
+  double alpha_;
+  double lo_;
+  double hi_;
+};
+
+// Zipf over {0, 1, ..., n-1} with exponent s: P(k) proportional to 1/(k+1)^s.
+// Precomputes the CDF; sampling is a binary search.
+class ZipfDist {
+ public:
+  ZipfDist(size_t n, double s);
+  size_t Sample(Rng& rng) const;
+  size_t Size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Standard normal via Marsaglia polar method (no cached spare: simpler and
+// keeps the draw count deterministic per call site).
+double SampleStandardNormal(Rng& rng);
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_SIM_DISTRIBUTIONS_H_

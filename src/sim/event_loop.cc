@@ -1,0 +1,74 @@
+#include "src/sim/event_loop.h"
+
+#include <utility>
+
+namespace mfc {
+
+EventId EventLoop::ScheduleAt(SimTime t, Callback cb) {
+  if (t < now_) {
+    t = now_;
+  }
+  EventId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool EventLoop::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventLoop::RunOne() {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    queue_.pop();
+    auto cancelled_it = cancelled_.find(top.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    auto cb_it = callbacks_.find(top.id);
+    if (cb_it == callbacks_.end()) {
+      continue;  // defensive: should be unreachable
+    }
+    Callback cb = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    now_ = top.time;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::RunUntil(SimTime t) {
+  while (!queue_.empty()) {
+    // Skip over cancelled entries so queue_.top() is a live event.
+    Entry top = queue_.top();
+    if (cancelled_.count(top.id) != 0) {
+      queue_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.time > t) {
+      break;
+    }
+    RunOne();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+void EventLoop::RunUntilIdle() {
+  while (RunOne()) {
+  }
+}
+
+}  // namespace mfc

@@ -1,0 +1,87 @@
+// Discrete-event simulation core.
+//
+// EventLoop owns a time-ordered queue of callbacks. Events scheduled for the
+// same instant run in scheduling order (stable), which keeps simulations
+// deterministic. Cancellation is O(log n) via lazy deletion.
+#ifndef MFC_SRC_SIM_EVENT_LOOP_H_
+#define MFC_SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+
+namespace mfc {
+
+// Identifies a scheduled event for cancellation. 0 is never a valid id.
+using EventId = uint64_t;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Current simulated time. Advances only while running events.
+  SimTime Now() const { return now_; }
+
+  // Schedules |cb| to run at absolute time |t|. Scheduling in the past is a
+  // programming error; the event is clamped to Now() and runs next.
+  EventId ScheduleAt(SimTime t, Callback cb);
+
+  // Schedules |cb| to run |d| seconds from Now().
+  EventId ScheduleAfter(SimDuration d, Callback cb) { return ScheduleAt(now_ + d, std::move(cb)); }
+
+  // Cancels a pending event. Returns false if the event already ran, was
+  // already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  // Runs a single event if one is pending. Returns false when idle.
+  bool RunOne();
+
+  // Runs every event with timestamp <= |t|, then advances Now() to |t|
+  // (even if the queue drained earlier).
+  void RunUntil(SimTime t);
+
+  // Runs until no events remain. The final Now() is the last event's time.
+  void RunUntilIdle();
+
+  // Number of pending (non-cancelled) events.
+  size_t PendingCount() const { return queue_.size() - cancelled_.size(); }
+
+  // Total events executed since construction; useful for budget assertions.
+  uint64_t ExecutedCount() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;  // tie-breaker: FIFO among same-time events
+    EventId id;
+    // Min-heap ordering (std::priority_queue is a max-heap, so invert).
+    bool operator<(const Entry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = kTimeZero;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry> queue_;
+  // Callbacks keyed by id; erased on run or cancel.
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_SIM_EVENT_LOOP_H_

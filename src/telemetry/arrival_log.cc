@@ -1,0 +1,45 @@
+#include "src/telemetry/arrival_log.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mfc {
+
+ArrivalSpread AnalyzeArrivals(std::span<const SimTime> arrivals) {
+  ArrivalSpread out;
+  out.count = arrivals.size();
+  if (arrivals.size() < 2) {
+    return out;
+  }
+  std::vector<SimTime> sorted(arrivals.begin(), arrivals.end());
+  std::sort(sorted.begin(), sorted.end());
+  out.full_spread = sorted.back() - sorted.front();
+  // Middle 90%: drop 5% from each tail (at least one element stays).
+  size_t n = sorted.size();
+  size_t drop = static_cast<size_t>(std::floor(static_cast<double>(n) * 0.05));
+  size_t lo = drop;
+  size_t hi = n - 1 - drop;
+  if (hi > lo) {
+    out.middle90_spread = sorted[hi] - sorted[lo];
+  }
+  return out;
+}
+
+double MaxFractionWithinWindow(std::span<const SimTime> arrivals, SimDuration window) {
+  if (arrivals.empty()) {
+    return 0.0;
+  }
+  std::vector<SimTime> sorted(arrivals.begin(), arrivals.end());
+  std::sort(sorted.begin(), sorted.end());
+  size_t best = 1;
+  size_t lo = 0;
+  for (size_t hi = 0; hi < sorted.size(); ++hi) {
+    while (sorted[hi] - sorted[lo] > window) {
+      ++lo;
+    }
+    best = std::max(best, hi - lo + 1);
+  }
+  return static_cast<double>(best) / static_cast<double>(sorted.size());
+}
+
+}  // namespace mfc

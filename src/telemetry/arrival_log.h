@@ -1,0 +1,32 @@
+// Request-arrival analysis mirroring the paper's server-log studies.
+//
+// Figure 3 plots per-request arrival times for one crowd and reports the
+// fraction of requests arriving within a window of each other; Table 2
+// reports, per epoch, how many scheduled requests appeared in the server log
+// and the time spread of the middle 90% of them.
+#ifndef MFC_SRC_TELEMETRY_ARRIVAL_LOG_H_
+#define MFC_SRC_TELEMETRY_ARRIVAL_LOG_H_
+
+#include <span>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+
+namespace mfc {
+
+struct ArrivalSpread {
+  size_t count = 0;           // requests observed
+  SimDuration full_spread = 0;    // last arrival - first arrival
+  SimDuration middle90_spread = 0;  // spread of the middle 90% (Table 2 metric)
+};
+
+// Computes spread statistics over a set of arrival timestamps.
+ArrivalSpread AnalyzeArrivals(std::span<const SimTime> arrivals);
+
+// Largest fraction of arrivals that fit inside any window of width |window|
+// (Fig 3: "70% of the requests arrive within 5ms of each other").
+double MaxFractionWithinWindow(std::span<const SimTime> arrivals, SimDuration window);
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_TELEMETRY_ARRIVAL_LOG_H_

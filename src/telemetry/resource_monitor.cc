@@ -1,0 +1,45 @@
+#include "src/telemetry/resource_monitor.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mfc {
+
+void ResourceMonitor::AddGauge(const std::string& name, Gauge gauge) {
+  gauges_.emplace(name, std::move(gauge));
+  series_.emplace(name, TimeSeries(name));
+}
+
+void ResourceMonitor::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  SampleOnce();
+}
+
+void ResourceMonitor::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  if (pending_event_ != 0) {
+    loop_.Cancel(pending_event_);
+    pending_event_ = 0;
+  }
+}
+
+const TimeSeries& ResourceMonitor::Series(const std::string& name) const {
+  auto it = series_.find(name);
+  assert(it != series_.end() && "unknown gauge");
+  return it->second;
+}
+
+void ResourceMonitor::SampleOnce() {
+  for (auto& [name, gauge] : gauges_) {
+    series_.at(name).Record(loop_.Now(), gauge());
+  }
+  pending_event_ = loop_.ScheduleAfter(period_, [this] { SampleOnce(); });
+}
+
+}  // namespace mfc

@@ -1,0 +1,53 @@
+// atop/sysstat-style periodic sampler for the simulated server.
+//
+// The paper's lab validation (Section 3.2) monitors CPU, resident memory,
+// disk access and network usage with atop while the MFC runs. ResourceMonitor
+// reproduces that: register named gauges (functions returning the current
+// value) and it samples them on a fixed period through the event loop.
+#ifndef MFC_SRC_TELEMETRY_RESOURCE_MONITOR_H_
+#define MFC_SRC_TELEMETRY_RESOURCE_MONITOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/sim/event_loop.h"
+#include "src/telemetry/time_series.h"
+
+namespace mfc {
+
+class ResourceMonitor {
+ public:
+  using Gauge = std::function<double()>;
+
+  ResourceMonitor(EventLoop& loop, SimDuration period) : loop_(loop), period_(period) {}
+  ~ResourceMonitor() { Stop(); }
+  ResourceMonitor(const ResourceMonitor&) = delete;
+  ResourceMonitor& operator=(const ResourceMonitor&) = delete;
+
+  // Registers a gauge; must be called before Start().
+  void AddGauge(const std::string& name, Gauge gauge);
+
+  void Start();
+  void Stop();
+  bool Running() const { return running_; }
+
+  // Series for a gauge; asserts the name exists.
+  const TimeSeries& Series(const std::string& name) const;
+
+  const std::map<std::string, TimeSeries>& AllSeries() const { return series_; }
+
+ private:
+  void SampleOnce();
+
+  EventLoop& loop_;
+  SimDuration period_;
+  bool running_ = false;
+  EventId pending_event_ = 0;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_TELEMETRY_RESOURCE_MONITOR_H_

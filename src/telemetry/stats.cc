@@ -1,0 +1,133 @@
+#include "src/telemetry/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace mfc {
+
+double Percentile(std::span<const double> values, double pct) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (pct <= 0.0) {
+    return sorted.front();
+  }
+  if (pct >= 100.0) {
+    return sorted.back();
+  }
+  double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double Median(std::span<const double> values) { return Percentile(values, 50.0); }
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const double> values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean(values);
+  double sq = 0.0;
+  for (double v : values) {
+    sq += (v - mean) * (v - mean);
+  }
+  return std::sqrt(sq / static_cast<double>(values.size() - 1));
+}
+
+double Min(std::span<const double> values) {
+  return values.empty() ? 0.0 : *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) {
+  return values.empty() ? 0.0 : *std::max_element(values.begin(), values.end());
+}
+
+double FractionAbove(std::span<const double> values, double threshold) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  size_t n = 0;
+  for (double v : values) {
+    if (v > threshold) {
+      ++n;
+    }
+  }
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  std::sort(edges_.begin(), edges_.end());
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::Add(double x) {
+  // Buckets are (edges[i-1], edges[i]]: lower_bound finds the first edge >= x.
+  auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+  counts_[static_cast<size_t>(it - edges_.begin())]++;
+  ++total_;
+}
+
+double Histogram::BucketFraction(size_t i) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+std::string Histogram::BucketLabel(size_t i) const {
+  auto fmt = [](double v) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%g", v);
+    return std::string(buf);
+  };
+  if (i == 0) {
+    return "(-inf, " + fmt(edges_.front()) + "]";
+  }
+  if (i == counts_.size() - 1) {
+    return "(" + fmt(edges_.back()) + ", +inf)";
+  }
+  return "(" + fmt(edges_[i - 1]) + ", " + fmt(edges_[i]) + "]";
+}
+
+}  // namespace mfc

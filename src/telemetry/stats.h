@@ -1,0 +1,75 @@
+// Order statistics and summary statistics used by the coordinator's decision
+// rule (median / 90th percentile of normalized response times) and by the
+// benchmark reports.
+#ifndef MFC_SRC_TELEMETRY_STATS_H_
+#define MFC_SRC_TELEMETRY_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mfc {
+
+// Percentile in [0, 100] with linear interpolation between order statistics.
+// Copies the input (callers keep their samples). Empty input returns 0.
+double Percentile(std::span<const double> values, double pct);
+
+double Median(std::span<const double> values);
+
+double Mean(std::span<const double> values);
+
+// Sample standard deviation (n-1 denominator). Returns 0 for n < 2.
+double StdDev(std::span<const double> values);
+
+double Min(std::span<const double> values);
+double Max(std::span<const double> values);
+
+// Fraction of values strictly greater than |threshold|. Empty input: 0.
+double FractionAbove(std::span<const double> values, double threshold);
+
+// Incremental accumulator for streaming summaries (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t Count() const { return count_; }
+  double Mean() const { return mean_; }
+  double Variance() const;  // sample variance, 0 for n < 2
+  double StdDev() const;
+  double MinValue() const { return min_; }
+  double MaxValue() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bucket histogram for building the paper's stopping-crowd-size
+// breakdowns (Figs 7-9, Tables 4-5).
+class Histogram {
+ public:
+  // Buckets are (edges[i-1], edges[i]]; values at or below the first edge or
+  // above the last edge land in saturating end buckets.
+  explicit Histogram(std::vector<double> edges);
+
+  void Add(double x);
+  size_t BucketCount() const { return counts_.size(); }
+  size_t BucketValue(size_t i) const { return counts_[i]; }
+  size_t Total() const { return total_; }
+  // Fraction of all samples in bucket i. 0 if empty.
+  double BucketFraction(size_t i) const;
+  // Human-readable label like "[10, 20)".
+  std::string BucketLabel(size_t i) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<size_t> counts_;  // edges_.size() + 1 buckets (underflow .. overflow)
+  size_t total_ = 0;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_TELEMETRY_STATS_H_

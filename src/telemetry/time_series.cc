@@ -1,0 +1,44 @@
+#include "src/telemetry/time_series.h"
+
+#include <algorithm>
+
+namespace mfc {
+
+std::vector<double> TimeSeries::Values() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const Point& p : points_) {
+    out.push_back(p.value);
+  }
+  return out;
+}
+
+double TimeSeries::MaxInWindow(SimTime t0, SimTime t1) const {
+  double best = 0.0;
+  bool any = false;
+  for (const Point& p : points_) {
+    if (p.time >= t0 && p.time <= t1) {
+      best = any ? std::max(best, p.value) : p.value;
+      any = true;
+    }
+  }
+  return any ? best : 0.0;
+}
+
+double TimeSeries::MeanInWindow(SimTime t0, SimTime t1) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const Point& p : points_) {
+    if (p.time >= t0 && p.time <= t1) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::Last(double fallback) const {
+  return points_.empty() ? fallback : points_.back().value;
+}
+
+}  // namespace mfc

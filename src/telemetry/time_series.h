@@ -1,0 +1,50 @@
+// Timestamped sample series recorded during experiments (utilization traces,
+// response-time-vs-crowd-size curves). Deliberately simple: append-only,
+// queried after the run.
+#ifndef MFC_SRC_TELEMETRY_TIME_SERIES_H_
+#define MFC_SRC_TELEMETRY_TIME_SERIES_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+
+namespace mfc {
+
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime time;
+    double value;
+  };
+
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void Record(SimTime t, double value) { points_.push_back(Point{t, value}); }
+
+  const std::string& Name() const { return name_; }
+  std::span<const Point> Points() const { return points_; }
+  bool Empty() const { return points_.empty(); }
+  size_t Size() const { return points_.size(); }
+
+  // Values only, for feeding the stats helpers.
+  std::vector<double> Values() const;
+
+  // Maximum value in the window [t0, t1]; 0 if no points fall inside.
+  double MaxInWindow(SimTime t0, SimTime t1) const;
+
+  // Mean value in the window [t0, t1]; 0 if no points fall inside.
+  double MeanInWindow(SimTime t0, SimTime t1) const;
+
+  // Last recorded value, or |fallback| when empty.
+  double Last(double fallback = 0.0) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_TELEMETRY_TIME_SERIES_H_

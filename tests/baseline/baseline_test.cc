@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/closed_loop_loadgen.h"
+#include "src/baseline/keynote_prober.h"
+#include "src/core/experiment_runner.h"
+
+namespace mfc {
+namespace {
+
+HttpRequest HeadRoot() {
+  HttpRequest req;
+  req.method = HttpMethod::kHead;
+  req.target = "/";
+  req.headers.Set("Host", "t");
+  return req;
+}
+
+TEST(KeynoteProberTest, ReportsSingleRequestLatencies) {
+  DeploymentOptions options;
+  options.seed = 1;
+  options.fleet_size = 10;
+  options.lan_clients = true;
+  options.jitter_sigma = 0.0;
+  Deployment deployment(MakeLabValidationProfile(), options);
+  KeynoteProber prober(deployment.Testbed(), HeadRoot(), Seconds(10));
+  ProbeReport report = prober.Run(20);
+  EXPECT_EQ(report.probes, 20u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_GT(report.mean_response, 0.0);
+  EXPECT_LE(report.median_response, report.p95_response);
+  EXPECT_LE(report.p95_response, report.max_response);
+  // Unloaded LAN HEAD: a few milliseconds at most.
+  EXPECT_LT(report.median_response, 0.050);
+}
+
+TEST(KeynoteProberTest, SingleProbesMissConcurrencyBottlenecks) {
+  // The same server that collapses under a 30-client MFC crowd looks
+  // perfectly healthy to sequential single-request monitoring — the paper's
+  // core argument against Keynote-style measurement (Section 7).
+  SiteInstance site = MakeLabValidationProfile();
+  DeploymentOptions options;
+  options.seed = 2;
+  options.fleet_size = 55;
+  options.lan_clients = true;
+  Deployment deployment(site, options);
+
+  KeynoteProber prober(deployment.Testbed(), HeadRoot(), Seconds(5));
+  ProbeReport probe_report = prober.Run(30);
+  EXPECT_LT(probe_report.p95_response, 0.100);  // no degradation visible
+
+  ExperimentConfig config;
+  config.max_crowd = 50;
+  ExperimentResult mfc = deployment.RunMfc(config, deployment.ObjectsFromContent(), 5);
+  const StageResult* large = mfc.Stage(StageKind::kLargeObject);
+  ASSERT_NE(large, nullptr);
+  EXPECT_TRUE(large->stopped);  // the crowd finds what the prober cannot
+}
+
+TEST(ClosedLoopLoadGenTest, ThroughputBoundedByServiceCapacity) {
+  DeploymentOptions options;
+  options.seed = 3;
+  options.fleet_size = 40;
+  options.lan_clients = true;
+  options.jitter_sigma = 0.0;
+  Deployment deployment(MakeLabValidationProfile(), options);
+  // HEAD service is ~0.7 ms CPU on one core: capacity ~1400 req/s.
+  ClosedLoopLoadGen loadgen(deployment.Testbed(), HeadRoot(), 20, Millis(10));
+  LoadGenReport report = loadgen.Run(Seconds(30));
+  EXPECT_GT(report.completed, 100u);
+  EXPECT_GT(report.throughput_rps, 10.0);
+  EXPECT_LT(report.throughput_rps, 2000.0);
+  EXPECT_GT(report.mean_response, 0.0);
+  EXPECT_LE(report.mean_response, report.max_response);
+}
+
+TEST(ClosedLoopLoadGenTest, MoreUsersMoreLatencyOnSaturatedServer) {
+  auto mean_latency = [](size_t users, uint64_t seed) {
+    DeploymentOptions options;
+    options.seed = seed;
+    options.fleet_size = 64;
+    options.lan_clients = true;
+    options.jitter_sigma = 0.0;
+    Deployment deployment(MakeLabValidationProfile(), options);
+    HttpRequest query;
+    query.method = HttpMethod::kGet;
+    query.target = "/cgi/search0.php?x=1";
+    ClosedLoopLoadGen loadgen(deployment.Testbed(), query, users, Millis(50));
+    return loadgen.Run(Seconds(30)).mean_response;
+  };
+  EXPECT_GT(mean_latency(32, 4), 2.0 * mean_latency(2, 4));
+}
+
+}  // namespace
+}  // namespace mfc

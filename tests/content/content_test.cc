@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+
+#include "src/content/object_store.h"
+#include "src/content/site_generator.h"
+#include "src/http/html.h"
+#include "src/http/url.h"
+
+namespace mfc {
+namespace {
+
+TEST(ContentStoreTest, AddAndFind) {
+  ContentStore store;
+  WebObject obj;
+  obj.path = "/a.html";
+  obj.size_bytes = 10;
+  store.Add(obj);
+  ASSERT_NE(store.Find("/a.html"), nullptr);
+  EXPECT_EQ(store.Find("/a.html")->size_bytes, 10u);
+  EXPECT_EQ(store.Find("/missing"), nullptr);
+}
+
+TEST(ContentStoreTest, DuplicatePathReplaces) {
+  ContentStore store;
+  WebObject obj;
+  obj.path = "/a";
+  obj.size_bytes = 1;
+  store.Add(obj);
+  obj.size_bytes = 2;
+  store.Add(obj);
+  EXPECT_EQ(store.Size(), 1u);
+  EXPECT_EQ(store.Find("/a")->size_bytes, 2u);
+}
+
+TEST(ContentStoreTest, BasePagePreference) {
+  ContentStore store;
+  WebObject page;
+  page.path = "/other.html";
+  page.content_class = ContentClass::kText;
+  store.Add(page);
+  EXPECT_EQ(store.BasePage()->path, "/other.html");
+  WebObject index;
+  index.path = "/index.html";
+  index.content_class = ContentClass::kText;
+  store.Add(index);
+  EXPECT_EQ(store.BasePage()->path, "/index.html");
+  WebObject root;
+  root.path = "/";
+  root.content_class = ContentClass::kText;
+  store.Add(root);
+  EXPECT_EQ(store.BasePage()->path, "/");
+}
+
+TEST(ContentStoreTest, EmptyStoreHasNoBasePage) {
+  ContentStore store;
+  EXPECT_EQ(store.BasePage(), nullptr);
+}
+
+TEST(ContentStoreTest, Aggregates) {
+  ContentStore store;
+  WebObject a;
+  a.path = "/a";
+  a.content_class = ContentClass::kText;
+  a.size_bytes = 10;
+  store.Add(a);
+  WebObject b;
+  b.path = "/b.jpg";
+  b.content_class = ContentClass::kImage;
+  b.size_bytes = 20;
+  store.Add(b);
+  WebObject c;
+  c.path = "/c.php";
+  c.content_class = ContentClass::kQuery;
+  c.dynamic = true;
+  c.size_bytes = 5;
+  store.Add(c);
+  EXPECT_EQ(store.TotalBytes(), 35u);
+  EXPECT_EQ(store.CountOf(ContentClass::kImage), 1u);
+  EXPECT_EQ(store.DynamicCount(), 1u);
+}
+
+class SiteGeneratorTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SiteGeneratorTest, GeneratesRequestedPopulation) {
+  Rng rng(GetParam());
+  SiteSpec spec;
+  spec.page_count = 10;
+  spec.image_count = 15;
+  spec.binary_count = 3;
+  spec.query_endpoint_count = 2;
+  ContentStore store = GenerateSite(rng, spec);
+  EXPECT_EQ(store.Size(), 30u);
+  EXPECT_EQ(store.CountOf(ContentClass::kText), 10u);
+  EXPECT_EQ(store.CountOf(ContentClass::kImage), 15u);
+  EXPECT_EQ(store.CountOf(ContentClass::kBinary), 3u);
+  EXPECT_EQ(store.CountOf(ContentClass::kQuery), 2u);
+  EXPECT_EQ(store.DynamicCount(), 2u);
+  ASSERT_NE(store.BasePage(), nullptr);
+  EXPECT_EQ(store.BasePage()->path, "/");
+}
+
+TEST_P(SiteGeneratorTest, SizesWithinSpecRanges) {
+  Rng rng(GetParam());
+  SiteSpec spec;
+  ContentStore store = GenerateSite(rng, spec);
+  for (const WebObject& obj : store.Objects()) {
+    switch (obj.content_class) {
+      case ContentClass::kImage:
+        EXPECT_GE(obj.size_bytes, spec.image_size_min);
+        EXPECT_LE(obj.size_bytes, spec.image_size_max);
+        break;
+      case ContentClass::kBinary:
+        EXPECT_GE(obj.size_bytes, spec.binary_size_min);
+        EXPECT_LE(obj.size_bytes, spec.binary_size_max);
+        break;
+      case ContentClass::kQuery:
+        EXPECT_GE(obj.size_bytes, spec.query_response_min);
+        EXPECT_LE(obj.size_bytes, spec.query_response_max);
+        EXPECT_GE(obj.db_rows, spec.query_rows_min);
+        EXPECT_LE(obj.db_rows, spec.query_rows_max);
+        break;
+      case ContentClass::kText:
+        EXPECT_FALSE(obj.body.empty());
+        EXPECT_EQ(obj.size_bytes, obj.body.size());
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST_P(SiteGeneratorTest, EverythingReachableFromIndexByLinkWalk) {
+  Rng rng(GetParam());
+  SiteSpec spec;
+  spec.page_count = 12;
+  ContentStore store = GenerateSite(rng, spec);
+
+  Url root;
+  root.host = "h";
+  std::set<std::string> visited;
+  std::deque<Url> frontier;
+  frontier.push_back(root);
+  visited.insert("/");
+  while (!frontier.empty()) {
+    Url url = frontier.front();
+    frontier.pop_front();
+    const WebObject* obj = store.Find(url.path);
+    if (obj == nullptr || obj->body.empty()) {
+      continue;
+    }
+    for (const std::string& link : ExtractLinks(obj->body)) {
+      auto resolved = ParseUrl(link, &url);
+      ASSERT_TRUE(resolved.has_value()) << link;
+      if (visited.insert(resolved->path).second) {
+        frontier.push_back(*resolved);
+      }
+    }
+  }
+  for (const WebObject& obj : store.Objects()) {
+    EXPECT_TRUE(visited.count(obj.path) == 1) << obj.path << " unreachable";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SiteGeneratorTest, ::testing::Values(1, 2, 3, 42, 1234));
+
+TEST(SiteGeneratorTest2, SinglePageSiteStillValid) {
+  Rng rng(9);
+  SiteSpec spec;
+  spec.page_count = 1;
+  spec.image_count = 0;
+  spec.binary_count = 0;
+  spec.query_endpoint_count = 0;
+  ContentStore store = GenerateSite(rng, spec);
+  EXPECT_EQ(store.Size(), 1u);
+  EXPECT_NE(store.BasePage(), nullptr);
+}
+
+}  // namespace
+}  // namespace mfc

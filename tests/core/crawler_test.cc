@@ -1,0 +1,228 @@
+#include "src/core/crawler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/coordinator.h"
+
+namespace mfc {
+namespace {
+
+// In-memory site served straight to the crawler.
+class FakeFetcher : public Fetcher {
+ public:
+  void AddPage(const std::string& path, const std::string& html) {
+    pages_[path] = html;
+  }
+  void AddObject(const std::string& path, uint64_t size) { sizes_[path] = size; }
+  void AddQuery(const std::string& target, uint64_t size) { queries_[target] = size; }
+
+  HttpResponse Fetch(const HttpRequest& request) override {
+    ++fetches_;
+    if (request.method == HttpMethod::kHead) {
+      ++head_fetches_;
+    }
+    std::string path(request.Path());
+    std::string target = request.target;
+    if (request.HasQuery()) {
+      auto it = queries_.find(target);
+      if (it == queries_.end()) {
+        return NotFound();
+      }
+      HttpResponse resp;
+      resp.status = HttpStatus::kOk;
+      resp.headers.Set("Content-Length", std::to_string(it->second));
+      return resp;
+    }
+    if (auto it = pages_.find(path); it != pages_.end()) {
+      if (request.method == HttpMethod::kHead) {
+        HttpResponse resp;
+        resp.status = HttpStatus::kOk;
+        resp.headers.Set("Content-Length", std::to_string(it->second.size()));
+        return resp;
+      }
+      return HttpResponse::Make(HttpStatus::kOk, "text/html", it->second);
+    }
+    if (auto it = sizes_.find(path); it != sizes_.end()) {
+      HttpResponse resp;
+      resp.status = HttpStatus::kOk;
+      resp.headers.Set("Content-Length", std::to_string(it->second));
+      return resp;
+    }
+    return NotFound();
+  }
+
+  int fetches_ = 0;
+  int head_fetches_ = 0;
+
+ private:
+  static HttpResponse NotFound() {
+    HttpResponse resp;
+    resp.status = HttpStatus::kNotFound;
+    resp.headers.Set("Content-Length", "0");
+    return resp;
+  }
+
+  std::map<std::string, std::string> pages_;
+  std::map<std::string, uint64_t> sizes_;
+  std::map<std::string, uint64_t> queries_;
+};
+
+Url Root() {
+  Url url;
+  url.host = "h";
+  return url;
+}
+
+TEST(CrawlerTest, DiscoversLinkedContentAndClassifies) {
+  FakeFetcher fetcher;
+  fetcher.AddPage("/", R"(<html>
+      <a href="/docs/page2.html">two</a>
+      <a href="/files/big.tar.gz">dl</a>
+      <img src="/img/pic.jpg">
+      <a href="/cgi/s.php?id=1">search</a>
+      </html>)");
+  fetcher.AddPage("/docs/page2.html", R"(<a href="/">home</a>)");
+  fetcher.AddObject("/files/big.tar.gz", 500 * 1024);
+  fetcher.AddObject("/img/pic.jpg", 20 * 1024);
+  fetcher.AddQuery("/cgi/s.php?id=1", 4 * 1024);
+
+  Crawler crawler(fetcher, CrawlLimits{}, ProfileThresholds{});
+  ContentProfile profile = crawler.Crawl(Root());
+
+  EXPECT_EQ(profile.pages_crawled, 2u);
+  ASSERT_EQ(profile.large_objects.size(), 1u);
+  EXPECT_EQ(profile.large_objects[0].url.path, "/files/big.tar.gz");
+  EXPECT_EQ(profile.large_objects[0].size_bytes, 500u * 1024u);
+  ASSERT_EQ(profile.small_queries.size(), 1u);
+  EXPECT_EQ(profile.small_queries[0].url.RequestTarget(), "/cgi/s.php?id=1");
+  EXPECT_TRUE(profile.HasLargeObject());
+  EXPECT_TRUE(profile.HasSmallQuery());
+}
+
+TEST(CrawlerTest, SizesStaticObjectsWithHead) {
+  FakeFetcher fetcher;
+  fetcher.AddPage("/", R"(<a href="/files/a.pdf">a</a>)");
+  fetcher.AddObject("/files/a.pdf", 200 * 1024);
+  Crawler crawler(fetcher, CrawlLimits{}, ProfileThresholds{});
+  crawler.Crawl(Root());
+  EXPECT_EQ(fetcher.head_fetches_, 1);
+}
+
+TEST(CrawlerTest, SmallObjectsNotLargeCandidates) {
+  FakeFetcher fetcher;
+  fetcher.AddPage("/", R"(<a href="/files/small.pdf">s</a>)");
+  fetcher.AddObject("/files/small.pdf", 50 * 1024);  // under 100 KB
+  Crawler crawler(fetcher, CrawlLimits{}, ProfileThresholds{});
+  ContentProfile profile = crawler.Crawl(Root());
+  EXPECT_FALSE(profile.HasLargeObject());
+  EXPECT_EQ(profile.all_objects.size(), 2u);  // page + pdf
+}
+
+TEST(CrawlerTest, BigQueriesNotSmallQueryCandidates) {
+  FakeFetcher fetcher;
+  fetcher.AddPage("/", R"(<a href="/cgi/s.php?dump=all">big</a>)");
+  fetcher.AddQuery("/cgi/s.php?dump=all", 200 * 1024);  // over 15 KB
+  Crawler crawler(fetcher, CrawlLimits{}, ProfileThresholds{});
+  ContentProfile profile = crawler.Crawl(Root());
+  EXPECT_FALSE(profile.HasSmallQuery());
+}
+
+TEST(CrawlerTest, StaysOnSite) {
+  FakeFetcher fetcher;
+  fetcher.AddPage("/", R"(<a href="http://elsewhere.example.org/x.html">off</a>)");
+  Crawler crawler(fetcher, CrawlLimits{}, ProfileThresholds{});
+  ContentProfile profile = crawler.Crawl(Root());
+  EXPECT_EQ(fetcher.fetches_, 1);
+  EXPECT_EQ(profile.urls_probed, 1u);
+}
+
+TEST(CrawlerTest, DeduplicatesRepeatedLinks) {
+  FakeFetcher fetcher;
+  fetcher.AddPage("/", R"(<a href="/a.html">1</a><a href="/a.html">2</a>)");
+  fetcher.AddPage("/a.html", R"(<a href="/">back</a>)");
+  Crawler crawler(fetcher, CrawlLimits{}, ProfileThresholds{});
+  crawler.Crawl(Root());
+  EXPECT_EQ(fetcher.fetches_, 2);
+}
+
+TEST(CrawlerTest, RespectsPageLimit) {
+  FakeFetcher fetcher;
+  // A long chain of pages.
+  for (int i = 0; i < 50; ++i) {
+    std::string path = i == 0 ? "/" : "/p" + std::to_string(i) + ".html";
+    std::string next = "/p" + std::to_string(i + 1) + ".html";
+    fetcher.AddPage(path, "<a href=\"" + next + "\">next</a>");
+  }
+  CrawlLimits limits;
+  limits.max_pages = 5;
+  limits.max_depth = 100;
+  Crawler crawler(fetcher, limits, ProfileThresholds{});
+  ContentProfile profile = crawler.Crawl(Root());
+  EXPECT_EQ(profile.pages_crawled, 5u);
+}
+
+TEST(CrawlerTest, RespectsDepthLimit) {
+  FakeFetcher fetcher;
+  for (int i = 0; i < 20; ++i) {
+    std::string path = i == 0 ? "/" : "/p" + std::to_string(i) + ".html";
+    std::string next = "/p" + std::to_string(i + 1) + ".html";
+    fetcher.AddPage(path, "<a href=\"" + next + "\">next</a>");
+  }
+  CrawlLimits limits;
+  limits.max_depth = 3;
+  Crawler crawler(fetcher, limits, ProfileThresholds{});
+  ContentProfile profile = crawler.Crawl(Root());
+  // Pages at depth 0..3 are fetched; p3 sits at the depth limit so its link
+  // to p4 is never followed.
+  EXPECT_EQ(profile.pages_crawled, 4u);
+}
+
+TEST(CrawlerTest, FailedFetchesExcludedFromProfile) {
+  FakeFetcher fetcher;
+  fetcher.AddPage("/", R"(<a href="/gone.pdf">x</a>)");
+  Crawler crawler(fetcher, CrawlLimits{}, ProfileThresholds{});
+  ContentProfile profile = crawler.Crawl(Root());
+  EXPECT_EQ(profile.all_objects.size(), 1u);  // only the page itself
+}
+
+TEST(CrawlerTest, PickLargeObjectPrefersLargestUnderCap) {
+  ContentProfile profile;
+  DiscoveredObject a;
+  a.size_bytes = 150 * 1024;
+  DiscoveredObject b;
+  b.size_bytes = 900 * 1024;
+  DiscoveredObject huge;
+  huge.size_bytes = 50 * 1024 * 1024;
+  profile.large_objects = {a, huge, b};
+  EXPECT_EQ(profile.PickLargeObject()->size_bytes, 900u * 1024u);
+}
+
+TEST(CrawlerTest, PickLargeObjectFallsBackToSmallestWhenAllOversized) {
+  ContentProfile profile;
+  DiscoveredObject a;
+  a.size_bytes = 50 * 1024 * 1024;
+  DiscoveredObject b;
+  b.size_bytes = 10 * 1024 * 1024;
+  profile.large_objects = {a, b};
+  EXPECT_EQ(profile.PickLargeObject()->size_bytes, 10u * 1024u * 1024u);
+}
+
+TEST(CrawlerTest, SelectStageObjectsMapsProfile) {
+  FakeFetcher fetcher;
+  fetcher.AddPage("/", R"(<a href="/files/big.zip">d</a><a href="/cgi/q.php?x=1">q</a>)");
+  fetcher.AddObject("/files/big.zip", 300 * 1024);
+  fetcher.AddQuery("/cgi/q.php?x=1", 2 * 1024);
+  Crawler crawler(fetcher, CrawlLimits{}, ProfileThresholds{});
+  ContentProfile profile = crawler.Crawl(Root());
+  StageObjects objects = SelectStageObjects(profile);
+  ASSERT_TRUE(objects.base_page.has_value());
+  ASSERT_TRUE(objects.large_object.has_value());
+  ASSERT_TRUE(objects.small_query.has_value());
+  EXPECT_EQ(objects.large_object->path, "/files/big.zip");
+  EXPECT_EQ(objects.small_query->path, "/cgi/q.php");
+}
+
+}  // namespace
+}  // namespace mfc

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "src/core/inference.h"
+#include "src/core/population.h"
+#include "src/telemetry/stats.h"
+
+namespace mfc {
+namespace {
+
+StageResult MakeStage(StageKind kind, bool stopped, size_t stop_size, size_t max_tested) {
+  StageResult stage;
+  stage.kind = kind;
+  stage.stopped = stopped;
+  stage.stopping_crowd_size = stop_size;
+  stage.max_crowd_tested = max_tested;
+  return stage;
+}
+
+TEST(InferenceTest, NoStopEverywhereIsWellProvisioned) {
+  ExperimentResult result;
+  result.stages.push_back(MakeStage(StageKind::kBase, false, 0, 50));
+  result.stages.push_back(MakeStage(StageKind::kSmallQuery, false, 0, 50));
+  result.stages.push_back(MakeStage(StageKind::kLargeObject, false, 0, 50));
+  InferenceReport report = AnalyzeExperiment(result, ExperimentConfig{});
+  EXPECT_FALSE(report.AnyConstraint());
+  bool found = false;
+  for (const auto& note : report.notes) {
+    if (note.find("well-provisioned") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InferenceTest, QueryConstraintFlagsDdosExposure) {
+  ExperimentResult result;
+  result.stages.push_back(MakeStage(StageKind::kSmallQuery, true, 20, 20));
+  result.stages.push_back(MakeStage(StageKind::kLargeObject, false, 0, 50));
+  InferenceReport report = AnalyzeExperiment(result, ExperimentConfig{});
+  EXPECT_TRUE(report.AnyConstraint());
+  bool found = false;
+  for (const auto& note : report.notes) {
+    if (note.find("application-level") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InferenceTest, BaseVsLargeObjectDiagnosesRequestHandling) {
+  // The Univ-3 video-download incident.
+  ExperimentResult result;
+  result.stages.push_back(MakeStage(StageKind::kBase, true, 30, 30));
+  result.stages.push_back(MakeStage(StageKind::kLargeObject, false, 0, 50));
+  InferenceReport report = AnalyzeExperiment(result, ExperimentConfig{});
+  bool found = false;
+  for (const auto& note : report.notes) {
+    if (note.find("request handling") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InferenceTest, AbortedExperimentExplains) {
+  ExperimentResult result;
+  result.aborted = true;
+  result.abort_reason = "only 12 clients";
+  InferenceReport report = AnalyzeExperiment(result, ExperimentConfig{});
+  EXPECT_TRUE(report.assessments.empty());
+  ASSERT_FALSE(report.notes.empty());
+  EXPECT_NE(report.notes[0].find("aborted"), std::string::npos);
+}
+
+TEST(InferenceTest, TextReportMentionsEveryStage) {
+  ExperimentResult result;
+  result.stages.push_back(MakeStage(StageKind::kBase, true, 25, 25));
+  result.stages.push_back(MakeStage(StageKind::kSmallQuery, false, 0, 50));
+  InferenceReport report = AnalyzeExperiment(result, ExperimentConfig{});
+  std::string text = report.ToText();
+  EXPECT_NE(text.find("Base"), std::string::npos);
+  EXPECT_NE(text.find("SmallQuery"), std::string::npos);
+  EXPECT_NE(text.find("25"), std::string::npos);
+}
+
+TEST(InferenceTest, SubsystemNames) {
+  EXPECT_EQ(SubsystemFor(StageKind::kBase), "basic HTTP request processing");
+  EXPECT_EQ(SubsystemFor(StageKind::kSmallQuery), "back-end data processing sub-system");
+  EXPECT_EQ(SubsystemFor(StageKind::kLargeObject), "outbound access bandwidth");
+}
+
+TEST(PopulationTest, CohortNames) {
+  EXPECT_EQ(CohortName(Cohort::kRank1To1K), "Quantcast 1-1K");
+  EXPECT_EQ(CohortName(Cohort::kPhishing), "Phishing");
+}
+
+TEST(PopulationTest, SampledSitesAreWellFormed) {
+  Rng rng(11);
+  for (Cohort cohort : {Cohort::kRank1To1K, Cohort::kRank1KTo10K, Cohort::kRank10KTo100K,
+                        Cohort::kRank100KTo1M, Cohort::kStartup, Cohort::kPhishing}) {
+    for (int i = 0; i < 20; ++i) {
+      SiteInstance site = SampleSite(rng, cohort);
+      EXPECT_GT(site.server.request_parse_cpu_s, 0.0);
+      EXPECT_GT(site.server.head_cpu_s, 0.0);
+      EXPECT_LE(site.server.head_cpu_s, 0.08);
+      EXPECT_GT(site.server_access_bps, 0.0);
+      EXPECT_GE(site.site.query_rows_min, 50u);
+      EXPECT_GT(site.base_knee, 0.0);
+      EXPECT_GT(site.query_knee, 0.0);
+      EXPECT_GT(site.bandwidth_knee, 0.0);
+    }
+  }
+}
+
+TEST(PopulationTest, PopularCohortsAreBetterProvisionedOnMedian) {
+  Rng rng(13);
+  auto median_knee = [&rng](Cohort cohort) {
+    std::vector<double> base;
+    std::vector<double> query;
+    for (int i = 0; i < 300; ++i) {
+      SiteInstance site = SampleSite(rng, cohort);
+      base.push_back(site.base_knee);
+      query.push_back(site.query_knee);
+    }
+    return std::pair<double, double>(Median(base), Median(query));
+  };
+  auto top = median_knee(Cohort::kRank1To1K);
+  auto mid = median_knee(Cohort::kRank10KTo100K);
+  auto low = median_knee(Cohort::kRank100KTo1M);
+  EXPECT_GT(top.first, mid.first);
+  EXPECT_GT(mid.first, low.first);
+  EXPECT_GT(top.second, mid.second);
+  EXPECT_GT(mid.second, low.second);
+}
+
+TEST(PopulationTest, PhishingResemblesLowRankBand) {
+  Rng rng(17);
+  std::vector<double> phishing;
+  std::vector<double> low;
+  for (int i = 0; i < 300; ++i) {
+    phishing.push_back(SampleSite(rng, Cohort::kPhishing).query_knee);
+    low.push_back(SampleSite(rng, Cohort::kRank100KTo1M).query_knee);
+  }
+  double ratio = Median(phishing) / Median(low);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(PopulationTest, NamedProfilesMatchPaperDescriptions) {
+  SiteInstance qtnp = MakeQtnpProfile();
+  EXPECT_GT(qtnp.server.head_cpu_s, qtnp.server.request_parse_cpu_s);
+  EXPECT_GT(qtnp.server.db_dedicated_cores, 0u);
+  EXPECT_EQ(qtnp.replicas, 1u);
+
+  SiteInstance qtp = MakeQtpProfile();
+  EXPECT_EQ(qtp.replicas, 16u);
+  EXPECT_GT(qtp.server_access_bps, qtnp.server_access_bps);
+
+  SiteInstance univ1 = MakeUniv1Profile();
+  EXPECT_LT(univ1.base_knee, 10.0);
+
+  SiteInstance univ2 = MakeUniv2Profile();
+  EXPECT_GT(univ2.server.per_connection_cpu_s, 0.0);
+  EXPECT_DOUBLE_EQ(univ2.server_access_bps, 125e6);
+
+  SiteInstance univ3 = MakeUniv3Profile();
+  EXPECT_DOUBLE_EQ(univ3.server.db.query_cache_bytes, 0.0);
+  EXPECT_LT(univ3.query_knee, univ3.base_knee);
+
+  SiteInstance lab = MakeLabValidationProfile();
+  EXPECT_DOUBLE_EQ(lab.server_access_bps, 12.5e6);
+  EXPECT_EQ(lab.site.query_rows_min, 50'000u);
+  EXPECT_EQ(lab.server.cgi_model, CgiModel::kFastCgi);
+}
+
+}  // namespace
+}  // namespace mfc

@@ -1,0 +1,71 @@
+#include "src/core/sync_scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace mfc {
+namespace {
+
+TEST(SyncSchedulerTest, PaperFormula) {
+  std::vector<ClientLatencyEstimate> clients{
+      {0, 0.040, 0.100},  // coord rtt 40 ms, target rtt 100 ms
+  };
+  auto dispatch = ComputeDispatchTimes(clients, 100.0);
+  ASSERT_EQ(dispatch.size(), 1u);
+  // T - 0.5*Tc - 1.5*Tt = 100 - 0.020 - 0.150.
+  EXPECT_NEAR(dispatch[0].command_send_time, 99.830, 1e-9);
+  EXPECT_DOUBLE_EQ(dispatch[0].intended_arrival, 100.0);
+  EXPECT_EQ(dispatch[0].client_id, 0u);
+}
+
+TEST(SyncSchedulerTest, HigherLatencyClientsDispatchEarlier) {
+  std::vector<ClientLatencyEstimate> clients{
+      {0, 0.020, 0.050},
+      {1, 0.020, 0.300},
+  };
+  auto dispatch = ComputeDispatchTimes(clients, 50.0);
+  EXPECT_LT(dispatch[1].command_send_time, dispatch[0].command_send_time);
+}
+
+TEST(SyncSchedulerTest, IdealArrivalIsSimultaneous) {
+  // If latencies are exactly as estimated: command at send_time, received
+  // 0.5*Tc later, request lands 1.5*Tt after that — at T for every client.
+  std::vector<ClientLatencyEstimate> clients;
+  for (size_t i = 0; i < 20; ++i) {
+    clients.push_back({i, 0.010 + 0.002 * static_cast<double>(i),
+                       0.030 + 0.015 * static_cast<double>(i)});
+  }
+  auto dispatch = ComputeDispatchTimes(clients, 77.0);
+  for (size_t i = 0; i < clients.size(); ++i) {
+    double arrival = dispatch[i].command_send_time + 0.5 * clients[i].coord_rtt +
+                     1.5 * clients[i].target_rtt;
+    EXPECT_NEAR(arrival, 77.0, 1e-12) << i;
+  }
+}
+
+TEST(SyncSchedulerTest, StaggeredSpacingOffsetsArrivals) {
+  std::vector<ClientLatencyEstimate> clients{
+      {0, 0.010, 0.010},
+      {1, 0.010, 0.010},
+      {2, 0.010, 0.010},
+  };
+  auto dispatch = ComputeDispatchTimes(clients, 10.0, 0.050);
+  EXPECT_DOUBLE_EQ(dispatch[0].intended_arrival, 10.0);
+  EXPECT_DOUBLE_EQ(dispatch[1].intended_arrival, 10.05);
+  EXPECT_DOUBLE_EQ(dispatch[2].intended_arrival, 10.10);
+}
+
+TEST(SyncSchedulerTest, RequiredLeadIsMaxOverClients) {
+  std::vector<ClientLatencyEstimate> clients{
+      {0, 0.040, 0.100},  // 0.020 + 0.150 = 0.170
+      {1, 0.010, 0.200},  // 0.005 + 0.300 = 0.305
+  };
+  EXPECT_NEAR(RequiredLead(clients), 0.305, 1e-12);
+  EXPECT_DOUBLE_EQ(RequiredLead({}), 0.0);
+}
+
+TEST(SyncSchedulerTest, EmptyCrowd) {
+  EXPECT_TRUE(ComputeDispatchTimes({}, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace mfc

@@ -1,0 +1,114 @@
+#include "src/http/html.h"
+
+#include <gtest/gtest.h>
+
+#include "src/http/content_type.h"
+
+namespace mfc {
+namespace {
+
+TEST(ExtractLinksTest, AnchorHref) {
+  auto links = ExtractLinks(R"(<a href="/page1.html">one</a>)");
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0], "/page1.html");
+}
+
+TEST(ExtractLinksTest, MultipleTagKinds) {
+  auto links = ExtractLinks(R"(
+    <a href="/a.html">a</a>
+    <img src="/img/x.jpg">
+    <script src="/js/app.js"></script>
+    <link href="/css/site.css" rel="stylesheet">
+    <iframe src="/embed.html"></iframe>
+  )");
+  ASSERT_EQ(links.size(), 5u);
+  EXPECT_EQ(links[0], "/a.html");
+  EXPECT_EQ(links[1], "/img/x.jpg");
+  EXPECT_EQ(links[2], "/js/app.js");
+  EXPECT_EQ(links[3], "/css/site.css");
+  EXPECT_EQ(links[4], "/embed.html");
+}
+
+TEST(ExtractLinksTest, SingleQuotesAndUnquoted) {
+  auto links = ExtractLinks("<a href='/q.html'>q</a> <a href=/u.html>u</a>");
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0], "/q.html");
+  EXPECT_EQ(links[1], "/u.html");
+}
+
+TEST(ExtractLinksTest, CaseInsensitiveTagAndAttr) {
+  auto links = ExtractLinks(R"(<A HREF="/caps.html">x</A><IMG SRC="/i.png">)");
+  ASSERT_EQ(links.size(), 2u);
+}
+
+TEST(ExtractLinksTest, IgnoresClosingAndCommentTags) {
+  auto links = ExtractLinks("<!-- <a href=\"/hidden.html\"> --></a><!doctype html>");
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(ExtractLinksTest, IgnoresUnrelatedAttributes) {
+  auto links = ExtractLinks(R"(<div data-href="/not-a-link"></div><p src="/nope"></p>)");
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(ExtractLinksTest, AttributeSpacingVariants) {
+  auto links = ExtractLinks(R"(<a href = "/spaced.html">x</a>)");
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0], "/spaced.html");
+}
+
+TEST(ExtractLinksTest, QueryLinksSurvive) {
+  auto links = ExtractLinks(R"(<a href="/cgi/s.php?id=3&x=1">q</a>)");
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0], "/cgi/s.php?id=3&x=1");
+}
+
+TEST(ExtractLinksTest, UnterminatedTagHandled) {
+  auto links = ExtractLinks("<a href=\"/x.html\"");
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(ExtractLinksTest, EmptyAndPlainText) {
+  EXPECT_TRUE(ExtractLinks("").empty());
+  EXPECT_TRUE(ExtractLinks("no tags here at all").empty());
+}
+
+TEST(ContentTypeTest, TextExtensions) {
+  EXPECT_EQ(ClassifyPath("/index.html"), ContentClass::kText);
+  EXPECT_EQ(ClassifyPath("/doc.txt"), ContentClass::kText);
+  EXPECT_EQ(ClassifyPath("/style.css"), ContentClass::kText);
+  EXPECT_EQ(ClassifyPath("/cgi/search.php"), ContentClass::kText);
+  EXPECT_EQ(ClassifyPath("/"), ContentClass::kText);
+  EXPECT_EQ(ClassifyPath("/noext"), ContentClass::kText);
+}
+
+TEST(ContentTypeTest, ImageExtensions) {
+  EXPECT_EQ(ClassifyPath("/a.GIF"), ContentClass::kImage);
+  EXPECT_EQ(ClassifyPath("/pics/b.jpeg"), ContentClass::kImage);
+  EXPECT_EQ(ClassifyPath("/c.png"), ContentClass::kImage);
+}
+
+TEST(ContentTypeTest, BinaryExtensions) {
+  EXPECT_EQ(ClassifyPath("/files/x.pdf"), ContentClass::kBinary);
+  EXPECT_EQ(ClassifyPath("/dl/setup.exe"), ContentClass::kBinary);
+  EXPECT_EQ(ClassifyPath("/r/pack.tar.gz"), ContentClass::kBinary);
+  EXPECT_EQ(ClassifyPath("/movie.mp4"), ContentClass::kBinary);
+}
+
+TEST(ContentTypeTest, UnknownExtension) {
+  EXPECT_EQ(ClassifyPath("/what.xyz123"), ContentClass::kUnknown);
+}
+
+TEST(ContentTypeTest, DotInDirectoryNotExtension) {
+  EXPECT_EQ(ClassifyPath("/v1.2/readme"), ContentClass::kText);
+}
+
+TEST(ContentTypeTest, MimeTypes) {
+  EXPECT_EQ(MimeTypeForPath("/a.html"), "text/html");
+  EXPECT_EQ(MimeTypeForPath("/a.jpg"), "image/jpeg");
+  EXPECT_EQ(MimeTypeForPath("/a.pdf"), "application/pdf");
+  EXPECT_EQ(MimeTypeForPath("/a.unknownext"), "application/octet-stream");
+}
+
+}  // namespace
+}  // namespace mfc

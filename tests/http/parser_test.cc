@@ -1,0 +1,220 @@
+#include "src/http/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mfc {
+namespace {
+
+constexpr const char* kSimpleRequest =
+    "GET /index.html HTTP/1.1\r\nHost: example.com\r\nUser-Agent: t\r\n\r\n";
+
+TEST(RequestParserTest, ParsesSimpleGet) {
+  RequestParser parser;
+  size_t consumed = parser.Feed(kSimpleRequest);
+  EXPECT_EQ(consumed, std::string(kSimpleRequest).size());
+  ASSERT_TRUE(parser.Done());
+  EXPECT_EQ(parser.Message().method, HttpMethod::kGet);
+  EXPECT_EQ(parser.Message().target, "/index.html");
+  EXPECT_EQ(parser.Message().headers.Get("Host").value(), "example.com");
+}
+
+TEST(RequestParserTest, ParsesHead) {
+  RequestParser parser;
+  parser.Feed("HEAD / HTTP/1.1\r\nHost: h\r\n\r\n");
+  ASSERT_TRUE(parser.Done());
+  EXPECT_EQ(parser.Message().method, HttpMethod::kHead);
+}
+
+TEST(RequestParserTest, ParsesBodyByContentLength) {
+  RequestParser parser;
+  parser.Feed("POST /s HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  ASSERT_TRUE(parser.Done());
+  EXPECT_EQ(parser.Message().body, "hello");
+}
+
+TEST(RequestParserTest, IncrementalBody) {
+  RequestParser parser;
+  parser.Feed("POST /s HTTP/1.1\r\nContent-Length: 10\r\n\r\n");
+  EXPECT_FALSE(parser.Done());
+  EXPECT_EQ(parser.Phase(), ParsePhase::kBody);
+  parser.Feed("01234");
+  EXPECT_FALSE(parser.Done());
+  parser.Feed("56789");
+  ASSERT_TRUE(parser.Done());
+  EXPECT_EQ(parser.Message().body, "0123456789");
+}
+
+TEST(RequestParserTest, ExcessBytesNotConsumed) {
+  RequestParser parser;
+  std::string two = std::string(kSimpleRequest) + "GET /other HTTP/1.1\r\n\r\n";
+  size_t consumed = parser.Feed(two);
+  EXPECT_EQ(consumed, std::string(kSimpleRequest).size());
+  EXPECT_TRUE(parser.Done());
+}
+
+TEST(RequestParserTest, ToleratesLeadingBlankLines) {
+  RequestParser parser;
+  parser.Feed("\r\n\r\nGET / HTTP/1.1\r\nHost: h\r\n\r\n");
+  EXPECT_TRUE(parser.Done());
+}
+
+TEST(RequestParserTest, BareLfAccepted) {
+  RequestParser parser;
+  parser.Feed("GET / HTTP/1.1\nHost: h\n\n");
+  EXPECT_TRUE(parser.Done());
+  EXPECT_EQ(parser.Message().headers.Get("Host").value(), "h");
+}
+
+TEST(RequestParserTest, HeaderValueOwsTrimmed) {
+  RequestParser parser;
+  parser.Feed("GET / HTTP/1.1\r\nX-Pad:   spaced value \t\r\n\r\n");
+  ASSERT_TRUE(parser.Done());
+  EXPECT_EQ(parser.Message().headers.Get("X-Pad").value(), "spaced value");
+}
+
+TEST(RequestParserTest, RejectsUnknownMethod) {
+  RequestParser parser;
+  parser.Feed("BREW /coffee HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(parser.Failed());
+}
+
+TEST(RequestParserTest, RejectsBadVersion) {
+  RequestParser parser;
+  parser.Feed("GET / HTTP/2.0\r\n\r\n");
+  EXPECT_TRUE(parser.Failed());
+}
+
+TEST(RequestParserTest, RejectsTargetWithoutSlash) {
+  RequestParser parser;
+  parser.Feed("GET index.html HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(parser.Failed());
+}
+
+TEST(RequestParserTest, RejectsHeaderWithoutColon) {
+  RequestParser parser;
+  parser.Feed("GET / HTTP/1.1\r\nBadHeader\r\n\r\n");
+  EXPECT_TRUE(parser.Failed());
+}
+
+TEST(RequestParserTest, RejectsEmptyHeaderName) {
+  RequestParser parser;
+  parser.Feed("GET / HTTP/1.1\r\n: value\r\n\r\n");
+  EXPECT_TRUE(parser.Failed());
+}
+
+TEST(RequestParserTest, RejectsHeaderNameWithSpace) {
+  RequestParser parser;
+  parser.Feed("GET / HTTP/1.1\r\nBad Name: v\r\n\r\n");
+  EXPECT_TRUE(parser.Failed());
+}
+
+TEST(RequestParserTest, RejectsMalformedContentLength) {
+  RequestParser parser;
+  parser.Feed("POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n");
+  EXPECT_TRUE(parser.Failed());
+}
+
+TEST(RequestParserTest, StaysFailedAfterError) {
+  RequestParser parser;
+  parser.Feed("BREW / HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.Failed());
+  parser.Feed("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(parser.Failed());
+}
+
+TEST(ResponseParserTest, ParsesSimpleResponse) {
+  ResponseParser parser;
+  parser.Feed("HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabc");
+  ASSERT_TRUE(parser.Done());
+  EXPECT_EQ(parser.Message().status, HttpStatus::kOk);
+  EXPECT_EQ(parser.Message().body, "abc");
+}
+
+TEST(ResponseParserTest, HeadResponseSkipsBody) {
+  ResponseParser parser;
+  parser.set_expect_body(false);
+  parser.Feed("HTTP/1.1 200 OK\r\nContent-Length: 102400\r\n\r\n");
+  ASSERT_TRUE(parser.Done());
+  EXPECT_TRUE(parser.Message().body.empty());
+  EXPECT_EQ(parser.Message().headers.ContentLength().value(), 102400u);
+}
+
+TEST(ResponseParserTest, StatusWithoutReasonPhrase) {
+  ResponseParser parser;
+  parser.Feed("HTTP/1.1 204\r\n\r\n");
+  ASSERT_TRUE(parser.Done());
+  EXPECT_EQ(parser.Message().status, HttpStatus::kNoContent);
+}
+
+TEST(ResponseParserTest, RejectsBadStatusCode) {
+  ResponseParser parser;
+  parser.Feed("HTTP/1.1 9000 Huge\r\n\r\n");
+  EXPECT_TRUE(parser.Failed());
+}
+
+TEST(ResponseParserTest, RejectsNonNumericStatus) {
+  ResponseParser parser;
+  parser.Feed("HTTP/1.1 OK 200\r\n\r\n");
+  EXPECT_TRUE(parser.Failed());
+}
+
+TEST(ResponseParserTest, RejectsBadVersion) {
+  ResponseParser parser;
+  parser.Feed("SIP/2.0 200 OK\r\n\r\n");
+  EXPECT_TRUE(parser.Failed());
+}
+
+// Round-trip property: serialize then parse yields the same message, for any
+// chunking of the wire bytes.
+class ParserChunkingTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParserChunkingTest, RequestRoundTripUnderChunking) {
+  size_t chunk = GetParam();
+  HttpRequest req;
+  req.method = HttpMethod::kPost;
+  req.target = "/cgi/search.php?q=xyz&mfc=17";
+  req.headers.Set("Host", "target.example.com");
+  req.headers.Set("User-Agent", "mfc-client/1.0");
+  req.body = "payload-data-0123456789";
+  std::string wire = req.Serialize();
+
+  RequestParser parser;
+  size_t pos = 0;
+  while (pos < wire.size()) {
+    size_t n = std::min(chunk, wire.size() - pos);
+    size_t consumed = parser.Feed(std::string_view(wire).substr(pos, n));
+    EXPECT_EQ(consumed, n);
+    pos += n;
+  }
+  ASSERT_TRUE(parser.Done()) << "chunk=" << chunk;
+  EXPECT_EQ(parser.Message().method, req.method);
+  EXPECT_EQ(parser.Message().target, req.target);
+  EXPECT_EQ(parser.Message().body, req.body);
+  EXPECT_EQ(parser.Message().headers.Get("Host").value(), "target.example.com");
+}
+
+TEST_P(ParserChunkingTest, ResponseRoundTripUnderChunking) {
+  size_t chunk = GetParam();
+  HttpResponse resp = HttpResponse::Make(HttpStatus::kOk, "text/html",
+                                         "<html><body>hello world</body></html>");
+  std::string wire = resp.Serialize();
+
+  ResponseParser parser;
+  size_t pos = 0;
+  while (pos < wire.size()) {
+    size_t n = std::min(chunk, wire.size() - pos);
+    parser.Feed(std::string_view(wire).substr(pos, n));
+    pos += n;
+  }
+  ASSERT_TRUE(parser.Done()) << "chunk=" << chunk;
+  EXPECT_EQ(parser.Message().status, HttpStatus::kOk);
+  EXPECT_EQ(parser.Message().body, resp.body);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, ParserChunkingTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 16, 64, 1024));
+
+}  // namespace
+}  // namespace mfc

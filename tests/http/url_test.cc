@@ -1,0 +1,131 @@
+#include "src/http/url.h"
+
+#include <gtest/gtest.h>
+
+namespace mfc {
+namespace {
+
+TEST(UrlParseTest, AbsoluteBasic) {
+  auto url = ParseUrl("http://example.com/index.html");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->host, "example.com");
+  EXPECT_EQ(url->port, 80);
+  EXPECT_EQ(url->path, "/index.html");
+  EXPECT_TRUE(url->query.empty());
+}
+
+TEST(UrlParseTest, HostOnlyGetsRootPath) {
+  auto url = ParseUrl("http://example.com");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path, "/");
+}
+
+TEST(UrlParseTest, ExplicitPort) {
+  auto url = ParseUrl("http://example.com:8080/a");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->port, 8080);
+  EXPECT_EQ(url->ToString(), "http://example.com:8080/a");
+}
+
+TEST(UrlParseTest, QueryString) {
+  auto url = ParseUrl("http://h/cgi/search.php?q=abc&n=5");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path, "/cgi/search.php");
+  EXPECT_EQ(url->query, "q=abc&n=5");
+  EXPECT_TRUE(url->HasQuery());
+  EXPECT_EQ(url->RequestTarget(), "/cgi/search.php?q=abc&n=5");
+}
+
+TEST(UrlParseTest, FragmentStripped) {
+  auto url = ParseUrl("http://h/a.html#section2");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path, "/a.html");
+}
+
+TEST(UrlParseTest, NonHttpSchemesRejected) {
+  EXPECT_FALSE(ParseUrl("https://secure.example.com/").has_value());
+  EXPECT_FALSE(ParseUrl("ftp://example.com/file").has_value());
+  EXPECT_FALSE(ParseUrl("mailto:user@example.com").has_value());
+}
+
+TEST(UrlParseTest, MalformedRejected) {
+  EXPECT_FALSE(ParseUrl("").has_value());
+  EXPECT_FALSE(ParseUrl("http://").has_value());
+  EXPECT_FALSE(ParseUrl("http://:80/").has_value());
+  EXPECT_FALSE(ParseUrl("http://h:notaport/").has_value());
+  EXPECT_FALSE(ParseUrl("http://h:0/").has_value());
+  EXPECT_FALSE(ParseUrl("http://h:70000/").has_value());
+}
+
+TEST(UrlParseTest, RelativeNeedsBase) {
+  EXPECT_FALSE(ParseUrl("page.html").has_value());
+}
+
+TEST(UrlParseTest, RelativeAbsolutePath) {
+  Url base = *ParseUrl("http://h/dir/page.html");
+  auto url = ParseUrl("/other/x.html", &base);
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->host, "h");
+  EXPECT_EQ(url->path, "/other/x.html");
+}
+
+TEST(UrlParseTest, RelativeSiblingResolvesAgainstDirectory) {
+  Url base = *ParseUrl("http://h/dir/page.html");
+  auto url = ParseUrl("img/pic.jpg", &base);
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path, "/dir/img/pic.jpg");
+}
+
+TEST(UrlParseTest, RelativeDotDotNormalized) {
+  Url base = *ParseUrl("http://h/a/b/c.html");
+  auto url = ParseUrl("../up.html", &base);
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path, "/a/up.html");
+}
+
+TEST(UrlParseTest, DotDotPastRootClamped) {
+  Url base = *ParseUrl("http://h/a.html");
+  auto url = ParseUrl("../../../x.html", &base);
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path, "/x.html");
+}
+
+TEST(UrlParseTest, QueryOnlyRelative) {
+  Url base = *ParseUrl("http://h/cgi/s.php?a=1");
+  auto url = ParseUrl("?b=2", &base);
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path, "/cgi/s.php");
+  EXPECT_EQ(url->query, "b=2");
+}
+
+TEST(UrlParseTest, PreservesTrailingSlash) {
+  auto url = ParseUrl("http://h/docs/");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path, "/docs/");
+}
+
+TEST(UrlToStringTest, DefaultPortOmitted) {
+  Url url;
+  url.host = "example.com";
+  url.path = "/a";
+  EXPECT_EQ(url.ToString(), "http://example.com/a");
+}
+
+TEST(UrlToStringTest, RoundTrip) {
+  const char* cases[] = {
+      "http://example.com/",
+      "http://example.com/a/b.html",
+      "http://example.com:8080/x?q=1",
+      "http://h/cgi/s.php?a=1&b=2",
+  };
+  for (const char* c : cases) {
+    auto url = ParseUrl(c);
+    ASSERT_TRUE(url.has_value()) << c;
+    auto again = ParseUrl(url->ToString());
+    ASSERT_TRUE(again.has_value()) << c;
+    EXPECT_EQ(*url, *again) << c;
+  }
+}
+
+}  // namespace
+}  // namespace mfc

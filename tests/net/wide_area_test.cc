@@ -1,0 +1,165 @@
+#include "src/net/wide_area.h"
+
+#include <gtest/gtest.h>
+
+namespace mfc {
+namespace {
+
+WideAreaConfig NoJitterConfig() {
+  WideAreaConfig config;
+  config.jitter_sigma = 0.0;
+  config.control_loss_rate = 0.0;
+  return config;
+}
+
+TEST(WideAreaTest, BaseRttsComeFromProfiles) {
+  EventLoop loop;
+  Rng rng(1);
+  std::vector<ClientNetProfile> fleet(2);
+  fleet[0].rtt_to_target = 0.080;
+  fleet[0].rtt_to_coordinator = 0.020;
+  WideAreaNetwork wan(loop, rng, NoJitterConfig(), fleet);
+  EXPECT_DOUBLE_EQ(wan.BaseTargetRtt(0), 0.080);
+  EXPECT_DOUBLE_EQ(wan.BaseCoordRtt(0), 0.020);
+  EXPECT_DOUBLE_EQ(wan.SampleTargetOneWay(0), 0.040);
+  EXPECT_DOUBLE_EQ(wan.SampleCoordOneWay(0), 0.010);
+}
+
+TEST(WideAreaTest, JitterPerturbsSamples) {
+  EventLoop loop;
+  Rng rng(2);
+  WideAreaConfig config;
+  config.jitter_sigma = 0.2;
+  std::vector<ClientNetProfile> fleet(1);
+  fleet[0].rtt_to_target = 0.100;
+  WideAreaNetwork wan(loop, rng, config, fleet);
+  bool varied = false;
+  double first = wan.SampleTargetOneWay(0);
+  for (int i = 0; i < 20; ++i) {
+    if (std::abs(wan.SampleTargetOneWay(0) - first) > 1e-9) {
+      varied = true;
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(WideAreaTest, DownloadDeliversAfterTransferPlusPropagation) {
+  EventLoop loop;
+  Rng rng(3);
+  WideAreaConfig config = NoJitterConfig();
+  config.server_access_bps = 1e6;
+  std::vector<ClientNetProfile> fleet(1);
+  fleet[0].rtt_to_target = 0.100;
+  fleet[0].access_down_bps = 1e9;  // not the bottleneck
+  WideAreaNetwork wan(loop, rng, config, fleet);
+  SimTime done = 0.0;
+  // 100 KB at 1 MB/s. Slow start: cwnd 14600B/0.1s = 146 kB/s initial cap,
+  // doubling each RTT; plus final half-RTT propagation.
+  wan.StartDownload(0, 100e3, [&] { done = loop.Now(); });
+  loop.RunUntilIdle();
+  EXPECT_GT(done, 0.1);  // strictly more than the fluid 0.1 s
+  EXPECT_LT(done, 0.6);
+  // Cumulative accounting went through the server link.
+  EXPECT_NEAR(wan.ServerLinkCumulativeBytes(), 100e3, 1.0);
+}
+
+TEST(WideAreaTest, ConcurrentDownloadsContendOnServerLink) {
+  EventLoop loop;
+  Rng rng(4);
+  WideAreaConfig config = NoJitterConfig();
+  config.server_access_bps = 1e6;
+  std::vector<ClientNetProfile> fleet(10);
+  for (auto& c : fleet) {
+    c.rtt_to_target = 0.020;
+    c.access_down_bps = 1e9;
+  }
+  WideAreaNetwork wan(loop, rng, config, fleet);
+  SimTime solo_done = 0.0;
+  wan.StartDownload(0, 200e3, [&] { solo_done = loop.Now(); });
+  loop.RunUntilIdle();
+
+  SimTime crowd_start = loop.Now();
+  std::vector<SimTime> crowd_done(10, 0.0);
+  for (size_t i = 0; i < 10; ++i) {
+    wan.StartDownload(i, 200e3, [&, i] { crowd_done[i] = loop.Now() - crowd_start; });
+  }
+  loop.RunUntilIdle();
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_GT(crowd_done[i], 2.0 * solo_done) << i;
+  }
+}
+
+TEST(WideAreaTest, PopBottleneckOnlyHurtsItsClients) {
+  EventLoop loop;
+  Rng rng(5);
+  WideAreaConfig config = NoJitterConfig();
+  config.server_access_bps = 1e9;
+  config.pop_bottleneck_bps = {50e3, 1e9};  // POP 0 is congested
+  std::vector<ClientNetProfile> fleet(2);
+  fleet[0].pop = 0;
+  fleet[1].pop = 1;
+  for (auto& c : fleet) {
+    c.rtt_to_target = 0.020;
+    c.access_down_bps = 1e9;
+  }
+  WideAreaNetwork wan(loop, rng, config, fleet);
+  SimTime done0 = 0.0;
+  SimTime done1 = 0.0;
+  wan.StartDownload(0, 100e3, [&] { done0 = loop.Now(); });
+  wan.StartDownload(1, 100e3, [&] { done1 = loop.Now(); });
+  loop.RunUntilIdle();
+  EXPECT_GT(done0, 10.0 * done1);
+}
+
+TEST(WideAreaTest, ControlMessagesArriveAfterOneWayDelay) {
+  EventLoop loop;
+  Rng rng(6);
+  std::vector<ClientNetProfile> fleet(1);
+  fleet[0].rtt_to_coordinator = 0.060;
+  WideAreaNetwork wan(loop, rng, NoJitterConfig(), fleet);
+  SimTime delivered = -1.0;
+  wan.SendControl(0, [&] { delivered = loop.Now(); });
+  loop.RunUntilIdle();
+  EXPECT_NEAR(delivered, 0.030, 1e-9);
+}
+
+TEST(WideAreaTest, ControlLossDropsSomeMessages) {
+  EventLoop loop;
+  Rng rng(7);
+  WideAreaConfig config = NoJitterConfig();
+  config.control_loss_rate = 0.5;
+  std::vector<ClientNetProfile> fleet(1);
+  WideAreaNetwork wan(loop, rng, config, fleet);
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    wan.SendControl(0, [&] { ++delivered; });
+  }
+  loop.RunUntilIdle();
+  EXPECT_GT(delivered, 60);
+  EXPECT_LT(delivered, 140);
+}
+
+TEST(FleetFactoryTest, PlanetLabFleetShape) {
+  Rng rng(8);
+  auto fleet = MakePlanetLabFleet(rng, 100, 4);
+  ASSERT_EQ(fleet.size(), 100u);
+  for (const auto& c : fleet) {
+    EXPECT_GT(c.rtt_to_target, 0.0);
+    EXPECT_LE(c.rtt_to_target, 0.450);
+    EXPECT_GE(c.access_down_bps, 0.5e6);
+    EXPECT_LE(c.access_down_bps, 125e6);
+    EXPECT_LT(c.pop, 4u);
+  }
+}
+
+TEST(FleetFactoryTest, LanFleetIsUniformAndFast) {
+  auto fleet = MakeLanFleet(5);
+  ASSERT_EQ(fleet.size(), 5u);
+  for (const auto& c : fleet) {
+    EXPECT_LT(c.rtt_to_target, 0.001);
+    EXPECT_GE(c.access_down_bps, 100e6);
+  }
+}
+
+}  // namespace
+}  // namespace mfc

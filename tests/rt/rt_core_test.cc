@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "src/rt/reactor.h"
+#include "src/rt/sockets.h"
+#include "src/rt/wire.h"
+
+namespace mfc {
+namespace {
+
+TEST(ReactorTest, NowIsMonotonic) {
+  Reactor reactor;
+  double a = reactor.Now();
+  double b = reactor.Now();
+  EXPECT_GE(b, a);
+}
+
+TEST(ReactorTest, TimerFiresApproximatelyOnTime) {
+  Reactor reactor;
+  double fired_at = -1.0;
+  double start = reactor.Now();
+  reactor.ScheduleAfter(0.02, [&] { fired_at = reactor.Now(); });
+  reactor.RunUntil([&] { return fired_at >= 0.0; }, start + 1.0);
+  ASSERT_GE(fired_at, 0.0);
+  EXPECT_GE(fired_at - start, 0.018);
+  EXPECT_LT(fired_at - start, 0.3);  // generous: CI boxes stall
+}
+
+TEST(ReactorTest, TimersFireInOrder) {
+  Reactor reactor;
+  std::vector<int> order;
+  reactor.ScheduleAfter(0.02, [&] { order.push_back(2); });
+  reactor.ScheduleAfter(0.01, [&] { order.push_back(1); });
+  reactor.ScheduleAfter(0.03, [&] { order.push_back(3); });
+  reactor.RunUntil([&] { return order.size() == 3; }, reactor.Now() + 1.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ReactorTest, CancelledTimerNeverFires) {
+  Reactor reactor;
+  bool fired = false;
+  auto id = reactor.ScheduleAfter(0.01, [&] { fired = true; });
+  EXPECT_TRUE(reactor.CancelTimer(id));
+  EXPECT_FALSE(reactor.CancelTimer(id));
+  reactor.RunUntil([] { return false; }, reactor.Now() + 0.05);
+  EXPECT_FALSE(fired);
+}
+
+TEST(ReactorTest, RunUntilHonorsDeadline) {
+  Reactor reactor;
+  double start = reactor.Now();
+  bool satisfied = reactor.RunUntil([] { return false; }, start + 0.05);
+  EXPECT_FALSE(satisfied);
+  EXPECT_GE(reactor.Now() - start, 0.045);
+}
+
+TEST(UdpSocketTest, RoundTrip) {
+  Reactor reactor;
+  UdpSocket a(reactor, 0);
+  UdpSocket b(reactor, 0);
+  std::string received;
+  sockaddr_in from{};
+  b.SetReceiver([&](std::string_view payload, const sockaddr_in& sender) {
+    received = std::string(payload);
+    from = sender;
+  });
+  a.SetReceiver([](std::string_view, const sockaddr_in&) {});
+  a.SendTo("hello over udp", LoopbackEndpoint(b.Port()));
+  reactor.RunUntil([&] { return !received.empty(); }, reactor.Now() + 1.0);
+  EXPECT_EQ(received, "hello over udp");
+  EXPECT_EQ(ntohs(from.sin_port), a.Port());
+}
+
+TEST(TcpTest, ConnectSendReceive) {
+  Reactor reactor;
+  std::unique_ptr<TcpConnection> server_side;
+  TcpListener listener(reactor, 0, [&](std::unique_ptr<TcpConnection> conn) {
+    server_side = std::move(conn);
+    server_side->SetCallbacks(
+        [&](std::string_view data) {
+          // Echo.
+          server_side->Write(data);
+        },
+        [] {});
+  });
+
+  std::string echoed;
+  bool connected = false;
+  auto client = TcpConnection::Connect(reactor, LoopbackEndpoint(listener.Port()),
+                                       [&](bool ok) { connected = ok; });
+  ASSERT_NE(client, nullptr);
+  reactor.RunUntil([&] { return connected; }, reactor.Now() + 1.0);
+  ASSERT_TRUE(connected);
+  client->SetCallbacks([&](std::string_view data) { echoed.append(data); }, [] {});
+  client->Write("ping");
+  reactor.RunUntil([&] { return echoed.size() >= 4; }, reactor.Now() + 1.0);
+  EXPECT_EQ(echoed, "ping");
+  EXPECT_EQ(client->BytesReceived(), 4u);
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  Reactor reactor;
+  // Grab an ephemeral port then close it so nothing listens there.
+  uint16_t dead_port;
+  {
+    TcpListener listener(reactor, 0, [](std::unique_ptr<TcpConnection>) {});
+    dead_port = listener.Port();
+  }
+  bool done = false;
+  bool ok = true;
+  auto client = TcpConnection::Connect(reactor, LoopbackEndpoint(dead_port), [&](bool result) {
+    ok = result;
+    done = true;
+  });
+  ASSERT_NE(client, nullptr);
+  reactor.RunUntil([&] { return done; }, reactor.Now() + 1.0);
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+}
+
+TEST(WireTest, EncodeDecodeRoundTrip) {
+  std::vector<ControlMessage> messages = {
+      MsgRegister{42},
+      MsgPing{7},
+      MsgPong{7},
+      MsgRttProbe{9, 8080},
+      MsgRtt{9, 1234},
+      MsgMeasure{11, "HEAD", 8080, "/index.html"},
+      MsgFire{12, 5, "GET", 8080, "/cgi/q.php?mfc=3"},
+      MsgSample{12, 200, 102400, 83211, false},
+  };
+  for (const ControlMessage& message : messages) {
+    std::string wire = EncodeMessage(message);
+    auto decoded = DecodeMessage(wire);
+    ASSERT_TRUE(decoded.has_value()) << wire;
+    EXPECT_EQ(EncodeMessage(*decoded), wire);
+  }
+}
+
+TEST(WireTest, DecodeRejectsMalformed) {
+  const char* bad[] = {
+      "",
+      "NOPE 1",
+      "REGISTER",
+      "REGISTER abc",
+      "PING 1 2",
+      "MEASURE 1 BREW 80 /x",       // bad method
+      "MEASURE 1 GET 80 noslash",   // target must start with '/'
+      "FIRE 1 2 GET notaport /x",
+      "SAMPLE 1 200 5",             // missing fields
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(DecodeMessage(line).has_value()) << line;
+  }
+}
+
+TEST(WireTest, DecodeToleratesExtraSpaces) {
+  auto decoded = DecodeMessage("PING   5");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<MsgPing>(*decoded).seq, 5u);
+}
+
+}  // namespace
+}  // namespace mfc

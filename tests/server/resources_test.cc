@@ -1,0 +1,179 @@
+#include "src/server/resources.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mfc {
+namespace {
+
+TEST(CpuResourceTest, SingleJobTakesItsDemand) {
+  EventLoop loop;
+  CpuResource cpu(loop, 1);
+  SimTime done = 0.0;
+  cpu.Submit(0.5, [&] { done = loop.Now(); });
+  loop.RunUntilIdle();
+  EXPECT_NEAR(done, 0.5, 1e-9);
+}
+
+TEST(CpuResourceTest, ProcessorSharingSlowsConcurrentJobs) {
+  EventLoop loop;
+  CpuResource cpu(loop, 1);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 4; ++i) {
+    cpu.Submit(0.1, [&] { done.push_back(loop.Now()); });
+  }
+  loop.RunUntilIdle();
+  ASSERT_EQ(done.size(), 4u);
+  // 4 equal jobs on 1 core all finish together at 4 * 0.1.
+  for (SimTime t : done) {
+    EXPECT_NEAR(t, 0.4, 1e-9);
+  }
+}
+
+TEST(CpuResourceTest, MultipleCoresRunInParallel) {
+  EventLoop loop;
+  CpuResource cpu(loop, 4);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 4; ++i) {
+    cpu.Submit(0.1, [&] { done.push_back(loop.Now()); });
+  }
+  loop.RunUntilIdle();
+  for (SimTime t : done) {
+    EXPECT_NEAR(t, 0.1, 1e-9);
+  }
+}
+
+TEST(CpuResourceTest, SpeedScalesService) {
+  EventLoop loop;
+  CpuResource cpu(loop, 1, 2.0);
+  SimTime done = 0.0;
+  cpu.Submit(0.5, [&] { done = loop.Now(); });
+  loop.RunUntilIdle();
+  EXPECT_NEAR(done, 0.25, 1e-9);
+}
+
+TEST(CpuResourceTest, ShorterJobFinishesFirstUnderPs) {
+  EventLoop loop;
+  CpuResource cpu(loop, 1);
+  SimTime short_done = 0.0;
+  SimTime long_done = 0.0;
+  cpu.Submit(0.1, [&] { short_done = loop.Now(); });
+  cpu.Submit(0.3, [&] { long_done = loop.Now(); });
+  loop.RunUntilIdle();
+  // Shared at 1/2 speed until short job ends at 0.2; long job then has 0.2
+  // demand left at full speed -> 0.4 total.
+  EXPECT_NEAR(short_done, 0.2, 1e-9);
+  EXPECT_NEAR(long_done, 0.4, 1e-9);
+}
+
+TEST(CpuResourceTest, SlowdownProviderStretchesService) {
+  EventLoop loop;
+  CpuResource cpu(loop, 1);
+  double slowdown = 1.0;
+  cpu.SetSlowdownProvider([&] { return slowdown; });
+  SimTime done = 0.0;
+  slowdown = 4.0;
+  cpu.Submit(0.1, [&] { done = loop.Now(); });
+  loop.RunUntilIdle();
+  EXPECT_NEAR(done, 0.4, 1e-9);
+}
+
+TEST(CpuResourceTest, RescheduleAppliesNewSlowdownMidJob) {
+  EventLoop loop;
+  CpuResource cpu(loop, 1);
+  double slowdown = 1.0;
+  cpu.SetSlowdownProvider([&] { return slowdown; });
+  SimTime done = 0.0;
+  cpu.Submit(1.0, [&] { done = loop.Now(); });
+  loop.RunUntil(0.5);  // half the work done at full speed
+  slowdown = 2.0;
+  cpu.Reschedule();
+  loop.RunUntilIdle();
+  EXPECT_NEAR(done, 1.5, 1e-9);  // remaining 0.5 at half speed -> 1.0 more
+}
+
+TEST(CpuResourceTest, UtilizationReflectsLoad) {
+  EventLoop loop;
+  CpuResource cpu(loop, 2);
+  EXPECT_DOUBLE_EQ(cpu.Utilization(), 0.0);
+  cpu.Submit(1.0, [] {});
+  EXPECT_DOUBLE_EQ(cpu.Utilization(), 0.5);
+  cpu.Submit(1.0, [] {});
+  cpu.Submit(1.0, [] {});
+  EXPECT_DOUBLE_EQ(cpu.Utilization(), 1.0);
+  EXPECT_EQ(cpu.ActiveJobs(), 3u);
+}
+
+TEST(DiskResourceTest, SingleOpSeekPlusTransfer) {
+  EventLoop loop;
+  DiskResource disk(loop, 0.005, 1e6);
+  SimTime done = 0.0;
+  disk.Submit(100e3, [&] { done = loop.Now(); });
+  loop.RunUntilIdle();
+  EXPECT_NEAR(done, 0.105, 1e-9);
+}
+
+TEST(DiskResourceTest, OpsAreFifoSerialized) {
+  EventLoop loop;
+  DiskResource disk(loop, 0.01, 1e6);
+  std::vector<int> order;
+  std::vector<SimTime> times;
+  for (int i = 0; i < 3; ++i) {
+    disk.Submit(10e3, [&, i] {
+      order.push_back(i);
+      times.push_back(loop.Now());
+    });
+  }
+  EXPECT_EQ(disk.QueueDepth(), 3u);
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_NEAR(times[0], 0.02, 1e-9);
+  EXPECT_NEAR(times[1], 0.04, 1e-9);
+  EXPECT_NEAR(times[2], 0.06, 1e-9);
+}
+
+TEST(DiskResourceTest, BusySecondsAccumulate) {
+  EventLoop loop;
+  DiskResource disk(loop, 0.01, 1e6);
+  disk.Submit(10e3, [] {});
+  loop.RunUntilIdle();
+  EXPECT_NEAR(disk.BusySeconds(), 0.02, 1e-9);
+  loop.RunUntil(10.0);
+  EXPECT_NEAR(disk.BusySeconds(), 0.02, 1e-9);  // idle time not counted
+  disk.Submit(10e3, [] {});
+  loop.RunUntilIdle();
+  EXPECT_NEAR(disk.BusySeconds(), 0.04, 1e-9);
+}
+
+TEST(MemoryModelTest, NoSlowdownWithinRam) {
+  MemoryModel mem(1e9, 200e6, 10.0);
+  EXPECT_DOUBLE_EQ(mem.SlowdownFactor(), 1.0);
+  mem.Allocate(700e6);
+  EXPECT_DOUBLE_EQ(mem.SlowdownFactor(), 1.0);
+  EXPECT_FALSE(mem.Swapping());
+}
+
+TEST(MemoryModelTest, OvercommitSlowsLinearly) {
+  MemoryModel mem(1e9, 200e6, 10.0);
+  mem.Allocate(1.0e9);  // used 1.2e9, 20% over
+  EXPECT_TRUE(mem.Swapping());
+  EXPECT_NEAR(mem.SlowdownFactor(), 1.0 + 10.0 * 0.2, 1e-9);
+}
+
+TEST(MemoryModelTest, FreeRestores) {
+  MemoryModel mem(1e9, 200e6, 10.0);
+  mem.Allocate(1.0e9);
+  mem.Free(1.0e9);
+  EXPECT_DOUBLE_EQ(mem.SlowdownFactor(), 1.0);
+  EXPECT_DOUBLE_EQ(mem.UsedBytes(), 200e6);
+}
+
+TEST(MemoryModelTest, FreeClampsAtZero) {
+  MemoryModel mem(1e9, 100e6, 10.0);
+  mem.Free(5e9);
+  EXPECT_DOUBLE_EQ(mem.UsedBytes(), 0.0);
+}
+
+}  // namespace
+}  // namespace mfc

@@ -1,0 +1,159 @@
+#include "src/sim/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mfc {
+namespace {
+
+constexpr int kSamples = 50000;
+
+TEST(ExponentialDistTest, MeanMatchesRate) {
+  Rng rng(1);
+  ExponentialDist dist(4.0);  // mean 0.25
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += dist.Sample(rng);
+  }
+  EXPECT_NEAR(sum / kSamples, 0.25, 0.01);
+}
+
+TEST(ExponentialDistTest, AlwaysNonNegative) {
+  Rng rng(2);
+  ExponentialDist dist(0.5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(dist.Sample(rng), 0.0);
+  }
+}
+
+TEST(ExponentialDistTest, MemorylessTail) {
+  // P(X > m) should be ~ exp(-lambda m).
+  Rng rng(3);
+  ExponentialDist dist(2.0);
+  int above = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (dist.Sample(rng) > 1.0) {
+      ++above;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(above) / kSamples, std::exp(-2.0), 0.01);
+}
+
+TEST(LognormalDistTest, MedianMatches) {
+  Rng rng(4);
+  LognormalDist dist = LognormalDist::FromMedian(0.070, 0.5);
+  std::vector<double> v;
+  v.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    v.push_back(dist.Sample(rng));
+  }
+  std::nth_element(v.begin(), v.begin() + kSamples / 2, v.end());
+  EXPECT_NEAR(v[kSamples / 2], 0.070, 0.003);
+}
+
+TEST(LognormalDistTest, AlwaysPositive) {
+  Rng rng(5);
+  LognormalDist dist(0.0, 2.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(dist.Sample(rng), 0.0);
+  }
+}
+
+TEST(BoundedParetoDistTest, StaysInRange) {
+  Rng rng(6);
+  BoundedParetoDist dist(1.2, 10.0, 1000.0);
+  for (int i = 0; i < 5000; ++i) {
+    double v = dist.Sample(rng);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LE(v, 1000.0);
+  }
+}
+
+TEST(BoundedParetoDistTest, HeavyTailShape) {
+  // Most mass near the lower bound for alpha > 1.
+  Rng rng(7);
+  BoundedParetoDist dist(1.5, 1.0, 10000.0);
+  int low = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (dist.Sample(rng) < 10.0) {
+      ++low;
+    }
+  }
+  // P(X < 10) for bounded Pareto(1.5, 1, 1e4) ~ 1 - 10^-1.5 ~ 0.968.
+  EXPECT_NEAR(static_cast<double>(low) / kSamples, 0.968, 0.01);
+}
+
+TEST(ZipfDistTest, RanksWithinBounds) {
+  Rng rng(8);
+  ZipfDist dist(50, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(dist.Sample(rng), 50u);
+  }
+}
+
+TEST(ZipfDistTest, PopularityMonotone) {
+  Rng rng(9);
+  ZipfDist dist(20, 1.0);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    counts[dist.Sample(rng)]++;
+  }
+  // Rank 0 should dominate rank 5 which dominates rank 19.
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[19]);
+}
+
+TEST(ZipfDistTest, FirstRankFrequencyMatchesTheory) {
+  Rng rng(10);
+  const size_t n = 10;
+  ZipfDist dist(n, 1.0);
+  double harmonic = 0.0;
+  for (size_t k = 1; k <= n; ++k) {
+    harmonic += 1.0 / static_cast<double>(k);
+  }
+  int first = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (dist.Sample(rng) == 0) {
+      ++first;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(first) / kSamples, 1.0 / harmonic, 0.01);
+}
+
+TEST(ZipfDistTest, SingleElement) {
+  Rng rng(11);
+  ZipfDist dist(1, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(dist.Sample(rng), 0u);
+  }
+}
+
+TEST(StandardNormalTest, MeanAndVariance) {
+  Rng rng(12);
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = SampleStandardNormal(rng);
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sq / kSamples, 1.0, 0.03);
+}
+
+TEST(StandardNormalTest, SymmetricTails) {
+  Rng rng(13);
+  int pos = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (SampleStandardNormal(rng) > 0.0) {
+      ++pos;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(pos) / kSamples, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace mfc

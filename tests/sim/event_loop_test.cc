@@ -1,0 +1,185 @@
+#include "src/sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mfc {
+namespace {
+
+TEST(EventLoopTest, StartsAtTimeZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.Now(), 0.0);
+  EXPECT_EQ(loop.PendingCount(), 0u);
+}
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(3.0, [&] { order.push_back(3); });
+  loop.ScheduleAt(1.0, [&] { order.push_back(1); });
+  loop.ScheduleAt(2.0, [&] { order.push_back(2); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now(), 3.0);
+}
+
+TEST(EventLoopTest, SameTimeEventsRunFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  loop.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventLoopTest, NowAdvancesToEventTime) {
+  EventLoop loop;
+  SimTime seen = -1.0;
+  loop.ScheduleAt(5.5, [&] { seen = loop.Now(); });
+  loop.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+}
+
+TEST(EventLoopTest, ScheduleAfterIsRelative) {
+  EventLoop loop;
+  loop.ScheduleAt(2.0, [] {});
+  loop.RunUntilIdle();
+  SimTime seen = -1.0;
+  loop.ScheduleAfter(3.0, [&] { seen = loop.Now(); });
+  loop.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(EventLoopTest, SchedulingInThePastClampsToNow) {
+  EventLoop loop;
+  loop.ScheduleAt(10.0, [] {});
+  loop.RunUntilIdle();
+  SimTime seen = -1.0;
+  loop.ScheduleAt(1.0, [&] { seen = loop.Now(); });
+  loop.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(seen, 10.0);
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  EventId id = loop.ScheduleAt(1.0, [&] { ran = true; });
+  EXPECT_TRUE(loop.Cancel(id));
+  loop.RunUntilIdle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoopTest, CancelTwiceFails) {
+  EventLoop loop;
+  EventId id = loop.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoopTest, CancelAfterRunFails) {
+  EventLoop loop;
+  EventId id = loop.ScheduleAt(1.0, [] {});
+  loop.RunUntilIdle();
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoopTest, CancelUnknownIdFails) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.Cancel(12345));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtBoundaryAndAdvancesNow) {
+  EventLoop loop;
+  std::vector<double> fired;
+  loop.ScheduleAt(1.0, [&] { fired.push_back(1.0); });
+  loop.ScheduleAt(2.0, [&] { fired.push_back(2.0); });
+  loop.ScheduleAt(5.0, [&] { fired.push_back(5.0); });
+  loop.RunUntil(3.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(loop.Now(), 3.0);
+  EXPECT_EQ(loop.PendingCount(), 1u);
+  loop.RunUntil(10.0);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(loop.Now(), 10.0);
+}
+
+TEST(EventLoopTest, RunUntilInclusiveOfBoundary) {
+  EventLoop loop;
+  bool ran = false;
+  loop.ScheduleAt(3.0, [&] { ran = true; });
+  loop.RunUntil(3.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoopTest, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      loop.ScheduleAfter(1.0, chain);
+    }
+  };
+  loop.ScheduleAt(1.0, chain);
+  loop.RunUntilIdle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(loop.Now(), 5.0);
+}
+
+TEST(EventLoopTest, RunOneReturnsFalseWhenIdle) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.RunOne());
+  loop.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_FALSE(loop.RunOne());
+}
+
+TEST(EventLoopTest, ExecutedCountTracksRuns) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) {
+    loop.ScheduleAt(static_cast<double>(i), [] {});
+  }
+  EventId id = loop.ScheduleAt(100.0, [] {});
+  loop.Cancel(id);
+  loop.RunUntilIdle();
+  EXPECT_EQ(loop.ExecutedCount(), 7u);
+}
+
+TEST(EventLoopTest, PendingCountExcludesCancelled) {
+  EventLoop loop;
+  EventId a = loop.ScheduleAt(1.0, [] {});
+  loop.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(loop.PendingCount(), 2u);
+  loop.Cancel(a);
+  EXPECT_EQ(loop.PendingCount(), 1u);
+}
+
+TEST(EventLoopTest, CancelFromInsideAnEvent) {
+  EventLoop loop;
+  bool late_ran = false;
+  EventId late = loop.ScheduleAt(2.0, [&] { late_ran = true; });
+  loop.ScheduleAt(1.0, [&] { loop.Cancel(late); });
+  loop.RunUntilIdle();
+  EXPECT_FALSE(late_ran);
+}
+
+// Stress: interleaved schedule/cancel keeps ordering and never loses events.
+TEST(EventLoopTest, StressManyEventsStayOrdered) {
+  EventLoop loop;
+  std::vector<double> times;
+  for (int i = 0; i < 2000; ++i) {
+    double t = static_cast<double>((i * 7919) % 1000);
+    loop.ScheduleAt(t, [&times, &loop] { times.push_back(loop.Now()); });
+  }
+  loop.RunUntilIdle();
+  ASSERT_EQ(times.size(), 2000u);
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mfc

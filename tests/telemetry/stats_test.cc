@@ -1,0 +1,157 @@
+#include "src/telemetry/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mfc {
+namespace {
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  std::vector<double> v;
+  EXPECT_EQ(Percentile(v, 50.0), 0.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  std::vector<double> v{42.0};
+  EXPECT_EQ(Percentile(v, 0.0), 42.0);
+  EXPECT_EQ(Percentile(v, 50.0), 42.0);
+  EXPECT_EQ(Percentile(v, 100.0), 42.0);
+}
+
+TEST(PercentileTest, MedianOfOddCount) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Median(v), 3.0);
+}
+
+TEST(PercentileTest, MedianOfEvenCountInterpolates) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+}
+
+TEST(PercentileTest, NinetiethOfTen) {
+  std::vector<double> v;
+  for (int i = 1; i <= 10; ++i) {
+    v.push_back(static_cast<double>(i));
+  }
+  EXPECT_NEAR(Percentile(v, 90.0), 9.1, 1e-9);
+}
+
+TEST(PercentileTest, ExtremesClampToMinMax) {
+  std::vector<double> v{7.0, -2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), -2.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 7.0);
+}
+
+TEST(PercentileTest, InputOrderIrrelevant) {
+  std::vector<double> a{3.0, 1.0, 2.0};
+  std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(a, 75.0), Percentile(b, 75.0));
+}
+
+TEST(MeanTest, Basics) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StdDevTest, KnownValue) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(StdDevTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(StdDev(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(MinMaxTest, Basics) {
+  std::vector<double> v{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(Min(v), -1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 7.0);
+  EXPECT_DOUBLE_EQ(Min(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(Max(std::vector<double>{}), 0.0);
+}
+
+TEST(FractionAboveTest, StrictComparison) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(FractionAbove(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(FractionAbove(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(FractionAbove(v, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(FractionAbove(std::vector<double>{}, 1.0), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchStats) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : v) {
+    rs.Add(x);
+  }
+  EXPECT_EQ(rs.Count(), v.size());
+  EXPECT_NEAR(rs.Mean(), Mean(v), 1e-12);
+  EXPECT_NEAR(rs.StdDev(), StdDev(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.MinValue(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.MaxValue(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats rs;
+  rs.Add(3.0);
+  EXPECT_DOUBLE_EQ(rs.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.Variance(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndFractions) {
+  Histogram h({10.0, 20.0, 30.0});
+  h.Add(5.0);    // (-inf, 10]
+  h.Add(10.0);   // (-inf, 10]  (upper_bound semantics: 10 <= 10)
+  h.Add(15.0);   // (10, 20]
+  h.Add(25.0);   // (20, 30]
+  h.Add(35.0);   // (30, inf)
+  h.Add(40.0);   // (30, inf)
+  ASSERT_EQ(h.BucketCount(), 4u);
+  EXPECT_EQ(h.BucketValue(0), 2u);
+  EXPECT_EQ(h.BucketValue(1), 1u);
+  EXPECT_EQ(h.BucketValue(2), 1u);
+  EXPECT_EQ(h.BucketValue(3), 2u);
+  EXPECT_EQ(h.Total(), 6u);
+  EXPECT_NEAR(h.BucketFraction(0), 2.0 / 6.0, 1e-12);
+}
+
+TEST(HistogramTest, LabelsAreReadable) {
+  Histogram h({10.0, 20.0});
+  EXPECT_EQ(h.BucketLabel(0), "(-inf, 10]");
+  EXPECT_EQ(h.BucketLabel(1), "(10, 20]");
+  EXPECT_EQ(h.BucketLabel(2), "(20, +inf)");
+}
+
+TEST(HistogramTest, EmptyHistogramFractionsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.BucketFraction(0), 0.0);
+  EXPECT_EQ(h.Total(), 0u);
+}
+
+// Property-style sweep: percentile is monotone in pct for arbitrary data.
+class PercentileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotoneTest, MonotoneInPct) {
+  int seed = GetParam();
+  std::vector<double> v;
+  unsigned state = static_cast<unsigned>(seed) * 2654435761u + 1u;
+  for (int i = 0; i < 37; ++i) {
+    state = state * 1664525u + 1013904223u;
+    v.push_back(static_cast<double>(state % 1000) / 10.0);
+  }
+  double prev = Percentile(v, 0.0);
+  for (double pct = 5.0; pct <= 100.0; pct += 5.0) {
+    double cur = Percentile(v, pct);
+    EXPECT_GE(cur, prev) << "pct=" << pct;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotoneTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace mfc

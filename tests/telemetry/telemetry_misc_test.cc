@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/event_loop.h"
+#include "src/telemetry/arrival_log.h"
+#include "src/telemetry/resource_monitor.h"
+#include "src/telemetry/time_series.h"
+
+namespace mfc {
+namespace {
+
+TEST(TimeSeriesTest, RecordsAndReads) {
+  TimeSeries ts("cpu");
+  EXPECT_TRUE(ts.Empty());
+  ts.Record(1.0, 0.5);
+  ts.Record(2.0, 0.7);
+  EXPECT_EQ(ts.Size(), 2u);
+  EXPECT_EQ(ts.Name(), "cpu");
+  EXPECT_DOUBLE_EQ(ts.Last(), 0.7);
+  EXPECT_EQ(ts.Values(), (std::vector<double>{0.5, 0.7}));
+}
+
+TEST(TimeSeriesTest, LastFallback) {
+  TimeSeries ts("x");
+  EXPECT_DOUBLE_EQ(ts.Last(9.0), 9.0);
+}
+
+TEST(TimeSeriesTest, WindowQueries) {
+  TimeSeries ts("x");
+  for (int i = 0; i < 10; ++i) {
+    ts.Record(static_cast<double>(i), static_cast<double>(i * i));
+  }
+  EXPECT_DOUBLE_EQ(ts.MaxInWindow(2.0, 4.0), 16.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(2.0, 4.0), (4.0 + 9.0 + 16.0) / 3.0);
+  EXPECT_DOUBLE_EQ(ts.MaxInWindow(100.0, 200.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(100.0, 200.0), 0.0);
+}
+
+TEST(ResourceMonitorTest, SamplesOnPeriod) {
+  EventLoop loop;
+  ResourceMonitor monitor(loop, 1.0);
+  double value = 0.0;
+  monitor.AddGauge("v", [&] { return value; });
+  monitor.Start();
+  value = 1.0;
+  loop.RunUntil(0.5);  // first sample at t=0 already taken with value 0
+  value = 2.0;
+  loop.RunUntil(1.5);  // sample at t=1 -> 2.0
+  value = 3.0;
+  loop.RunUntil(2.5);  // sample at t=2 -> 3.0
+  monitor.Stop();
+  const TimeSeries& series = monitor.Series("v");
+  ASSERT_EQ(series.Size(), 3u);
+  EXPECT_DOUBLE_EQ(series.Points()[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(series.Points()[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(series.Points()[2].value, 3.0);
+}
+
+TEST(ResourceMonitorTest, StopHaltsSampling) {
+  EventLoop loop;
+  ResourceMonitor monitor(loop, 1.0);
+  monitor.AddGauge("v", [] { return 1.0; });
+  monitor.Start();
+  loop.RunUntil(2.5);
+  monitor.Stop();
+  size_t n = monitor.Series("v").Size();
+  loop.RunUntil(10.0);
+  EXPECT_EQ(monitor.Series("v").Size(), n);
+}
+
+TEST(ResourceMonitorTest, MultipleGauges) {
+  EventLoop loop;
+  ResourceMonitor monitor(loop, 0.5);
+  monitor.AddGauge("a", [] { return 1.0; });
+  monitor.AddGauge("b", [] { return 2.0; });
+  monitor.Start();
+  loop.RunUntil(1.1);
+  monitor.Stop();
+  EXPECT_EQ(monitor.AllSeries().size(), 2u);
+  EXPECT_EQ(monitor.Series("a").Size(), monitor.Series("b").Size());
+}
+
+TEST(ArrivalLogTest, SpreadOfTwo) {
+  std::vector<SimTime> arrivals{1.0, 1.5};
+  ArrivalSpread spread = AnalyzeArrivals(arrivals);
+  EXPECT_EQ(spread.count, 2u);
+  EXPECT_DOUBLE_EQ(spread.full_spread, 0.5);
+  EXPECT_DOUBLE_EQ(spread.middle90_spread, 0.5);
+}
+
+TEST(ArrivalLogTest, DegenerateInputs) {
+  EXPECT_EQ(AnalyzeArrivals(std::vector<SimTime>{}).count, 0u);
+  ArrivalSpread one = AnalyzeArrivals(std::vector<SimTime>{3.0});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.full_spread, 0.0);
+}
+
+TEST(ArrivalLogTest, Middle90DropsTails) {
+  // 100 arrivals at t=i/100; two extreme outliers.
+  std::vector<SimTime> arrivals;
+  for (int i = 0; i < 98; ++i) {
+    arrivals.push_back(static_cast<double>(i) * 0.001);
+  }
+  arrivals.push_back(10.0);
+  arrivals.push_back(20.0);
+  ArrivalSpread spread = AnalyzeArrivals(arrivals);
+  EXPECT_GT(spread.full_spread, 19.0);
+  EXPECT_LT(spread.middle90_spread, 0.2);
+}
+
+TEST(ArrivalLogTest, UnsortedInputHandled) {
+  std::vector<SimTime> arrivals{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(AnalyzeArrivals(arrivals).full_spread, 4.0);
+}
+
+TEST(MaxFractionWithinWindowTest, AllInside) {
+  std::vector<SimTime> arrivals{1.0, 1.001, 1.002};
+  EXPECT_DOUBLE_EQ(MaxFractionWithinWindow(arrivals, 0.005), 1.0);
+}
+
+TEST(MaxFractionWithinWindowTest, SlidingWindowFindsDensestCluster) {
+  std::vector<SimTime> arrivals{0.0, 0.001, 0.002, 0.5, 0.501, 0.502, 0.503, 10.0};
+  // Densest 5 ms window holds 4 of 8 arrivals.
+  EXPECT_DOUBLE_EQ(MaxFractionWithinWindow(arrivals, 0.005), 0.5);
+}
+
+TEST(MaxFractionWithinWindowTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(MaxFractionWithinWindow(std::vector<SimTime>{}, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace mfc

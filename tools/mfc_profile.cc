@@ -1,0 +1,248 @@
+// mfc_profile — command-line driver for simulated MFC experiments.
+//
+// Profile a named deployment (the paper's case-study profiles) or a site
+// sampled from a survey cohort, with the experiment knobs exposed as flags:
+//
+//   mfc_profile --profile=qtnp --theta-ms=100 --max-crowd=55
+//   mfc_profile --cohort=startup --seed=9 --stages=base,query
+//   mfc_profile --profile=univ3 --background-rps=20 --mr=2 --theta-ms=250
+//   mfc_profile --cohort=rank3 --stagger-ms=20 --report
+//
+// Prints per-epoch progress and the operator inference report.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment_runner.h"
+#include "src/core/export.h"
+#include "src/core/inference.h"
+
+namespace mfc {
+namespace {
+
+struct Options {
+  std::string profile;          // named profile, or empty
+  std::string cohort;           // survey cohort, or empty
+  double theta_ms = 100.0;
+  size_t step = 5;
+  size_t max_crowd = 85;
+  size_t fleet = 85;
+  size_t mr = 1;
+  double stagger_ms = 0.0;
+  double background_rps = 0.0;
+  uint64_t seed = 1;
+  bool crawl = false;           // profile via crawling instead of operator input
+  bool verbose_epochs = true;
+  std::string csv_path;         // write per-epoch CSV here
+  std::string json_path;        // write the full result as JSON here
+  std::vector<StageKind> stages = {StageKind::kBase, StageKind::kSmallQuery,
+                                   StageKind::kLargeObject};
+};
+
+void Usage() {
+  printf(
+      "usage: mfc_profile [flags]\n"
+      "  --profile=<lab|qtnp|qtp|univ1|univ2|univ3>   named case-study deployment\n"
+      "  --cohort=<rank1|rank2|rank3|rank4|startup|phishing>  sample a survey site\n"
+      "  --theta-ms=<N>        degradation threshold (default 100)\n"
+      "  --step=<N>            crowd-size increment (default 5)\n"
+      "  --max-crowd=<N>       request ceiling (default 85)\n"
+      "  --fleet=<N>           available clients (default 85)\n"
+      "  --mr=<N>              MFC-mr connections per client (default 1)\n"
+      "  --stagger-ms=<N>      staggered arrivals, spacing in ms (default 0)\n"
+      "  --background-rps=<N>  Poisson background request rate (default 0)\n"
+      "  --stages=<list>       comma list of base,query,large (default all)\n"
+      "  --crawl               discover probe objects by crawling\n"
+      "  --csv=<path>          write per-epoch CSV\n"
+      "  --json=<path>         write the result as JSON\n"
+      "  --seed=<N>            RNG seed\n"
+      "  --quiet               suppress per-epoch output\n");
+}
+
+std::optional<Options> ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> std::optional<std::string> {
+      size_t n = strlen(prefix);
+      if (arg.rfind(prefix, 0) == 0) {
+        return arg.substr(n);
+      }
+      return std::nullopt;
+    };
+    if (arg == "--help" || arg == "-h") {
+      return std::nullopt;
+    } else if (auto v = value_of("--profile=")) {
+      options.profile = *v;
+    } else if (auto v = value_of("--cohort=")) {
+      options.cohort = *v;
+    } else if (auto v = value_of("--theta-ms=")) {
+      options.theta_ms = atof(v->c_str());
+    } else if (auto v = value_of("--step=")) {
+      options.step = static_cast<size_t>(atoi(v->c_str()));
+    } else if (auto v = value_of("--max-crowd=")) {
+      options.max_crowd = static_cast<size_t>(atoi(v->c_str()));
+    } else if (auto v = value_of("--fleet=")) {
+      options.fleet = static_cast<size_t>(atoi(v->c_str()));
+    } else if (auto v = value_of("--mr=")) {
+      options.mr = static_cast<size_t>(atoi(v->c_str()));
+    } else if (auto v = value_of("--stagger-ms=")) {
+      options.stagger_ms = atof(v->c_str());
+    } else if (auto v = value_of("--background-rps=")) {
+      options.background_rps = atof(v->c_str());
+    } else if (auto v = value_of("--seed=")) {
+      options.seed = static_cast<uint64_t>(atoll(v->c_str()));
+    } else if (auto v = value_of("--csv=")) {
+      options.csv_path = *v;
+    } else if (auto v = value_of("--json=")) {
+      options.json_path = *v;
+    } else if (arg == "--crawl") {
+      options.crawl = true;
+    } else if (arg == "--quiet") {
+      options.verbose_epochs = false;
+    } else if (auto v = value_of("--stages=")) {
+      options.stages.clear();
+      std::string list = *v;
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        std::string stage = list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                                        : comma - pos);
+        if (stage == "base") {
+          options.stages.push_back(StageKind::kBase);
+        } else if (stage == "query") {
+          options.stages.push_back(StageKind::kSmallQuery);
+        } else if (stage == "large") {
+          options.stages.push_back(StageKind::kLargeObject);
+        } else {
+          fprintf(stderr, "unknown stage '%s'\n", stage.c_str());
+          return std::nullopt;
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        pos = comma + 1;
+      }
+    } else {
+      fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+std::optional<SiteInstance> ResolveSite(const Options& options) {
+  if (!options.profile.empty()) {
+    static const std::map<std::string, SiteInstance (*)()> kProfiles = {
+        {"lab", &MakeLabValidationProfile}, {"qtnp", &MakeQtnpProfile},
+        {"qtp", &MakeQtpProfile},           {"univ1", &MakeUniv1Profile},
+        {"univ2", &MakeUniv2Profile},       {"univ3", &MakeUniv3Profile},
+    };
+    auto it = kProfiles.find(options.profile);
+    if (it == kProfiles.end()) {
+      fprintf(stderr, "unknown profile '%s'\n", options.profile.c_str());
+      return std::nullopt;
+    }
+    return it->second();
+  }
+  static const std::map<std::string, Cohort> kCohorts = {
+      {"rank1", Cohort::kRank1To1K},      {"rank2", Cohort::kRank1KTo10K},
+      {"rank3", Cohort::kRank10KTo100K},  {"rank4", Cohort::kRank100KTo1M},
+      {"startup", Cohort::kStartup},      {"phishing", Cohort::kPhishing},
+  };
+  std::string cohort = options.cohort.empty() ? "rank3" : options.cohort;
+  auto it = kCohorts.find(cohort);
+  if (it == kCohorts.end()) {
+    fprintf(stderr, "unknown cohort '%s'\n", cohort.c_str());
+    return std::nullopt;
+  }
+  Rng rng(options.seed);
+  return SampleSite(rng, it->second);
+}
+
+int Run(const Options& options) {
+  auto site = ResolveSite(options);
+  if (!site.has_value()) {
+    return 2;
+  }
+  DeploymentOptions deployment_options;
+  deployment_options.seed = options.seed;
+  deployment_options.fleet_size = options.fleet;
+  deployment_options.background_rps = options.background_rps;
+  Deployment deployment(*site, deployment_options);
+  deployment.StartBackground();
+
+  ExperimentConfig config;
+  config.threshold = Millis(options.theta_ms);
+  config.crowd_step = options.step;
+  config.max_crowd = options.max_crowd;
+  config.min_clients = std::min<size_t>(50, options.fleet);
+  config.requests_per_client = options.mr;
+  config.stagger_spacing = Millis(options.stagger_ms);
+
+  StageObjects objects =
+      options.crawl ? deployment.ProfileByCrawl() : deployment.ObjectsFromContent();
+
+  printf("target: %s  fleet=%zu  theta=%.0fms  step=%zu  max=%zu  mr=%zu%s\n\n",
+         site->server.name.c_str(), options.fleet, options.theta_ms, options.step,
+         options.max_crowd, options.mr, options.crawl ? "  (crawl-profiled)" : "");
+
+  Coordinator coordinator(deployment.Testbed(), config, options.seed + 1);
+  ExperimentResult result = coordinator.Run(objects, options.stages);
+  deployment.StopBackground();
+
+  if (result.aborted) {
+    printf("ABORTED: %s\n", result.abort_reason.c_str());
+    return 1;
+  }
+  for (const StageResult& stage : result.stages) {
+    printf("[%s]\n", std::string(StageName(stage.kind)).c_str());
+    if (options.verbose_epochs) {
+      for (const EpochResult& epoch : stage.epochs) {
+        printf("  crowd=%-4zu samples=%-4zu metric=%7.1f ms%s%s\n", epoch.crowd_size,
+               epoch.samples_received, ToMillis(epoch.metric),
+               epoch.check_phase ? "  [check]" : "",
+               epoch.exceeded_threshold ? "  EXCEEDED" : "");
+      }
+    }
+    printf("  -> %s\n\n",
+           stage.stopped
+               ? ("stopped at crowd " + std::to_string(stage.stopping_crowd_size)).c_str()
+               : "NoStop");
+  }
+  printf("%s", AnalyzeExperiment(result, config).ToText().c_str());
+
+  auto write_file = [](const std::string& path, const std::string& contents) {
+    FILE* f = fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    fwrite(contents.data(), 1, contents.size(), f);
+    fclose(f);
+    printf("wrote %s\n", path.c_str());
+  };
+  if (!options.csv_path.empty()) {
+    write_file(options.csv_path, ExportEpochsCsv(result));
+  }
+  if (!options.json_path.empty()) {
+    write_file(options.json_path, ExportJson(result));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mfc
+
+int main(int argc, char** argv) {
+  auto options = mfc::ParseArgs(argc, argv);
+  if (!options.has_value()) {
+    mfc::Usage();
+    return 2;
+  }
+  return mfc::Run(*options);
+}
