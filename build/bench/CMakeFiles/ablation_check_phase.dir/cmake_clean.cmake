@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_check_phase.dir/ablation_check_phase.cc.o"
+  "CMakeFiles/ablation_check_phase.dir/ablation_check_phase.cc.o.d"
+  "ablation_check_phase"
+  "ablation_check_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_check_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_measurers.dir/ablation_measurers.cc.o"
+  "CMakeFiles/ablation_measurers.dir/ablation_measurers.cc.o.d"
+  "ablation_measurers"
+  "ablation_measurers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_measurers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_percentile.dir/ablation_percentile.cc.o"
+  "CMakeFiles/ablation_percentile.dir/ablation_percentile.cc.o.d"
+  "ablation_percentile"
+  "ablation_percentile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_percentile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slow_start.dir/ablation_slow_start.cc.o"
+  "CMakeFiles/ablation_slow_start.dir/ablation_slow_start.cc.o.d"
+  "ablation_slow_start"
+  "ablation_slow_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slow_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

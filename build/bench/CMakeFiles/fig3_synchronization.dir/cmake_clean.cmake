@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_synchronization.dir/fig3_synchronization.cc.o"
+  "CMakeFiles/fig3_synchronization.dir/fig3_synchronization.cc.o.d"
+  "fig3_synchronization"
+  "fig3_synchronization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_synchronization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

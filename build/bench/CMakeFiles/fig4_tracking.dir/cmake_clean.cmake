@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tracking.dir/fig4_tracking.cc.o"
+  "CMakeFiles/fig4_tracking.dir/fig4_tracking.cc.o.d"
+  "fig4_tracking"
+  "fig4_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

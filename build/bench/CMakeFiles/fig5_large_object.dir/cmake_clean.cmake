@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_large_object.dir/fig5_large_object.cc.o"
+  "CMakeFiles/fig5_large_object.dir/fig5_large_object.cc.o.d"
+  "fig5_large_object"
+  "fig5_large_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_large_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_small_query_fcgi.dir/fig6_small_query_fcgi.cc.o"
+  "CMakeFiles/fig6_small_query_fcgi.dir/fig6_small_query_fcgi.cc.o.d"
+  "fig6_small_query_fcgi"
+  "fig6_small_query_fcgi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_small_query_fcgi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

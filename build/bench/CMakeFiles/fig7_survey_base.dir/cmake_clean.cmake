@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_survey_base.dir/fig7_survey_base.cc.o"
+  "CMakeFiles/fig7_survey_base.dir/fig7_survey_base.cc.o.d"
+  "fig7_survey_base"
+  "fig7_survey_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_survey_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

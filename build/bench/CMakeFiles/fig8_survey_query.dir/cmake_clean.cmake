@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_survey_query.dir/fig8_survey_query.cc.o"
+  "CMakeFiles/fig8_survey_query.dir/fig8_survey_query.cc.o.d"
+  "fig8_survey_query"
+  "fig8_survey_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_survey_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

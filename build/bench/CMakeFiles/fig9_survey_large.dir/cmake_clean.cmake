@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_survey_large.dir/fig9_survey_large.cc.o"
+  "CMakeFiles/fig9_survey_large.dir/fig9_survey_large.cc.o.d"
+  "fig9_survey_large"
+  "fig9_survey_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_survey_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

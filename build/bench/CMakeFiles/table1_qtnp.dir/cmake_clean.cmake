@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_qtnp.dir/table1_qtnp.cc.o"
+  "CMakeFiles/table1_qtnp.dir/table1_qtnp.cc.o.d"
+  "table1_qtnp"
+  "table1_qtnp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_qtnp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

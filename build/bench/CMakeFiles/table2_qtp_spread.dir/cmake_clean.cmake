@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_qtp_spread.dir/table2_qtp_spread.cc.o"
+  "CMakeFiles/table2_qtp_spread.dir/table2_qtp_spread.cc.o.d"
+  "table2_qtp_spread"
+  "table2_qtp_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_qtp_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

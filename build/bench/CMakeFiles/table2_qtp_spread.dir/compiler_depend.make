@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_qtp_spread.
+# This may be replaced when dependencies are built.

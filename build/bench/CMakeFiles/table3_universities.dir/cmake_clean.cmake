@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_universities.dir/table3_universities.cc.o"
+  "CMakeFiles/table3_universities.dir/table3_universities.cc.o.d"
+  "table3_universities"
+  "table3_universities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_universities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_startups.dir/table4_startups.cc.o"
+  "CMakeFiles/table4_startups.dir/table4_startups.cc.o.d"
+  "table4_startups"
+  "table4_startups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_startups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

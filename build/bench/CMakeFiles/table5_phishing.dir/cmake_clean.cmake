@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_phishing.dir/table5_phishing.cc.o"
+  "CMakeFiles/table5_phishing.dir/table5_phishing.cc.o.d"
+  "table5_phishing"
+  "table5_phishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_phishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

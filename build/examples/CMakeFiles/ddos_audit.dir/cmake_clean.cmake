@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_audit.dir/ddos_audit.cpp.o"
+  "CMakeFiles/ddos_audit.dir/ddos_audit.cpp.o.d"
+  "ddos_audit"
+  "ddos_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

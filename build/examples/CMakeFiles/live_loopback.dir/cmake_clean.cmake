@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_loopback.dir/live_loopback.cpp.o"
+  "CMakeFiles/live_loopback.dir/live_loopback.cpp.o.d"
+  "live_loopback"
+  "live_loopback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_loopback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

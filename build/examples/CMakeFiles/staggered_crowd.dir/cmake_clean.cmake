@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staggered_crowd.dir/staggered_crowd.cpp.o"
+  "CMakeFiles/staggered_crowd.dir/staggered_crowd.cpp.o.d"
+  "staggered_crowd"
+  "staggered_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staggered_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

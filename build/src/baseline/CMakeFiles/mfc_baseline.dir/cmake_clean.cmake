@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_baseline.dir/closed_loop_loadgen.cc.o"
+  "CMakeFiles/mfc_baseline.dir/closed_loop_loadgen.cc.o.d"
+  "CMakeFiles/mfc_baseline.dir/keynote_prober.cc.o"
+  "CMakeFiles/mfc_baseline.dir/keynote_prober.cc.o.d"
+  "libmfc_baseline.a"
+  "libmfc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/content/object_store.cc" "src/content/CMakeFiles/mfc_content.dir/object_store.cc.o" "gcc" "src/content/CMakeFiles/mfc_content.dir/object_store.cc.o.d"
+  "/root/repo/src/content/site_generator.cc" "src/content/CMakeFiles/mfc_content.dir/site_generator.cc.o" "gcc" "src/content/CMakeFiles/mfc_content.dir/site_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/mfc_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

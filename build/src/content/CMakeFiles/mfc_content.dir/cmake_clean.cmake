@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_content.dir/object_store.cc.o"
+  "CMakeFiles/mfc_content.dir/object_store.cc.o.d"
+  "CMakeFiles/mfc_content.dir/site_generator.cc.o"
+  "CMakeFiles/mfc_content.dir/site_generator.cc.o.d"
+  "libmfc_content.a"
+  "libmfc_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

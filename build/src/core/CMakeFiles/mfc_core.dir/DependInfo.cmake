@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coordinator.cc" "src/core/CMakeFiles/mfc_core.dir/coordinator.cc.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/coordinator.cc.o.d"
+  "/root/repo/src/core/crawler.cc" "src/core/CMakeFiles/mfc_core.dir/crawler.cc.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/crawler.cc.o.d"
+  "/root/repo/src/core/experiment_runner.cc" "src/core/CMakeFiles/mfc_core.dir/experiment_runner.cc.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/experiment_runner.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/core/CMakeFiles/mfc_core.dir/export.cc.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/export.cc.o.d"
+  "/root/repo/src/core/inference.cc" "src/core/CMakeFiles/mfc_core.dir/inference.cc.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/inference.cc.o.d"
+  "/root/repo/src/core/population.cc" "src/core/CMakeFiles/mfc_core.dir/population.cc.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/population.cc.o.d"
+  "/root/repo/src/core/sim_testbed.cc" "src/core/CMakeFiles/mfc_core.dir/sim_testbed.cc.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/sim_testbed.cc.o.d"
+  "/root/repo/src/core/sync_scheduler.cc" "src/core/CMakeFiles/mfc_core.dir/sync_scheduler.cc.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/sync_scheduler.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/mfc_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/mfc_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mfc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/mfc_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/content/CMakeFiles/mfc_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/mfc_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mfc_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_core.dir/coordinator.cc.o"
+  "CMakeFiles/mfc_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/mfc_core.dir/crawler.cc.o"
+  "CMakeFiles/mfc_core.dir/crawler.cc.o.d"
+  "CMakeFiles/mfc_core.dir/experiment_runner.cc.o"
+  "CMakeFiles/mfc_core.dir/experiment_runner.cc.o.d"
+  "CMakeFiles/mfc_core.dir/export.cc.o"
+  "CMakeFiles/mfc_core.dir/export.cc.o.d"
+  "CMakeFiles/mfc_core.dir/inference.cc.o"
+  "CMakeFiles/mfc_core.dir/inference.cc.o.d"
+  "CMakeFiles/mfc_core.dir/population.cc.o"
+  "CMakeFiles/mfc_core.dir/population.cc.o.d"
+  "CMakeFiles/mfc_core.dir/sim_testbed.cc.o"
+  "CMakeFiles/mfc_core.dir/sim_testbed.cc.o.d"
+  "CMakeFiles/mfc_core.dir/sync_scheduler.cc.o"
+  "CMakeFiles/mfc_core.dir/sync_scheduler.cc.o.d"
+  "CMakeFiles/mfc_core.dir/types.cc.o"
+  "CMakeFiles/mfc_core.dir/types.cc.o.d"
+  "libmfc_core.a"
+  "libmfc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

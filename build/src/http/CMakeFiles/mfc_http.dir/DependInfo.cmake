@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/content_type.cc" "src/http/CMakeFiles/mfc_http.dir/content_type.cc.o" "gcc" "src/http/CMakeFiles/mfc_http.dir/content_type.cc.o.d"
+  "/root/repo/src/http/header_map.cc" "src/http/CMakeFiles/mfc_http.dir/header_map.cc.o" "gcc" "src/http/CMakeFiles/mfc_http.dir/header_map.cc.o.d"
+  "/root/repo/src/http/html.cc" "src/http/CMakeFiles/mfc_http.dir/html.cc.o" "gcc" "src/http/CMakeFiles/mfc_http.dir/html.cc.o.d"
+  "/root/repo/src/http/message.cc" "src/http/CMakeFiles/mfc_http.dir/message.cc.o" "gcc" "src/http/CMakeFiles/mfc_http.dir/message.cc.o.d"
+  "/root/repo/src/http/parser.cc" "src/http/CMakeFiles/mfc_http.dir/parser.cc.o" "gcc" "src/http/CMakeFiles/mfc_http.dir/parser.cc.o.d"
+  "/root/repo/src/http/status.cc" "src/http/CMakeFiles/mfc_http.dir/status.cc.o" "gcc" "src/http/CMakeFiles/mfc_http.dir/status.cc.o.d"
+  "/root/repo/src/http/url.cc" "src/http/CMakeFiles/mfc_http.dir/url.cc.o" "gcc" "src/http/CMakeFiles/mfc_http.dir/url.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

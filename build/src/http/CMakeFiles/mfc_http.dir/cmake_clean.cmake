@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_http.dir/content_type.cc.o"
+  "CMakeFiles/mfc_http.dir/content_type.cc.o.d"
+  "CMakeFiles/mfc_http.dir/header_map.cc.o"
+  "CMakeFiles/mfc_http.dir/header_map.cc.o.d"
+  "CMakeFiles/mfc_http.dir/html.cc.o"
+  "CMakeFiles/mfc_http.dir/html.cc.o.d"
+  "CMakeFiles/mfc_http.dir/message.cc.o"
+  "CMakeFiles/mfc_http.dir/message.cc.o.d"
+  "CMakeFiles/mfc_http.dir/parser.cc.o"
+  "CMakeFiles/mfc_http.dir/parser.cc.o.d"
+  "CMakeFiles/mfc_http.dir/status.cc.o"
+  "CMakeFiles/mfc_http.dir/status.cc.o.d"
+  "CMakeFiles/mfc_http.dir/url.cc.o"
+  "CMakeFiles/mfc_http.dir/url.cc.o.d"
+  "libmfc_http.a"
+  "libmfc_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_net.dir/flow_network.cc.o"
+  "CMakeFiles/mfc_net.dir/flow_network.cc.o.d"
+  "CMakeFiles/mfc_net.dir/wide_area.cc.o"
+  "CMakeFiles/mfc_net.dir/wide_area.cc.o.d"
+  "libmfc_net.a"
+  "libmfc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

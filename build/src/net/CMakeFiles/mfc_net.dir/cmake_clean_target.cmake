@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmfc_net.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/client_agent.cc" "src/rt/CMakeFiles/mfc_rt.dir/client_agent.cc.o" "gcc" "src/rt/CMakeFiles/mfc_rt.dir/client_agent.cc.o.d"
+  "/root/repo/src/rt/http_fetch.cc" "src/rt/CMakeFiles/mfc_rt.dir/http_fetch.cc.o" "gcc" "src/rt/CMakeFiles/mfc_rt.dir/http_fetch.cc.o.d"
+  "/root/repo/src/rt/live_harness.cc" "src/rt/CMakeFiles/mfc_rt.dir/live_harness.cc.o" "gcc" "src/rt/CMakeFiles/mfc_rt.dir/live_harness.cc.o.d"
+  "/root/repo/src/rt/live_http_server.cc" "src/rt/CMakeFiles/mfc_rt.dir/live_http_server.cc.o" "gcc" "src/rt/CMakeFiles/mfc_rt.dir/live_http_server.cc.o.d"
+  "/root/repo/src/rt/reactor.cc" "src/rt/CMakeFiles/mfc_rt.dir/reactor.cc.o" "gcc" "src/rt/CMakeFiles/mfc_rt.dir/reactor.cc.o.d"
+  "/root/repo/src/rt/sockets.cc" "src/rt/CMakeFiles/mfc_rt.dir/sockets.cc.o" "gcc" "src/rt/CMakeFiles/mfc_rt.dir/sockets.cc.o.d"
+  "/root/repo/src/rt/wire.cc" "src/rt/CMakeFiles/mfc_rt.dir/wire.cc.o" "gcc" "src/rt/CMakeFiles/mfc_rt.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/mfc_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/content/CMakeFiles/mfc_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/mfc_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mfc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_rt.dir/client_agent.cc.o"
+  "CMakeFiles/mfc_rt.dir/client_agent.cc.o.d"
+  "CMakeFiles/mfc_rt.dir/http_fetch.cc.o"
+  "CMakeFiles/mfc_rt.dir/http_fetch.cc.o.d"
+  "CMakeFiles/mfc_rt.dir/live_harness.cc.o"
+  "CMakeFiles/mfc_rt.dir/live_harness.cc.o.d"
+  "CMakeFiles/mfc_rt.dir/live_http_server.cc.o"
+  "CMakeFiles/mfc_rt.dir/live_http_server.cc.o.d"
+  "CMakeFiles/mfc_rt.dir/reactor.cc.o"
+  "CMakeFiles/mfc_rt.dir/reactor.cc.o.d"
+  "CMakeFiles/mfc_rt.dir/sockets.cc.o"
+  "CMakeFiles/mfc_rt.dir/sockets.cc.o.d"
+  "CMakeFiles/mfc_rt.dir/wire.cc.o"
+  "CMakeFiles/mfc_rt.dir/wire.cc.o.d"
+  "libmfc_rt.a"
+  "libmfc_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

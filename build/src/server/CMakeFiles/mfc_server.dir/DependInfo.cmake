@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/background_traffic.cc" "src/server/CMakeFiles/mfc_server.dir/background_traffic.cc.o" "gcc" "src/server/CMakeFiles/mfc_server.dir/background_traffic.cc.o.d"
+  "/root/repo/src/server/cluster.cc" "src/server/CMakeFiles/mfc_server.dir/cluster.cc.o" "gcc" "src/server/CMakeFiles/mfc_server.dir/cluster.cc.o.d"
+  "/root/repo/src/server/database.cc" "src/server/CMakeFiles/mfc_server.dir/database.cc.o" "gcc" "src/server/CMakeFiles/mfc_server.dir/database.cc.o.d"
+  "/root/repo/src/server/lru_cache.cc" "src/server/CMakeFiles/mfc_server.dir/lru_cache.cc.o" "gcc" "src/server/CMakeFiles/mfc_server.dir/lru_cache.cc.o.d"
+  "/root/repo/src/server/resources.cc" "src/server/CMakeFiles/mfc_server.dir/resources.cc.o" "gcc" "src/server/CMakeFiles/mfc_server.dir/resources.cc.o.d"
+  "/root/repo/src/server/synthetic_server.cc" "src/server/CMakeFiles/mfc_server.dir/synthetic_server.cc.o" "gcc" "src/server/CMakeFiles/mfc_server.dir/synthetic_server.cc.o.d"
+  "/root/repo/src/server/web_server.cc" "src/server/CMakeFiles/mfc_server.dir/web_server.cc.o" "gcc" "src/server/CMakeFiles/mfc_server.dir/web_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mfc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/mfc_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/content/CMakeFiles/mfc_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mfc_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

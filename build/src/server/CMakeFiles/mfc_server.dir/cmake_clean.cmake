@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_server.dir/background_traffic.cc.o"
+  "CMakeFiles/mfc_server.dir/background_traffic.cc.o.d"
+  "CMakeFiles/mfc_server.dir/cluster.cc.o"
+  "CMakeFiles/mfc_server.dir/cluster.cc.o.d"
+  "CMakeFiles/mfc_server.dir/database.cc.o"
+  "CMakeFiles/mfc_server.dir/database.cc.o.d"
+  "CMakeFiles/mfc_server.dir/lru_cache.cc.o"
+  "CMakeFiles/mfc_server.dir/lru_cache.cc.o.d"
+  "CMakeFiles/mfc_server.dir/resources.cc.o"
+  "CMakeFiles/mfc_server.dir/resources.cc.o.d"
+  "CMakeFiles/mfc_server.dir/synthetic_server.cc.o"
+  "CMakeFiles/mfc_server.dir/synthetic_server.cc.o.d"
+  "CMakeFiles/mfc_server.dir/web_server.cc.o"
+  "CMakeFiles/mfc_server.dir/web_server.cc.o.d"
+  "libmfc_server.a"
+  "libmfc_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_sim.dir/distributions.cc.o"
+  "CMakeFiles/mfc_sim.dir/distributions.cc.o.d"
+  "CMakeFiles/mfc_sim.dir/event_loop.cc.o"
+  "CMakeFiles/mfc_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/mfc_sim.dir/rng.cc.o"
+  "CMakeFiles/mfc_sim.dir/rng.cc.o.d"
+  "libmfc_sim.a"
+  "libmfc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

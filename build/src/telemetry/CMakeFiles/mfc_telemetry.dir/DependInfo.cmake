@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/arrival_log.cc" "src/telemetry/CMakeFiles/mfc_telemetry.dir/arrival_log.cc.o" "gcc" "src/telemetry/CMakeFiles/mfc_telemetry.dir/arrival_log.cc.o.d"
+  "/root/repo/src/telemetry/resource_monitor.cc" "src/telemetry/CMakeFiles/mfc_telemetry.dir/resource_monitor.cc.o" "gcc" "src/telemetry/CMakeFiles/mfc_telemetry.dir/resource_monitor.cc.o.d"
+  "/root/repo/src/telemetry/stats.cc" "src/telemetry/CMakeFiles/mfc_telemetry.dir/stats.cc.o" "gcc" "src/telemetry/CMakeFiles/mfc_telemetry.dir/stats.cc.o.d"
+  "/root/repo/src/telemetry/time_series.cc" "src/telemetry/CMakeFiles/mfc_telemetry.dir/time_series.cc.o" "gcc" "src/telemetry/CMakeFiles/mfc_telemetry.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

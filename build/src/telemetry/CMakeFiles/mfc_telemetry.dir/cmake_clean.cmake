@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_telemetry.dir/arrival_log.cc.o"
+  "CMakeFiles/mfc_telemetry.dir/arrival_log.cc.o.d"
+  "CMakeFiles/mfc_telemetry.dir/resource_monitor.cc.o"
+  "CMakeFiles/mfc_telemetry.dir/resource_monitor.cc.o.d"
+  "CMakeFiles/mfc_telemetry.dir/stats.cc.o"
+  "CMakeFiles/mfc_telemetry.dir/stats.cc.o.d"
+  "CMakeFiles/mfc_telemetry.dir/time_series.cc.o"
+  "CMakeFiles/mfc_telemetry.dir/time_series.cc.o.d"
+  "libmfc_telemetry.a"
+  "libmfc_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/baseline_test.cc" "tests/CMakeFiles/mfc_baseline_tests.dir/baseline/baseline_test.cc.o" "gcc" "tests/CMakeFiles/mfc_baseline_tests.dir/baseline/baseline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mfc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/mfc_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/content/CMakeFiles/mfc_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/mfc_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mfc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_baseline_tests.dir/baseline/baseline_test.cc.o"
+  "CMakeFiles/mfc_baseline_tests.dir/baseline/baseline_test.cc.o.d"
+  "mfc_baseline_tests"
+  "mfc_baseline_tests.pdb"
+  "mfc_baseline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_baseline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_content_tests.dir/content/content_test.cc.o"
+  "CMakeFiles/mfc_content_tests.dir/content/content_test.cc.o.d"
+  "mfc_content_tests"
+  "mfc_content_tests.pdb"
+  "mfc_content_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_content_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/coordinator_test.cc" "tests/CMakeFiles/mfc_core_tests.dir/core/coordinator_test.cc.o" "gcc" "tests/CMakeFiles/mfc_core_tests.dir/core/coordinator_test.cc.o.d"
+  "/root/repo/tests/core/crawler_test.cc" "tests/CMakeFiles/mfc_core_tests.dir/core/crawler_test.cc.o" "gcc" "tests/CMakeFiles/mfc_core_tests.dir/core/crawler_test.cc.o.d"
+  "/root/repo/tests/core/export_test.cc" "tests/CMakeFiles/mfc_core_tests.dir/core/export_test.cc.o" "gcc" "tests/CMakeFiles/mfc_core_tests.dir/core/export_test.cc.o.d"
+  "/root/repo/tests/core/inference_population_test.cc" "tests/CMakeFiles/mfc_core_tests.dir/core/inference_population_test.cc.o" "gcc" "tests/CMakeFiles/mfc_core_tests.dir/core/inference_population_test.cc.o.d"
+  "/root/repo/tests/core/integration_test.cc" "tests/CMakeFiles/mfc_core_tests.dir/core/integration_test.cc.o" "gcc" "tests/CMakeFiles/mfc_core_tests.dir/core/integration_test.cc.o.d"
+  "/root/repo/tests/core/robustness_test.cc" "tests/CMakeFiles/mfc_core_tests.dir/core/robustness_test.cc.o" "gcc" "tests/CMakeFiles/mfc_core_tests.dir/core/robustness_test.cc.o.d"
+  "/root/repo/tests/core/sim_testbed_test.cc" "tests/CMakeFiles/mfc_core_tests.dir/core/sim_testbed_test.cc.o" "gcc" "tests/CMakeFiles/mfc_core_tests.dir/core/sim_testbed_test.cc.o.d"
+  "/root/repo/tests/core/sync_scheduler_test.cc" "tests/CMakeFiles/mfc_core_tests.dir/core/sync_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/mfc_core_tests.dir/core/sync_scheduler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mfc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/mfc_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/content/CMakeFiles/mfc_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/mfc_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mfc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_core_tests.dir/core/coordinator_test.cc.o"
+  "CMakeFiles/mfc_core_tests.dir/core/coordinator_test.cc.o.d"
+  "CMakeFiles/mfc_core_tests.dir/core/crawler_test.cc.o"
+  "CMakeFiles/mfc_core_tests.dir/core/crawler_test.cc.o.d"
+  "CMakeFiles/mfc_core_tests.dir/core/export_test.cc.o"
+  "CMakeFiles/mfc_core_tests.dir/core/export_test.cc.o.d"
+  "CMakeFiles/mfc_core_tests.dir/core/inference_population_test.cc.o"
+  "CMakeFiles/mfc_core_tests.dir/core/inference_population_test.cc.o.d"
+  "CMakeFiles/mfc_core_tests.dir/core/integration_test.cc.o"
+  "CMakeFiles/mfc_core_tests.dir/core/integration_test.cc.o.d"
+  "CMakeFiles/mfc_core_tests.dir/core/robustness_test.cc.o"
+  "CMakeFiles/mfc_core_tests.dir/core/robustness_test.cc.o.d"
+  "CMakeFiles/mfc_core_tests.dir/core/sim_testbed_test.cc.o"
+  "CMakeFiles/mfc_core_tests.dir/core/sim_testbed_test.cc.o.d"
+  "CMakeFiles/mfc_core_tests.dir/core/sync_scheduler_test.cc.o"
+  "CMakeFiles/mfc_core_tests.dir/core/sync_scheduler_test.cc.o.d"
+  "mfc_core_tests"
+  "mfc_core_tests.pdb"
+  "mfc_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

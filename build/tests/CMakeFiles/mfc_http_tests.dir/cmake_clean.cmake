@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_http_tests.dir/http/html_test.cc.o"
+  "CMakeFiles/mfc_http_tests.dir/http/html_test.cc.o.d"
+  "CMakeFiles/mfc_http_tests.dir/http/message_test.cc.o"
+  "CMakeFiles/mfc_http_tests.dir/http/message_test.cc.o.d"
+  "CMakeFiles/mfc_http_tests.dir/http/parser_test.cc.o"
+  "CMakeFiles/mfc_http_tests.dir/http/parser_test.cc.o.d"
+  "CMakeFiles/mfc_http_tests.dir/http/url_test.cc.o"
+  "CMakeFiles/mfc_http_tests.dir/http/url_test.cc.o.d"
+  "mfc_http_tests"
+  "mfc_http_tests.pdb"
+  "mfc_http_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_http_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_net_tests.dir/net/flow_network_test.cc.o"
+  "CMakeFiles/mfc_net_tests.dir/net/flow_network_test.cc.o.d"
+  "CMakeFiles/mfc_net_tests.dir/net/wide_area_test.cc.o"
+  "CMakeFiles/mfc_net_tests.dir/net/wide_area_test.cc.o.d"
+  "mfc_net_tests"
+  "mfc_net_tests.pdb"
+  "mfc_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

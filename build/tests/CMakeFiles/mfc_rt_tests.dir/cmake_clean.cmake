@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_rt_tests.dir/rt/live_mfc_test.cc.o"
+  "CMakeFiles/mfc_rt_tests.dir/rt/live_mfc_test.cc.o.d"
+  "CMakeFiles/mfc_rt_tests.dir/rt/rt_core_test.cc.o"
+  "CMakeFiles/mfc_rt_tests.dir/rt/rt_core_test.cc.o.d"
+  "mfc_rt_tests"
+  "mfc_rt_tests.pdb"
+  "mfc_rt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_rt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

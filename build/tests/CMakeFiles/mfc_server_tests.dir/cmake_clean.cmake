@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_server_tests.dir/server/lru_database_test.cc.o"
+  "CMakeFiles/mfc_server_tests.dir/server/lru_database_test.cc.o.d"
+  "CMakeFiles/mfc_server_tests.dir/server/resources_test.cc.o"
+  "CMakeFiles/mfc_server_tests.dir/server/resources_test.cc.o.d"
+  "CMakeFiles/mfc_server_tests.dir/server/server_misc_test.cc.o"
+  "CMakeFiles/mfc_server_tests.dir/server/server_misc_test.cc.o.d"
+  "CMakeFiles/mfc_server_tests.dir/server/web_server_test.cc.o"
+  "CMakeFiles/mfc_server_tests.dir/server/web_server_test.cc.o.d"
+  "mfc_server_tests"
+  "mfc_server_tests.pdb"
+  "mfc_server_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_server_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

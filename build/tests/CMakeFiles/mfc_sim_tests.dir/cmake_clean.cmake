@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_sim_tests.dir/sim/distributions_test.cc.o"
+  "CMakeFiles/mfc_sim_tests.dir/sim/distributions_test.cc.o.d"
+  "CMakeFiles/mfc_sim_tests.dir/sim/event_loop_test.cc.o"
+  "CMakeFiles/mfc_sim_tests.dir/sim/event_loop_test.cc.o.d"
+  "CMakeFiles/mfc_sim_tests.dir/sim/rng_test.cc.o"
+  "CMakeFiles/mfc_sim_tests.dir/sim/rng_test.cc.o.d"
+  "mfc_sim_tests"
+  "mfc_sim_tests.pdb"
+  "mfc_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_telemetry_tests.dir/telemetry/stats_test.cc.o"
+  "CMakeFiles/mfc_telemetry_tests.dir/telemetry/stats_test.cc.o.d"
+  "CMakeFiles/mfc_telemetry_tests.dir/telemetry/telemetry_misc_test.cc.o"
+  "CMakeFiles/mfc_telemetry_tests.dir/telemetry/telemetry_misc_test.cc.o.d"
+  "mfc_telemetry_tests"
+  "mfc_telemetry_tests.pdb"
+  "mfc_telemetry_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_telemetry_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

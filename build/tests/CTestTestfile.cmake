@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mfc_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/mfc_telemetry_tests[1]_include.cmake")
+include("/root/repo/build/tests/mfc_http_tests[1]_include.cmake")
+include("/root/repo/build/tests/mfc_net_tests[1]_include.cmake")
+include("/root/repo/build/tests/mfc_server_tests[1]_include.cmake")
+include("/root/repo/build/tests/mfc_content_tests[1]_include.cmake")
+include("/root/repo/build/tests/mfc_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/mfc_baseline_tests[1]_include.cmake")
+include("/root/repo/build/tests/mfc_rt_tests[1]_include.cmake")

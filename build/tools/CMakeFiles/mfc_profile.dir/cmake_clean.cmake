@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_profile.dir/mfc_profile.cc.o"
+  "CMakeFiles/mfc_profile.dir/mfc_profile.cc.o.d"
+  "mfc_profile"
+  "mfc_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
