@@ -4,26 +4,30 @@
 #include "bench/survey_common.h"
 
 int main(int argc, char** argv) {
-  // Per-band server counts as in the paper; an argv override scales all bands.
+  mfc::SurveyArgs args = mfc::ParseSurveyArgs(argc, argv);
+  if (!args.ok) {
+    return 2;
+  }
+  // Per-band server counts as in the paper; the positional arg scales all bands.
   size_t counts[] = {106, 103, 103, 122};
-  if (argc > 1) {
+  if (args.servers_override > 0) {
     for (auto& c : counts) {
-      c = static_cast<size_t>(atoi(argv[1]));
+      c = args.servers_override;
     }
   }
   mfc::PrintHeader("Survey: Small Query stage stopping crowd sizes by Quantcast rank",
                    "Figure 8 (Section 5.1)");
   printf("\n");
   mfc::PrintBreakdownHeader();
+  mfc::SurveyRecorder recorder("fig8_survey_query", args);
   uint64_t seed = 800;
   mfc::Cohort bands[] = {mfc::Cohort::kRank1To1K, mfc::Cohort::kRank1KTo10K,
                          mfc::Cohort::kRank10KTo100K, mfc::Cohort::kRank100KTo1M};
   for (int i = 0; i < 4; ++i) {
-    mfc::PrintBreakdown(mfc::RunSurveyCohort(bands[i], mfc::StageKind::kSmallQuery,
-                                             counts[i], 85, seed++));
+    recorder.RunAndPrint(bands[i], mfc::StageKind::kSmallQuery, counts[i], 85, seed++);
   }
   printf("\nPaper shape: strong rank correlation, and uniformly worse than Base — for\n"
          "100K-1M, ~75%% cannot handle 50 simultaneous queries and ~45%% cannot handle\n"
          "20; even in the 1-1K band ~20%% stop by 40.\n");
-  return 0;
+  return recorder.Finish();
 }

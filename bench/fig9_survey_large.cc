@@ -4,26 +4,30 @@
 #include "bench/survey_common.h"
 
 int main(int argc, char** argv) {
-  // Per-band server counts as in the paper; an argv override scales all bands.
+  mfc::SurveyArgs args = mfc::ParseSurveyArgs(argc, argv);
+  if (!args.ok) {
+    return 2;
+  }
+  // Per-band server counts as in the paper; the positional arg scales all bands.
   size_t counts[] = {129, 100, 114, 103};
-  if (argc > 1) {
+  if (args.servers_override > 0) {
     for (auto& c : counts) {
-      c = static_cast<size_t>(atoi(argv[1]));
+      c = args.servers_override;
     }
   }
   mfc::PrintHeader("Survey: Large Object stage stopping crowd sizes by Quantcast rank",
                    "Figure 9 (Section 5.1)");
   printf("\n");
   mfc::PrintBreakdownHeader();
+  mfc::SurveyRecorder recorder("fig9_survey_large", args);
   uint64_t seed = 900;
   mfc::Cohort bands[] = {mfc::Cohort::kRank1To1K, mfc::Cohort::kRank1KTo10K,
                          mfc::Cohort::kRank10KTo100K, mfc::Cohort::kRank100KTo1M};
   for (int i = 0; i < 4; ++i) {
-    mfc::PrintBreakdown(mfc::RunSurveyCohort(bands[i], mfc::StageKind::kLargeObject,
-                                             counts[i], 85, seed++));
+    recorder.RunAndPrint(bands[i], mfc::StageKind::kLargeObject, counts[i], 85, seed++);
   }
   printf("\nPaper shape: bandwidth provisioning is less rank-correlated than the\n"
          "back-end: outside the top band, ~45-57%% of servers stop by 50, and the\n"
          "lower two bands look better here than they did on Small Query.\n");
-  return 0;
+  return recorder.Finish();
 }

@@ -26,6 +26,27 @@ void BM_EventLoopScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoopScheduleRun)->Arg(64)->Arg(1024)->Arg(16384);
 
+// The cancel-heavy pattern of the simulation (kill timers, TCP timeouts that
+// mostly don't fire): schedule a batch, cancel half of it, drain the rest.
+// Exercises the O(1) free-listed cancel path and stale-entry skipping.
+void BM_EventLoopScheduleCancelRun(benchmark::State& state) {
+  EventLoop loop;
+  size_t batch = static_cast<size_t>(state.range(0));
+  std::vector<EventId> ids(batch);
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      ids[i] = loop.ScheduleAfter(1.0 + static_cast<double>(i % 97), [] {});
+    }
+    for (size_t i = 0; i < batch; i += 2) {
+      loop.Cancel(ids[i]);
+    }
+    loop.RunUntilIdle();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_EventLoopScheduleCancelRun)->Arg(64)->Arg(1024)->Arg(16384);
+
 void BM_FlowNetworkReallocate(benchmark::State& state) {
   size_t flows = static_cast<size_t>(state.range(0));
   for (auto _ : state) {

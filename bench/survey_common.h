@@ -1,59 +1,54 @@
 // Shared machinery for the Section 5 survey benches (Figures 7-9, Tables
-// 4-5): run one MFC stage against N sites sampled from a cohort and print
-// the paper's stopping-crowd-size breakdown.
+// 4-5): run one MFC stage against N sites sampled from a cohort (fanned
+// across cores by ParallelRunner) and print the paper's stopping-crowd-size
+// breakdown. Common flags:
+//
+//   <N>             positional: override every cohort's server count
+//   --jobs=N        worker threads (default: MFC_JOBS env, then hardware)
+//   --json=<path>   write the breakdowns + wall-clock + jobs as JSON
 #ifndef MFC_BENCH_SURVEY_COMMON_H_
 #define MFC_BENCH_SURVEY_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
-#include "src/core/experiment_runner.h"
+#include "src/core/parallel_runner.h"
+#include "src/core/survey.h"
 
 namespace mfc {
 
-struct SurveyBreakdown {
-  Cohort cohort;
-  size_t servers = 0;
-  // Counts by stopping bucket: <=10, 10-20, 20-30, 30-40, 40-50, 50+..max, NoStop.
-  size_t b10 = 0, b20 = 0, b30 = 0, b40 = 0, b50 = 0, b50plus = 0, nostop = 0;
+struct SurveyArgs {
+  size_t servers_override = 0;  // 0 = use each bench's paper counts
+  size_t jobs = 0;              // 0 = MFC_JOBS env / hardware default
+  std::string json_path;
+  bool ok = true;
 };
 
-inline SurveyBreakdown RunSurveyCohort(Cohort cohort, StageKind stage, size_t servers,
-                                       size_t max_crowd, uint64_t seed) {
-  Rng rng(seed);
-  SurveyBreakdown breakdown;
-  breakdown.cohort = cohort;
-  ExperimentConfig config;
-  config.threshold = Millis(100);
-  config.crowd_step = 5;
-  config.max_crowd = max_crowd;
-  config.min_clients = 50;
-  for (size_t i = 0; i < servers; ++i) {
-    ExperimentResult result =
-        RunSurveyExperiment(rng, cohort, config, {stage}, seed * 1000 + i);
-    const StageResult* stage_result = result.stages.empty() ? nullptr : &result.stages[0];
-    if (result.aborted || stage_result == nullptr) {
-      continue;
-    }
-    ++breakdown.servers;
-    if (!stage_result->stopped) {
-      ++breakdown.nostop;
-    } else if (stage_result->stopping_crowd_size <= 10) {
-      ++breakdown.b10;
-    } else if (stage_result->stopping_crowd_size <= 20) {
-      ++breakdown.b20;
-    } else if (stage_result->stopping_crowd_size <= 30) {
-      ++breakdown.b30;
-    } else if (stage_result->stopping_crowd_size <= 40) {
-      ++breakdown.b40;
-    } else if (stage_result->stopping_crowd_size <= 50) {
-      ++breakdown.b50;
+inline SurveyArgs ParseSurveyArgs(int argc, char** argv) {
+  SurveyArgs args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      args.jobs = static_cast<size_t>(atoi(arg.c_str() + strlen("--jobs=")));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      args.jobs = static_cast<size_t>(atoi(argv[++i]));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json_path = arg.substr(strlen("--json="));
+    } else if (arg == "--json" && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      args.servers_override = static_cast<size_t>(atoi(arg.c_str()));
     } else {
-      ++breakdown.b50plus;
+      fprintf(stderr, "unknown flag '%s' (supported: <servers> --jobs=N --json=<path>)\n",
+              arg.c_str());
+      args.ok = false;
     }
   }
-  return breakdown;
+  return args;
 }
 
 inline void PrintBreakdownHeader() {
@@ -75,6 +70,66 @@ inline void PrintBreakdown(const SurveyBreakdown& b) {
          pct(b.b50plus).c_str(), pct(b.nostop).c_str(),
          pct(b.servers - b.nostop).c_str());
 }
+
+// Collects a bench run's breakdowns and, when --json was given, writes a
+// machine-readable record (breakdowns + wall-clock seconds + jobs used) so
+// per-PR BENCH_*.json trajectories can be captured.
+class SurveyRecorder {
+ public:
+  SurveyRecorder(std::string bench_name, const SurveyArgs& args)
+      : bench_name_(std::move(bench_name)),
+        json_path_(args.json_path),
+        jobs_(ResolveJobs(args.jobs)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  size_t Jobs() const { return jobs_; }
+
+  // Runs one cohort with the recorder's jobs count, prints it, and records it.
+  SurveyBreakdown RunAndPrint(Cohort cohort, StageKind stage, size_t servers,
+                              size_t max_crowd, uint64_t seed) {
+    SurveyBreakdown b = RunSurveyCohortParallel(cohort, stage, servers, max_crowd, seed, jobs_);
+    PrintBreakdown(b);
+    breakdowns_.push_back(b);
+    return b;
+  }
+
+  // Writes the JSON record if requested. Returns 0 (main's exit code) on
+  // success, 1 if the file could not be written.
+  int Finish() const {
+    if (json_path_.empty()) {
+      return 0;
+    }
+    double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+                      .count();
+    FILE* f = fopen(json_path_.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot write %s\n", json_path_.c_str());
+      return 1;
+    }
+    fprintf(f, "{\n  \"bench\": \"%s\",\n  \"jobs\": %zu,\n  \"wall_seconds\": %.6f,\n",
+            bench_name_.c_str(), jobs_, wall);
+    fprintf(f, "  \"breakdowns\": [\n");
+    for (size_t i = 0; i < breakdowns_.size(); ++i) {
+      const SurveyBreakdown& b = breakdowns_[i];
+      fprintf(f,
+              "    {\"cohort\": \"%s\", \"servers\": %zu, \"le10\": %zu, \"b20\": %zu, "
+              "\"b30\": %zu, \"b40\": %zu, \"b50\": %zu, \"gt50\": %zu, \"nostop\": %zu}%s\n",
+              std::string(CohortName(b.cohort)).c_str(), b.servers, b.b10, b.b20, b.b30,
+              b.b40, b.b50, b.b50plus, b.nostop, i + 1 < breakdowns_.size() ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+    printf("wrote %s\n", json_path_.c_str());
+    return 0;
+  }
+
+ private:
+  std::string bench_name_;
+  std::string json_path_;
+  size_t jobs_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<SurveyBreakdown> breakdowns_;
+};
 
 }  // namespace mfc
 

@@ -5,21 +5,23 @@
 #include "bench/survey_common.h"
 
 int main(int argc, char** argv) {
-  size_t base_servers = argc > 1 ? static_cast<size_t>(atoi(argv[1])) : 107;
-  size_t query_servers = argc > 1 ? base_servers : 82;
-  size_t large_servers = argc > 1 ? base_servers : 103;
+  mfc::SurveyArgs args = mfc::ParseSurveyArgs(argc, argv);
+  if (!args.ok) {
+    return 2;
+  }
+  size_t base_servers = args.servers_override > 0 ? args.servers_override : 107;
+  size_t query_servers = args.servers_override > 0 ? args.servers_override : 82;
+  size_t large_servers = args.servers_override > 0 ? args.servers_override : 103;
   mfc::PrintHeader("Survey: startup-company servers", "Table 4 (Section 5.2)");
   printf("\n");
   mfc::PrintBreakdownHeader();
-  mfc::PrintBreakdown(
-      mfc::RunSurveyCohort(mfc::Cohort::kStartup, mfc::StageKind::kBase, base_servers, 50, 40));
-  mfc::PrintBreakdown(mfc::RunSurveyCohort(mfc::Cohort::kStartup, mfc::StageKind::kSmallQuery,
-                                           query_servers, 50, 41));
-  mfc::PrintBreakdown(mfc::RunSurveyCohort(mfc::Cohort::kStartup, mfc::StageKind::kLargeObject,
-                                           large_servers, 50, 42));
+  mfc::SurveyRecorder recorder("table4_startups", args);
+  recorder.RunAndPrint(mfc::Cohort::kStartup, mfc::StageKind::kBase, base_servers, 50, 40);
+  recorder.RunAndPrint(mfc::Cohort::kStartup, mfc::StageKind::kSmallQuery, query_servers, 50, 41);
+  recorder.RunAndPrint(mfc::Cohort::kStartup, mfc::StageKind::kLargeObject, large_servers, 50, 42);
   printf("\n(rows: Base, Small Query, Large Object)\n");
   printf("\nPaper: Base — 24%% stop <=20, 6%%/7%%/6%% in 20-30/30-40/40-50, 58%% NoStop.\n"
          "Small Query — 33%% stop <=20, 12%%/6%%/5%%, 44%% NoStop. Large Object —\n"
          "qualitatively like Base, ~30%% stopping below 30.\n");
-  return 0;
+  return recorder.Finish();
 }

@@ -5,18 +5,21 @@
 #include "bench/survey_common.h"
 
 int main(int argc, char** argv) {
-  size_t servers = argc > 1 ? static_cast<size_t>(atoi(argv[1])) : 89;
+  mfc::SurveyArgs args = mfc::ParseSurveyArgs(argc, argv);
+  if (!args.ok) {
+    return 2;
+  }
+  size_t servers = args.servers_override > 0 ? args.servers_override : 89;
   mfc::PrintHeader("Survey: phishing servers (Base stage)", "Table 5 (Section 5.3)");
   printf("\n");
   mfc::PrintBreakdownHeader();
-  mfc::PrintBreakdown(
-      mfc::RunSurveyCohort(mfc::Cohort::kPhishing, mfc::StageKind::kBase, servers, 50, 55));
+  mfc::SurveyRecorder recorder("table5_phishing", args);
+  recorder.RunAndPrint(mfc::Cohort::kPhishing, mfc::StageKind::kBase, servers, 50, 55);
   // The comparison band, at the same crowd ceiling.
-  mfc::PrintBreakdown(mfc::RunSurveyCohort(mfc::Cohort::kRank100KTo1M, mfc::StageKind::kBase,
-                                           servers, 50, 56));
+  recorder.RunAndPrint(mfc::Cohort::kRank100KTo1M, mfc::StageKind::kBase, servers, 50, 56);
   printf("\n(rows: phishing, then Quantcast 100K-1M at the same crowd ceiling)\n");
   printf("\nPaper: phishing — 12%% stop in 10-20, 16%% in 20-30, 11%%/11%% above, 50%%\n"
          "NoStop; 28%% cannot handle 30 requests vs 18%% for the 100K-1M band, whose\n"
          "NoStop fraction (62%%) is only slightly higher.\n");
-  return 0;
+  return recorder.Finish();
 }

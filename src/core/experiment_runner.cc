@@ -150,9 +150,8 @@ uint64_t Deployment::BackgroundRequests() const {
   return background_ != nullptr ? background_->RequestsIssued() : 0;
 }
 
-ExperimentResult RunSurveyExperiment(Rng& rng, Cohort cohort, const ExperimentConfig& config,
-                                     const std::vector<StageKind>& stages, uint64_t seed) {
-  SiteInstance instance = SampleSite(rng, cohort);
+ExperimentResult RunSiteExperiment(const SiteInstance& instance, const ExperimentConfig& config,
+                                   const std::vector<StageKind>& stages, uint64_t seed) {
   DeploymentOptions options;
   options.seed = seed;
   options.fleet_size = std::max<size_t>(config.min_clients, 85);
@@ -160,6 +159,11 @@ ExperimentResult RunSurveyExperiment(Rng& rng, Cohort cohort, const ExperimentCo
   StageObjects objects = deployment.ObjectsFromContent();
   Coordinator coordinator(deployment.Testbed(), config, seed ^ 0x9e3779b9);
   return coordinator.Run(objects, stages);
+}
+
+ExperimentResult RunSurveyExperiment(Rng& rng, Cohort cohort, const ExperimentConfig& config,
+                                     const std::vector<StageKind>& stages, uint64_t seed) {
+  return RunSiteExperiment(SampleSite(rng, cohort), config, stages, seed);
 }
 
 }  // namespace mfc

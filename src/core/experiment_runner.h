@@ -71,6 +71,12 @@ class Deployment {
   std::unique_ptr<BackgroundTraffic> background_;
 };
 
+// Deploys |instance|, derives its stage objects from content, and runs the
+// requested stages. Fully self-contained (own EventLoop / Rng / testbed), so
+// calls with distinct instances are safe to run on distinct threads.
+ExperimentResult RunSiteExperiment(const SiteInstance& instance, const ExperimentConfig& config,
+                                   const std::vector<StageKind>& stages, uint64_t seed);
+
 // One-call helper for the survey benches: sample a site from |cohort|, deploy
 // it, profile it, run the requested stages, and return the result.
 ExperimentResult RunSurveyExperiment(Rng& rng, Cohort cohort, const ExperimentConfig& config,

@@ -1,0 +1,56 @@
+#include "src/core/parallel_runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace mfc {
+
+size_t ResolveJobs(size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("MFC_JOBS")) {
+    long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+ParallelRunner::ParallelRunner(size_t jobs) : jobs_(ResolveJobs(jobs)) {}
+
+void ParallelRunner::RunIndexed(size_t count, const std::function<void(size_t)>& fn) const {
+  if (count == 0) {
+    return;
+  }
+  size_t workers = jobs_ < count ? jobs_ : count;
+  if (workers <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace mfc

@@ -1,0 +1,52 @@
+// Fixed-size worker pool for fanning independent simulation tasks across
+// cores.
+//
+// Isolation invariant: every task owns its entire simulation world — one
+// Deployment (EventLoop, Rng, testbed, server) per task, nothing shared
+// across threads except the read-only task description and the task's own
+// result slot. Tasks are pulled from an atomic counter in index order and
+// each writes only results[i], so the collected output is independent of
+// scheduling and bit-identical to a sequential run.
+#ifndef MFC_SRC_CORE_PARALLEL_RUNNER_H_
+#define MFC_SRC_CORE_PARALLEL_RUNNER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace mfc {
+
+// Resolves a worker count: |requested| if non-zero, else the MFC_JOBS
+// environment variable if set and positive, else hardware concurrency
+// (minimum 1).
+size_t ResolveJobs(size_t requested = 0);
+
+class ParallelRunner {
+ public:
+  // |jobs| = 0 means ResolveJobs(0) (env / hardware default).
+  explicit ParallelRunner(size_t jobs = 0);
+
+  size_t Jobs() const { return jobs_; }
+
+  // Runs fn(i) for every i in [0, count). Blocks until all tasks finish.
+  // With Jobs() == 1 the tasks run inline on the calling thread in index
+  // order, reproducing sequential behavior exactly; otherwise min(Jobs(),
+  // count) workers pull indices from a shared atomic cursor.
+  void RunIndexed(size_t count, const std::function<void(size_t)>& fn) const;
+
+  // Convenience: materializes make(i) for every index into an index-ordered
+  // vector. T must be default-constructible and movable.
+  template <typename T, typename MakeFn>
+  std::vector<T> Map(size_t count, MakeFn&& make) const {
+    std::vector<T> results(count);
+    RunIndexed(count, [&](size_t i) { results[i] = make(i); });
+    return results;
+  }
+
+ private:
+  size_t jobs_;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_CORE_PARALLEL_RUNNER_H_

@@ -1,0 +1,66 @@
+#include "src/core/survey.h"
+
+#include "src/core/parallel_runner.h"
+
+namespace mfc {
+
+void AccumulateBreakdown(SurveyBreakdown& breakdown, const ExperimentResult& result) {
+  const StageResult* stage_result = result.stages.empty() ? nullptr : &result.stages[0];
+  if (result.aborted || stage_result == nullptr) {
+    return;
+  }
+  ++breakdown.servers;
+  if (!stage_result->stopped) {
+    ++breakdown.nostop;
+  } else if (stage_result->stopping_crowd_size <= 10) {
+    ++breakdown.b10;
+  } else if (stage_result->stopping_crowd_size <= 20) {
+    ++breakdown.b20;
+  } else if (stage_result->stopping_crowd_size <= 30) {
+    ++breakdown.b30;
+  } else if (stage_result->stopping_crowd_size <= 40) {
+    ++breakdown.b40;
+  } else if (stage_result->stopping_crowd_size <= 50) {
+    ++breakdown.b50;
+  } else {
+    ++breakdown.b50plus;
+  }
+}
+
+SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t servers,
+                                        size_t max_crowd, uint64_t seed, size_t jobs,
+                                        std::vector<ExperimentResult>* per_site) {
+  ExperimentConfig config;
+  config.threshold = Millis(100);
+  config.crowd_step = 5;
+  config.max_crowd = max_crowd;
+  config.min_clients = 50;
+
+  // Sample every site up front from the shared stream, in index order — the
+  // same draws the sequential loop made — so parallel scheduling cannot
+  // perturb which sites the survey visits.
+  Rng rng(seed);
+  std::vector<SiteInstance> instances;
+  instances.reserve(servers);
+  for (size_t i = 0; i < servers; ++i) {
+    instances.push_back(SampleSite(rng, cohort));
+  }
+
+  ParallelRunner runner(jobs);
+  std::vector<ExperimentResult> results = runner.Map<ExperimentResult>(
+      servers, [&](size_t i) {
+        return RunSiteExperiment(instances[i], config, {stage}, seed * 1000 + i);
+      });
+
+  SurveyBreakdown breakdown;
+  breakdown.cohort = cohort;
+  for (const ExperimentResult& result : results) {
+    AccumulateBreakdown(breakdown, result);
+  }
+  if (per_site != nullptr) {
+    *per_site = std::move(results);
+  }
+  return breakdown;
+}
+
+}  // namespace mfc

@@ -1,0 +1,49 @@
+// Cohort surveys (Section 5): run one MFC stage against N sites sampled from
+// a cohort and aggregate the paper's stopping-crowd-size breakdown.
+//
+// Determinism contract: sites are sampled sequentially from Rng(seed) in
+// index order (exactly as the historical sequential loop drew them), each
+// site's experiment is seeded seed * 1000 + i, and per-site results land in
+// index-ordered slots before aggregation — so the breakdown is bit-identical
+// for any jobs count, including jobs=1, which reproduces the old sequential
+// runner byte for byte.
+#ifndef MFC_SRC_CORE_SURVEY_H_
+#define MFC_SRC_CORE_SURVEY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/experiment_runner.h"
+
+namespace mfc {
+
+struct SurveyBreakdown {
+  Cohort cohort = Cohort::kRank1To1K;
+  size_t servers = 0;
+  // Counts by stopping bucket: <=10, 10-20, 20-30, 30-40, 40-50, 50+..max, NoStop.
+  size_t b10 = 0, b20 = 0, b30 = 0, b40 = 0, b50 = 0, b50plus = 0, nostop = 0;
+
+  bool operator==(const SurveyBreakdown&) const = default;
+};
+
+// Folds one site's result into the breakdown (aborted experiments and
+// object-less stages are skipped, matching the paper's "could not run" rows).
+void AccumulateBreakdown(SurveyBreakdown& breakdown, const ExperimentResult& result);
+
+// Runs |servers| independent site experiments across |jobs| workers
+// (0 = MFC_JOBS env / hardware default; 1 = sequential). When |per_site| is
+// non-null it receives the index-ordered per-site results.
+SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t servers,
+                                        size_t max_crowd, uint64_t seed, size_t jobs,
+                                        std::vector<ExperimentResult>* per_site = nullptr);
+
+// Sequential wrapper kept for callers that predate the parallel runner.
+inline SurveyBreakdown RunSurveyCohort(Cohort cohort, StageKind stage, size_t servers,
+                                       size_t max_crowd, uint64_t seed) {
+  return RunSurveyCohortParallel(cohort, stage, servers, max_crowd, seed, 1);
+}
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_CORE_SURVEY_H_

@@ -4,23 +4,50 @@
 
 namespace mfc {
 
+uint32_t EventLoop::AcquireSlot() {
+  if (free_head_ != kNoFreeSlot) {
+    uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoFreeSlot;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventLoop::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb = nullptr;
+  ++s.generation;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
 EventId EventLoop::ScheduleAt(SimTime t, Callback cb) {
   if (t < now_) {
     t = now_;
   }
-  EventId id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  return id;
+  uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  queue_.push(Entry{t, next_seq_++, slot, s.generation});
+  ++live_;
+  return PackId(slot, s.generation);
 }
 
 bool EventLoop::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) {
+  uint32_t raw = static_cast<uint32_t>(id & 0xffffffffu);
+  if (raw == 0) {
     return false;
   }
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  uint32_t slot = raw - 1;
+  uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].generation != generation ||
+      slots_[slot].cb == nullptr) {
+    return false;
+  }
+  ReleaseSlot(slot);
+  --live_;
   return true;
 }
 
@@ -28,17 +55,12 @@ bool EventLoop::RunOne() {
   while (!queue_.empty()) {
     Entry top = queue_.top();
     queue_.pop();
-    auto cancelled_it = cancelled_.find(top.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      continue;
+    if (slots_[top.slot].generation != top.generation) {
+      continue;  // cancelled: the slot moved on, this entry is stale
     }
-    auto cb_it = callbacks_.find(top.id);
-    if (cb_it == callbacks_.end()) {
-      continue;  // defensive: should be unreachable
-    }
-    Callback cb = std::move(cb_it->second);
-    callbacks_.erase(cb_it);
+    Callback cb = std::move(slots_[top.slot].cb);
+    ReleaseSlot(top.slot);
+    --live_;
     now_ = top.time;
     ++executed_;
     cb();
@@ -49,11 +71,10 @@ bool EventLoop::RunOne() {
 
 void EventLoop::RunUntil(SimTime t) {
   while (!queue_.empty()) {
-    // Skip over cancelled entries so queue_.top() is a live event.
-    Entry top = queue_.top();
-    if (cancelled_.count(top.id) != 0) {
+    // Skip over stale (cancelled) entries so queue_.top() is a live event.
+    const Entry& top = queue_.top();
+    if (slots_[top.slot].generation != top.generation) {
       queue_.pop();
-      cancelled_.erase(top.id);
       continue;
     }
     if (top.time > t) {

@@ -2,15 +2,20 @@
 //
 // EventLoop owns a time-ordered queue of callbacks. Events scheduled for the
 // same instant run in scheduling order (stable), which keeps simulations
-// deterministic. Cancellation is O(log n) via lazy deletion.
+// deterministic.
+//
+// Hot-path layout: the heap holds small POD entries {time, seq, slot,
+// generation}; the callback itself lives in a free-listed slot vector indexed
+// by |slot|. Cancellation is O(1) — bump the slot's generation and return the
+// slot to the free list — and stale heap entries are skipped on pop by a
+// generation compare, with no hash-table lookups anywhere on the
+// schedule/run/cancel path. PendingCount() is an exact live counter.
 #ifndef MFC_SRC_SIM_EVENT_LOOP_H_
 #define MFC_SRC_SIM_EVENT_LOOP_H_
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/sim/sim_time.h"
@@ -38,8 +43,8 @@ class EventLoop {
   // Schedules |cb| to run |d| seconds from Now().
   EventId ScheduleAfter(SimDuration d, Callback cb) { return ScheduleAt(now_ + d, std::move(cb)); }
 
-  // Cancels a pending event. Returns false if the event already ran, was
-  // already cancelled, or never existed.
+  // Cancels a pending event in O(1). Returns false if the event already ran,
+  // was already cancelled, or never existed.
   bool Cancel(EventId id);
 
   // Runs a single event if one is pending. Returns false when idle.
@@ -52,17 +57,30 @@ class EventLoop {
   // Runs until no events remain. The final Now() is the last event's time.
   void RunUntilIdle();
 
-  // Number of pending (non-cancelled) events.
-  size_t PendingCount() const { return queue_.size() - cancelled_.size(); }
+  // Number of pending (non-cancelled) events. Exact: maintained as a live
+  // counter, independent of how many stale entries still sit in the heap.
+  size_t PendingCount() const { return live_; }
 
   // Total events executed since construction; useful for budget assertions.
   uint64_t ExecutedCount() const { return executed_; }
 
  private:
+  static constexpr uint32_t kNoFreeSlot = UINT32_MAX;
+
+  struct Slot {
+    Callback cb;
+    // Matches the heap entry only while the event is pending; bumped when the
+    // event runs or is cancelled, which invalidates any stale heap entry and
+    // any stale EventId in O(1).
+    uint32_t generation = 1;
+    uint32_t next_free = kNoFreeSlot;
+  };
+
   struct Entry {
     SimTime time;
     uint64_t seq;  // tie-breaker: FIFO among same-time events
-    EventId id;
+    uint32_t slot;
+    uint32_t generation;
     // Min-heap ordering (std::priority_queue is a max-heap, so invert).
     bool operator<(const Entry& other) const {
       if (time != other.time) {
@@ -72,14 +90,23 @@ class EventLoop {
     }
   };
 
+  // An EventId packs {generation, slot + 1}; +1 keeps 0 invalid.
+  static EventId PackId(uint32_t slot, uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) | (static_cast<EventId>(slot) + 1);
+  }
+
+  // Pops a free slot, growing the vector when the free list is empty.
+  uint32_t AcquireSlot();
+  // Invalidates |slot| and returns it to the free list.
+  void ReleaseSlot(uint32_t slot);
+
   SimTime now_ = kTimeZero;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   uint64_t executed_ = 0;
+  size_t live_ = 0;
   std::priority_queue<Entry> queue_;
-  // Callbacks keyed by id; erased on run or cancel.
-  std::unordered_map<EventId, Callback> callbacks_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoFreeSlot;
 };
 
 }  // namespace mfc

@@ -10,21 +10,27 @@ double Percentile(std::span<const double> values, double pct) {
   if (values.empty()) {
     return 0.0;
   }
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
+  // This sits on the coordinator's per-epoch decision path, so avoid a full
+  // O(n log n) sort: select just the two order statistics the interpolation
+  // needs. nth_element partitions, so after selecting the lower neighbor the
+  // upper neighbor is the minimum of the right partition.
+  std::vector<double> scratch(values.begin(), values.end());
   if (pct <= 0.0) {
-    return sorted.front();
+    return *std::min_element(scratch.begin(), scratch.end());
   }
   if (pct >= 100.0) {
-    return sorted.back();
+    return *std::max_element(scratch.begin(), scratch.end());
   }
-  double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  double rank = pct / 100.0 * static_cast<double>(scratch.size() - 1);
   size_t lo = static_cast<size_t>(rank);
   double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= sorted.size()) {
-    return sorted.back();
+  auto lo_it = scratch.begin() + static_cast<ptrdiff_t>(lo);
+  std::nth_element(scratch.begin(), lo_it, scratch.end());
+  if (lo + 1 >= scratch.size() || frac == 0.0) {
+    return *lo_it;
   }
-  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+  double hi_value = *std::min_element(lo_it + 1, scratch.end());
+  return *lo_it * (1.0 - frac) + hi_value * frac;
 }
 
 double Median(std::span<const double> values) { return Percentile(values, 50.0); }

@@ -166,6 +166,90 @@ TEST(EventLoopTest, CancelFromInsideAnEvent) {
   EXPECT_FALSE(late_ran);
 }
 
+// Regression: PendingCount used to be computed as queue size minus cancelled
+// size, which miscounted whenever stale heap entries outlived bookkeeping.
+// The slot-vector implementation keeps an exact live counter; these pin the
+// count through every schedule/cancel/run interleaving.
+TEST(EventLoopTest, PendingCountExactThroughCancelRunInterleavings) {
+  EventLoop loop;
+  EventId a = loop.ScheduleAt(1.0, [] {});
+  EventId b = loop.ScheduleAt(2.0, [] {});
+  EventId c = loop.ScheduleAt(3.0, [] {});
+  EXPECT_EQ(loop.PendingCount(), 3u);
+  loop.Cancel(b);
+  EXPECT_EQ(loop.PendingCount(), 2u);
+  EXPECT_TRUE(loop.RunOne());  // runs a
+  EXPECT_EQ(loop.PendingCount(), 1u);
+  loop.Cancel(c);
+  EXPECT_EQ(loop.PendingCount(), 0u);
+  EXPECT_FALSE(loop.RunOne());  // drains only stale entries
+  EXPECT_EQ(loop.PendingCount(), 0u);
+  (void)a;
+}
+
+TEST(EventLoopTest, PendingCountExactAfterRunUntilSkipsStaleEntries) {
+  EventLoop loop;
+  // Cancelled events both before and after the RunUntil boundary.
+  EventId early = loop.ScheduleAt(1.0, [] {});
+  loop.ScheduleAt(2.0, [] {});
+  EventId late = loop.ScheduleAt(10.0, [] {});
+  loop.ScheduleAt(11.0, [] {});
+  loop.Cancel(early);
+  loop.Cancel(late);
+  EXPECT_EQ(loop.PendingCount(), 2u);
+  loop.RunUntil(5.0);
+  EXPECT_EQ(loop.PendingCount(), 1u);
+  loop.RunUntilIdle();
+  EXPECT_EQ(loop.PendingCount(), 0u);
+}
+
+TEST(EventLoopTest, PendingCountExactWhenCallbacksScheduleAndCancel) {
+  EventLoop loop;
+  EventId victim = loop.ScheduleAt(5.0, [] {});
+  loop.ScheduleAt(1.0, [&] {
+    loop.Cancel(victim);
+    loop.ScheduleAfter(1.0, [] {});
+    loop.ScheduleAfter(2.0, [] {});
+    EXPECT_EQ(loop.PendingCount(), 2u);
+  });
+  EXPECT_EQ(loop.PendingCount(), 2u);
+  loop.RunUntilIdle();
+  EXPECT_EQ(loop.PendingCount(), 0u);
+  EXPECT_EQ(loop.ExecutedCount(), 3u);
+}
+
+// Slot reuse must not let a stale EventId cancel the slot's new occupant.
+TEST(EventLoopTest, StaleIdCannotCancelReusedSlot) {
+  EventLoop loop;
+  EventId old_id = loop.ScheduleAt(1.0, [] {});
+  ASSERT_TRUE(loop.Cancel(old_id));
+  bool ran = false;
+  EventId new_id = loop.ScheduleAt(2.0, [&] { ran = true; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(loop.Cancel(old_id));  // stale id, slot now reused
+  EXPECT_EQ(loop.PendingCount(), 1u);
+  loop.RunUntilIdle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoopTest, IdsStayUniqueAcrossHeavySlotReuse) {
+  EventLoop loop;
+  EventId last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    EventId id = loop.ScheduleAt(static_cast<double>(i), [] {});
+    EXPECT_NE(id, 0u);
+    EXPECT_NE(id, last);
+    last = id;
+    if (i % 2 == 0) {
+      EXPECT_TRUE(loop.Cancel(id));
+    } else {
+      EXPECT_TRUE(loop.RunOne());
+    }
+    EXPECT_EQ(loop.PendingCount(), 0u);
+  }
+  EXPECT_EQ(loop.ExecutedCount(), 500u);
+}
+
 // Stress: interleaved schedule/cancel keeps ordering and never loses events.
 TEST(EventLoopTest, StressManyEventsStayOrdered) {
   EventLoop loop;

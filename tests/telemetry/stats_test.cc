@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 namespace mfc {
@@ -48,6 +50,46 @@ TEST(PercentileTest, InputOrderIrrelevant) {
   std::vector<double> a{3.0, 1.0, 2.0};
   std::vector<double> b{1.0, 2.0, 3.0};
   EXPECT_DOUBLE_EQ(Percentile(a, 75.0), Percentile(b, 75.0));
+}
+
+// The nth_element-based selection must agree with the straightforward
+// full-sort implementation for arbitrary data and percentiles.
+TEST(PercentileTest, SelectionMatchesSortedReference) {
+  auto reference = [](std::vector<double> sorted, double pct) {
+    std::sort(sorted.begin(), sorted.end());
+    if (pct <= 0.0) {
+      return sorted.front();
+    }
+    if (pct >= 100.0) {
+      return sorted.back();
+    }
+    double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) {
+      return sorted.back();
+    }
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+  };
+  // Deterministic pseudo-random values, including duplicates and negatives.
+  std::vector<double> v;
+  uint64_t state = 0x1234abcd;
+  for (int i = 0; i < 237; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    v.push_back(static_cast<double>(static_cast<int64_t>(state >> 40) % 1000 - 500) / 7.0);
+  }
+  for (double pct : {0.0, 1.0, 10.0, 25.0, 50.0, 66.6, 75.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile(v, pct), reference(v, pct)) << "pct=" << pct;
+    EXPECT_DOUBLE_EQ(Median(v), reference(v, 50.0));
+  }
+  // Small sizes hit the lo+1 >= size and frac == 0 edges.
+  for (size_t n = 1; n <= 5; ++n) {
+    std::vector<double> small(v.begin(), v.begin() + static_cast<ptrdiff_t>(n));
+    for (double pct : {0.0, 33.0, 50.0, 80.0, 100.0}) {
+      EXPECT_DOUBLE_EQ(Percentile(small, pct), reference(small, pct))
+          << "n=" << n << " pct=" << pct;
+    }
+  }
 }
 
 TEST(MeanTest, Basics) {

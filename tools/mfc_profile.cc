@@ -7,8 +7,11 @@
 //   mfc_profile --cohort=startup --seed=9 --stages=base,query
 //   mfc_profile --profile=univ3 --background-rps=20 --mr=2 --theta-ms=250
 //   mfc_profile --cohort=rank3 --stagger-ms=20 --report
+//   mfc_profile --cohort=rank4 --survey=100 --jobs=8
 //
-// Prints per-epoch progress and the operator inference report.
+// Prints per-epoch progress and the operator inference report; --survey=N
+// instead profiles N sites sampled from the cohort in parallel and prints
+// the stopping-crowd-size breakdown.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +23,8 @@
 #include "src/core/experiment_runner.h"
 #include "src/core/export.h"
 #include "src/core/inference.h"
+#include "src/core/parallel_runner.h"
+#include "src/core/survey.h"
 
 namespace mfc {
 namespace {
@@ -35,6 +40,8 @@ struct Options {
   double stagger_ms = 0.0;
   double background_rps = 0.0;
   uint64_t seed = 1;
+  size_t survey = 0;            // when > 0: survey this many cohort sites
+  size_t jobs = 0;              // worker threads (0 = MFC_JOBS env / hardware)
   bool crawl = false;           // profile via crawling instead of operator input
   bool verbose_epochs = true;
   std::string csv_path;         // write per-epoch CSV here
@@ -56,6 +63,8 @@ void Usage() {
       "  --stagger-ms=<N>      staggered arrivals, spacing in ms (default 0)\n"
       "  --background-rps=<N>  Poisson background request rate (default 0)\n"
       "  --stages=<list>       comma list of base,query,large (default all)\n"
+      "  --survey=<N>          run N sampled cohort sites and print the breakdown\n"
+      "  --jobs=<N>            survey worker threads (default: MFC_JOBS env, then cores)\n"
       "  --crawl               discover probe objects by crawling\n"
       "  --csv=<path>          write per-epoch CSV\n"
       "  --json=<path>         write the result as JSON\n"
@@ -96,6 +105,10 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       options.background_rps = atof(v->c_str());
     } else if (auto v = value_of("--seed=")) {
       options.seed = static_cast<uint64_t>(atoll(v->c_str()));
+    } else if (auto v = value_of("--survey=")) {
+      options.survey = static_cast<size_t>(atoi(v->c_str()));
+    } else if (auto v = value_of("--jobs=")) {
+      options.jobs = static_cast<size_t>(atoi(v->c_str()));
     } else if (auto v = value_of("--csv=")) {
       options.csv_path = *v;
     } else if (auto v = value_of("--json=")) {
@@ -135,6 +148,21 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
   return options;
 }
 
+std::optional<Cohort> ResolveCohort(const Options& options) {
+  static const std::map<std::string, Cohort> kCohorts = {
+      {"rank1", Cohort::kRank1To1K},      {"rank2", Cohort::kRank1KTo10K},
+      {"rank3", Cohort::kRank10KTo100K},  {"rank4", Cohort::kRank100KTo1M},
+      {"startup", Cohort::kStartup},      {"phishing", Cohort::kPhishing},
+  };
+  std::string cohort = options.cohort.empty() ? "rank3" : options.cohort;
+  auto it = kCohorts.find(cohort);
+  if (it == kCohorts.end()) {
+    fprintf(stderr, "unknown cohort '%s'\n", cohort.c_str());
+    return std::nullopt;
+  }
+  return it->second;
+}
+
 std::optional<SiteInstance> ResolveSite(const Options& options) {
   if (!options.profile.empty()) {
     static const std::map<std::string, SiteInstance (*)()> kProfiles = {
@@ -149,22 +177,48 @@ std::optional<SiteInstance> ResolveSite(const Options& options) {
     }
     return it->second();
   }
-  static const std::map<std::string, Cohort> kCohorts = {
-      {"rank1", Cohort::kRank1To1K},      {"rank2", Cohort::kRank1KTo10K},
-      {"rank3", Cohort::kRank10KTo100K},  {"rank4", Cohort::kRank100KTo1M},
-      {"startup", Cohort::kStartup},      {"phishing", Cohort::kPhishing},
-  };
-  std::string cohort = options.cohort.empty() ? "rank3" : options.cohort;
-  auto it = kCohorts.find(cohort);
-  if (it == kCohorts.end()) {
-    fprintf(stderr, "unknown cohort '%s'\n", cohort.c_str());
+  auto cohort = ResolveCohort(options);
+  if (!cohort.has_value()) {
     return std::nullopt;
   }
   Rng rng(options.seed);
-  return SampleSite(rng, it->second);
+  return SampleSite(rng, *cohort);
+}
+
+// --survey=N: profile N cohort sites across the worker pool and print the
+// paper-style stopping breakdown.
+int RunSurvey(const Options& options) {
+  if (!options.profile.empty()) {
+    fprintf(stderr, "--survey requires a cohort, not a named profile\n");
+    return 2;
+  }
+  auto cohort = ResolveCohort(options);
+  if (!cohort.has_value()) {
+    return 2;
+  }
+  StageKind stage = options.stages.empty() ? StageKind::kBase : options.stages[0];
+  size_t jobs = ResolveJobs(options.jobs);
+  printf("survey: cohort=%s stage=%s servers=%zu max-crowd=%zu jobs=%zu seed=%llu\n\n",
+         std::string(CohortName(*cohort)).c_str(), std::string(StageName(stage)).c_str(),
+         options.survey, options.max_crowd, jobs,
+         static_cast<unsigned long long>(options.seed));
+  SurveyBreakdown b = RunSurveyCohortParallel(*cohort, stage, options.survey,
+                                              options.max_crowd, options.seed, jobs);
+  auto pct = [&](size_t n) {
+    return b.servers == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
+                                      static_cast<double>(b.servers);
+  };
+  printf("servers=%zu  <=10: %.0f%%  10-20: %.0f%%  20-30: %.0f%%  30-40: %.0f%%  "
+         "40-50: %.0f%%  >50: %.0f%%  NoStop: %.0f%%\n",
+         b.servers, pct(b.b10), pct(b.b20), pct(b.b30), pct(b.b40), pct(b.b50),
+         pct(b.b50plus), pct(b.nostop));
+  return 0;
 }
 
 int Run(const Options& options) {
+  if (options.survey > 0) {
+    return RunSurvey(options);
+  }
   auto site = ResolveSite(options);
   if (!site.has_value()) {
     return 2;
