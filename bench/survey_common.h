@@ -3,9 +3,12 @@
 // across cores by ParallelRunner) and print the paper's stopping-crowd-size
 // breakdown. Common flags:
 //
-//   <N>             positional: override every cohort's server count
-//   --jobs=N        worker threads (default: MFC_JOBS env, then hardware)
-//   --json=<path>   write the breakdowns + wall-clock + jobs as JSON
+//   <N>               positional: override every cohort's server count
+//   --jobs=N          worker threads (default: MFC_JOBS env, then hardware)
+//   --json=<path>     write the breakdowns + wall-clock + jobs as JSON
+//   --trace=<path>    collect per-site spans, write merged Chrome trace JSON
+//   --metrics=<path>  collect per-site metrics, write the merged CSV; also
+//                     adds span_totals to the --json record (see README.md)
 #ifndef MFC_BENCH_SURVEY_COMMON_H_
 #define MFC_BENCH_SURVEY_COMMON_H_
 
@@ -16,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/export.h"
 #include "src/core/parallel_runner.h"
 #include "src/core/survey.h"
 
@@ -25,6 +29,8 @@ struct SurveyArgs {
   size_t servers_override = 0;  // 0 = use each bench's paper counts
   size_t jobs = 0;              // 0 = MFC_JOBS env / hardware default
   std::string json_path;
+  std::string trace_path;       // empty = tracing off (the default path)
+  std::string metrics_path;     // empty = metrics off
   bool ok = true;
 };
 
@@ -40,10 +46,16 @@ inline SurveyArgs ParseSurveyArgs(int argc, char** argv) {
       args.json_path = arg.substr(strlen("--json="));
     } else if (arg == "--json" && i + 1 < argc) {
       args.json_path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      args.trace_path = arg.substr(strlen("--trace="));
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      args.metrics_path = arg.substr(strlen("--metrics="));
     } else if (!arg.empty() && arg[0] != '-') {
       args.servers_override = static_cast<size_t>(atoi(arg.c_str()));
     } else {
-      fprintf(stderr, "unknown flag '%s' (supported: <servers> --jobs=N --json=<path>)\n",
+      fprintf(stderr,
+              "unknown flag '%s' (supported: <servers> --jobs=N --json=<path> "
+              "--trace=<path> --metrics=<path>)\n",
               arg.c_str());
       args.ok = false;
     }
@@ -71,33 +83,65 @@ inline void PrintBreakdown(const SurveyBreakdown& b) {
          pct(b.servers - b.nostop).c_str());
 }
 
+inline bool WriteBenchFile(const std::string& path, const std::string& contents) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  fwrite(contents.data(), 1, contents.size(), f);
+  fclose(f);
+  printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 // Collects a bench run's breakdowns and, when --json was given, writes a
 // machine-readable record (breakdowns + wall-clock seconds + jobs used) so
-// per-PR BENCH_*.json trajectories can be captured.
+// per-PR BENCH_*.json trajectories can be captured. With --trace/--metrics it
+// also owns a SurveyTelemetry that the cohort runs fold their per-site spans
+// and metrics into; without those flags no telemetry is attached and output
+// stays byte-identical to the untraced bench.
 class SurveyRecorder {
  public:
   SurveyRecorder(std::string bench_name, const SurveyArgs& args)
       : bench_name_(std::move(bench_name)),
         json_path_(args.json_path),
+        trace_path_(args.trace_path),
+        metrics_path_(args.metrics_path),
         jobs_(ResolveJobs(args.jobs)),
-        start_(std::chrono::steady_clock::now()) {}
+        start_(std::chrono::steady_clock::now()) {
+    telemetry_.collect_trace = !trace_path_.empty();
+    telemetry_.collect_metrics = !metrics_path_.empty();
+    telemetry_.progress = telemetry_.Enabled();
+  }
 
   size_t Jobs() const { return jobs_; }
 
   // Runs one cohort with the recorder's jobs count, prints it, and records it.
   SurveyBreakdown RunAndPrint(Cohort cohort, StageKind stage, size_t servers,
                               size_t max_crowd, uint64_t seed) {
-    SurveyBreakdown b = RunSurveyCohortParallel(cohort, stage, servers, max_crowd, seed, jobs_);
+    SurveyBreakdown b = RunSurveyCohortParallel(cohort, stage, servers, max_crowd, seed, jobs_,
+                                                nullptr,
+                                                telemetry_.Enabled() ? &telemetry_ : nullptr);
     PrintBreakdown(b);
     breakdowns_.push_back(b);
     return b;
   }
 
-  // Writes the JSON record if requested. Returns 0 (main's exit code) on
-  // success, 1 if the file could not be written.
+  // Writes the JSON record / trace / metrics files that were requested.
+  // Returns 0 (main's exit code) on success, 1 if any file could not be
+  // written.
   int Finish() const {
+    int rc = 0;
+    if (!trace_path_.empty() && !WriteBenchFile(trace_path_, ExportTraceJson(telemetry_.trace))) {
+      rc = 1;
+    }
+    if (!metrics_path_.empty() &&
+        !WriteBenchFile(metrics_path_, ExportMetricsCsv(telemetry_.metrics))) {
+      rc = 1;
+    }
     if (json_path_.empty()) {
-      return 0;
+      return rc;
     }
     double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
                       .count();
@@ -117,18 +161,48 @@ class SurveyRecorder {
               std::string(CohortName(b.cohort)).c_str(), b.servers, b.b10, b.b20, b.b30,
               b.b40, b.b50, b.b50plus, b.nostop, i + 1 < breakdowns_.size() ? "," : "");
     }
-    fprintf(f, "  ]\n}\n");
+    fprintf(f, "  ]%s\n", telemetry_.collect_metrics ? "," : "");
+    // Per-stage span-time breakdown (seconds of simulated time each request
+    // spent per lifecycle phase), summed over every surveyed site. Only
+    // present when --metrics was given so default --json output is unchanged.
+    if (telemetry_.collect_metrics) {
+      fprintf(f, "  \"span_totals\": {\n");
+      static const char* kStages[] = {"Base", "SmallQuery", "LargeObject"};
+      bool first = true;
+      for (const char* stage : kStages) {
+        std::string prefix = std::string("span.") + stage + ".";
+        double count = telemetry_.metrics.Counter(prefix + "count");
+        if (count == 0.0) {
+          continue;
+        }
+        fprintf(f,
+                "%s    \"%s\": {\"count\": %.0f, \"queue_s\": %.9g, \"cpu_s\": %.9g, "
+                "\"db_s\": %.9g, \"disk_s\": %.9g, \"net_s\": %.9g}",
+                first ? "" : ",\n", stage, count,
+                telemetry_.metrics.Counter(prefix + "queue_s"),
+                telemetry_.metrics.Counter(prefix + "cpu_s"),
+                telemetry_.metrics.Counter(prefix + "db_s"),
+                telemetry_.metrics.Counter(prefix + "disk_s"),
+                telemetry_.metrics.Counter(prefix + "net_s"));
+        first = false;
+      }
+      fprintf(f, "\n  }\n");
+    }
+    fprintf(f, "}\n");
     fclose(f);
     printf("wrote %s\n", json_path_.c_str());
-    return 0;
+    return rc;
   }
 
  private:
   std::string bench_name_;
   std::string json_path_;
+  std::string trace_path_;
+  std::string metrics_path_;
   size_t jobs_;
   std::chrono::steady_clock::time_point start_;
   std::vector<SurveyBreakdown> breakdowns_;
+  SurveyTelemetry telemetry_;
 };
 
 }  // namespace mfc

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "src/core/sync_scheduler.h"
+#include "src/telemetry/metrics.h"
 #include "src/telemetry/stats.h"
 
 namespace mfc {
@@ -23,6 +25,19 @@ StageObjects SelectStageObjects(const ContentProfile& profile, bool unique_queri
 
 Coordinator::Coordinator(ClientHarness& harness, ExperimentConfig config, uint64_t seed)
     : harness_(harness), config_(config), rng_(seed) {}
+
+SpanId Coordinator::BeginSpan(const char* name, SpanId parent) {
+  if (telemetry_ == nullptr || telemetry_->tracer == nullptr) {
+    return 0;
+  }
+  return telemetry_->tracer->StartSpan(name, "coord", parent, harness_.Now());
+}
+
+void Coordinator::EndSpan(SpanId id) {
+  if (id != 0) {
+    telemetry_->tracer->EndSpan(id, harness_.Now());
+  }
+}
 
 void Coordinator::SetMeasurers(std::vector<MeasurerSpec> measurers) {
   measurers_ = std::move(measurers);
@@ -85,6 +100,7 @@ EpochResult Coordinator::RunEpoch(StageKind kind, const StageObjects& objects,
   EpochResult result;
   result.crowd_size = crowd_size;
   result.check_phase = check_phase;
+  SpanId epoch_span = BeginSpan("epoch", epoch_parent_);
 
   // Random participant selection (Figure 2a) decouples the measured medians
   // from any one client's local conditions. Measurer hosts never join the
@@ -173,6 +189,35 @@ EpochResult Coordinator::RunEpoch(StageKind kind, const StageObjects& objects,
   result.samples_received = result.samples.size();
   result.metric = Percentile(normalized, MetricPercentile(kind));
   result.exceeded_threshold = result.metric > config_.threshold;
+
+  if (telemetry_ != nullptr) {
+    if (epoch_span != 0) {
+      Tracer& tracer = *telemetry_->tracer;
+      tracer.Attr(epoch_span, "crowd", static_cast<uint64_t>(crowd_size));
+      tracer.Attr(epoch_span, "samples", static_cast<uint64_t>(result.samples_received));
+      tracer.Attr(epoch_span, "metric_ms", ToMillis(result.metric));
+      tracer.Attr(epoch_span, "exceeded", std::string(result.exceeded_threshold ? "true" : "false"));
+      tracer.Attr(epoch_span, "check_phase", std::string(check_phase ? "true" : "false"));
+      EndSpan(epoch_span);
+    }
+    if (telemetry_->metrics != nullptr) {
+      MetricsRegistry& m = *telemetry_->metrics;
+      m.Add("coord.epochs");
+      if (check_phase) {
+        m.Add("coord.check_epochs");
+      }
+      m.Add("coord.requests_scheduled", static_cast<double>(n * per_client + measurers_.size()));
+      m.Add("coord.samples_received", static_cast<double>(result.samples_received));
+      m.Observe("coord.epoch_metric_ms", ToMillis(result.metric));
+      m.HistObserve("coord.epoch_metric_ms", LatencyBucketEdgesMs(), ToMillis(result.metric));
+    }
+    if (telemetry_->progress) {
+      fprintf(stderr, "[mfc] stage=%s crowd=%zu samples=%zu metric=%.1fms%s%s\n",
+              telemetry_->stage.c_str(), crowd_size, result.samples_received,
+              ToMillis(result.metric), check_phase ? " [check]" : "",
+              result.exceeded_threshold ? " EXCEEDED" : "");
+    }
+  }
   return result;
 }
 
@@ -182,6 +227,17 @@ StageResult Coordinator::RunStage(StageKind kind, const StageObjects& objects,
   stage.kind = kind;
   stage.started = harness_.Now();
 
+  if (telemetry_ != nullptr) {
+    // Publish the stage label so server-side request spans carry it.
+    telemetry_->stage = std::string(StageName(kind));
+  }
+  SpanId stage_span = BeginSpan("stage", experiment_span_);
+  if (stage_span != 0) {
+    telemetry_->tracer->Attr(stage_span, "name", std::string(StageName(kind)));
+  }
+  epoch_parent_ = stage_span;
+
+  SpanId prepare_span = BeginSpan("prepare", stage_span);
   std::vector<ClientState> clients = PrepareClients(kind, objects, registered);
   size_t per_client = std::max<size_t>(1, config_.requests_per_client);
   size_t usable = 0;
@@ -190,6 +246,14 @@ StageResult Coordinator::RunStage(StageKind kind, const StageObjects& objects,
       ++usable;
     }
   }
+  if (prepare_span != 0) {
+    telemetry_->tracer->Attr(prepare_span, "clients", static_cast<uint64_t>(clients.size()));
+    telemetry_->tracer->Attr(prepare_span, "usable", static_cast<uint64_t>(usable));
+  }
+  EndSpan(prepare_span);
+  // The normalized metric of the epoch that decided the stage's fate (the
+  // confirming check epoch, or the last epoch seen).
+  SimDuration decision_metric = 0.0;
 
   auto account = [&stage](const EpochResult& epoch) {
     stage.total_requests += epoch.crowd_size;
@@ -204,6 +268,7 @@ StageResult Coordinator::RunStage(StageKind kind, const StageObjects& objects,
     EpochResult epoch = RunEpoch(kind, objects, clients, crowd, /*check_phase=*/false);
     account(epoch);
     bool exceeded = epoch.exceeded_threshold;
+    decision_metric = epoch.metric;
     stage.epochs.push_back(std::move(epoch));
     harness_.WaitUntil(harness_.Now() + config_.epoch_gap);
 
@@ -212,12 +277,20 @@ StageResult Coordinator::RunStage(StageKind kind, const StageObjects& objects,
     }
     // Check phase: re-run at N-1, N, N+1; any confirmation terminates the
     // stage with stopping size N (Section 2.2.3).
+    SpanId check_span = BeginSpan("check_phase", stage_span);
+    if (check_span != 0) {
+      telemetry_->tracer->Attr(check_span, "candidate_crowd", static_cast<uint64_t>(crowd));
+    }
+    epoch_parent_ = check_span != 0 ? check_span : stage_span;
     bool confirmed = false;
     for (long delta : {-1L, 0L, 1L}) {
       size_t check_crowd = static_cast<size_t>(static_cast<long>(crowd) + delta);
       EpochResult check = RunEpoch(kind, objects, clients, check_crowd, /*check_phase=*/true);
       account(check);
       bool check_exceeded = check.exceeded_threshold;
+      if (check_exceeded) {
+        decision_metric = check.metric;
+      }
       stage.epochs.push_back(std::move(check));
       harness_.WaitUntil(harness_.Now() + config_.epoch_gap);
       if (check_exceeded) {
@@ -225,6 +298,11 @@ StageResult Coordinator::RunStage(StageKind kind, const StageObjects& objects,
         break;
       }
     }
+    if (check_span != 0) {
+      telemetry_->tracer->Attr(check_span, "confirmed", std::string(confirmed ? "true" : "false"));
+    }
+    EndSpan(check_span);
+    epoch_parent_ = stage_span;
     if (confirmed) {
       stage.stopped = true;
       stage.stopping_crowd_size = crowd;
@@ -232,6 +310,39 @@ StageResult Coordinator::RunStage(StageKind kind, const StageObjects& objects,
     }
   }
   stage.finished = harness_.Now();
+
+  if (telemetry_ != nullptr) {
+    // Stop decision: an instant span carrying the verdict and the decision
+    // metric, so the trace alone explains why the stage ended.
+    SpanId decision_span = BeginSpan("stop_decision", stage_span);
+    if (decision_span != 0) {
+      Tracer& tracer = *telemetry_->tracer;
+      tracer.Attr(decision_span, "stopped", std::string(stage.stopped ? "true" : "false"));
+      tracer.Attr(decision_span, "stopping_crowd",
+                  static_cast<uint64_t>(stage.stopping_crowd_size));
+      tracer.Attr(decision_span, "max_crowd_tested",
+                  static_cast<uint64_t>(stage.max_crowd_tested));
+      tracer.Attr(decision_span, "decision_metric_ms", ToMillis(decision_metric));
+      tracer.Attr(decision_span, "threshold_ms", ToMillis(config_.threshold));
+      EndSpan(decision_span);
+    }
+    if (telemetry_->metrics != nullptr) {
+      MetricsRegistry& m = *telemetry_->metrics;
+      m.Add("coord.stages");
+      if (stage.stopped) {
+        m.Add("coord.stages_stopped");
+        m.Observe("coord.stopping_crowd", static_cast<double>(stage.stopping_crowd_size));
+      }
+    }
+    if (telemetry_->progress) {
+      fprintf(stderr, "[mfc] stage=%s done: %s\n", std::string(StageName(kind)).c_str(),
+              stage.stopped ? ("stopped at crowd " + std::to_string(stage.stopping_crowd_size)).c_str()
+                            : "NoStop");
+    }
+    telemetry_->stage = "idle";
+  }
+  EndSpan(stage_span);
+  epoch_parent_ = 0;
   return stage;
 }
 
@@ -243,12 +354,25 @@ ExperimentResult Coordinator::Run(const StageObjects& objects) {
 ExperimentResult Coordinator::Run(const StageObjects& objects,
                                   const std::vector<StageKind>& stages) {
   ExperimentResult result;
+  experiment_span_ = BeginSpan("experiment", 0);
   std::vector<size_t> registered = harness_.ProbeClients(config_.registration_probe_timeout);
   result.registered_clients = registered.size();
+  if (experiment_span_ != 0) {
+    telemetry_->tracer->Attr(experiment_span_, "registered_clients",
+                             static_cast<uint64_t>(registered.size()));
+  }
   if (registered.size() < config_.min_clients) {
     result.aborted = true;
     result.abort_reason = "only " + std::to_string(registered.size()) +
                           " clients responsive, need " + std::to_string(config_.min_clients);
+    if (experiment_span_ != 0) {
+      telemetry_->tracer->Attr(experiment_span_, "aborted", std::string("true"));
+    }
+    if (telemetry_ != nullptr && telemetry_->metrics != nullptr) {
+      telemetry_->metrics->Add("coord.aborted");
+    }
+    EndSpan(experiment_span_);
+    experiment_span_ = 0;
     return result;
   }
   for (StageKind kind : stages) {
@@ -260,6 +384,8 @@ ExperimentResult Coordinator::Run(const StageObjects& objects,
     }
     result.stages.push_back(RunStage(kind, objects, registered));
   }
+  EndSpan(experiment_span_);
+  experiment_span_ = 0;
   return result;
 }
 

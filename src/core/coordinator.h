@@ -13,6 +13,7 @@
 #include "src/core/types.h"
 #include "src/http/url.h"
 #include "src/sim/rng.h"
+#include "src/telemetry/trace.h"
 
 namespace mfc {
 
@@ -56,6 +57,14 @@ class Coordinator {
   ExperimentResult Run(const StageObjects& objects);
   ExperimentResult Run(const StageObjects& objects, const std::vector<StageKind>& stages);
 
+  // Optional tracing/metrics sink. When set, the run is wrapped in
+  // "experiment" > "stage" > "prepare"/"epoch"/"check_phase"/"stop_decision"
+  // spans (the decision metric rides as span attributes), epoch counters and
+  // metric histograms accumulate in the registry, the coordinator publishes
+  // its current stage label for the server's request spans, and — when
+  // telemetry->progress — live per-epoch lines go to stderr.
+  void SetTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
   const ExperimentConfig& Config() const { return config_; }
 
  private:
@@ -85,11 +94,20 @@ class Coordinator {
 
   double MetricPercentile(StageKind kind) const;
 
+  // Span helpers; no-ops (returning 0) without a tracer.
+  SpanId BeginSpan(const char* name, SpanId parent);
+  void EndSpan(SpanId id);
+
   ClientHarness& harness_;
   ExperimentConfig config_;
   Rng rng_;
   std::vector<MeasurerSpec> measurers_;
   std::vector<std::vector<RequestSample>> measurer_samples_;
+  Telemetry* telemetry_ = nullptr;
+  SpanId experiment_span_ = 0;
+  // Parent for the next epoch span: the stage span, or the enclosing
+  // check-phase span during confirmation runs.
+  SpanId epoch_parent_ = 0;
 };
 
 }  // namespace mfc

@@ -150,14 +150,32 @@ uint64_t Deployment::BackgroundRequests() const {
   return background_ != nullptr ? background_->RequestsIssued() : 0;
 }
 
+void Deployment::SetTelemetry(Telemetry* telemetry) {
+  if (server_ != nullptr) {
+    server_->SetTelemetry(telemetry);
+  }
+  if (cluster_ != nullptr) {
+    for (size_t i = 0; i < cluster_->ReplicaCount(); ++i) {
+      cluster_->Replica(i).SetTelemetry(telemetry);
+    }
+  }
+}
+
 ExperimentResult RunSiteExperiment(const SiteInstance& instance, const ExperimentConfig& config,
-                                   const std::vector<StageKind>& stages, uint64_t seed) {
+                                   const std::vector<StageKind>& stages, uint64_t seed,
+                                   Telemetry* telemetry) {
   DeploymentOptions options;
   options.seed = seed;
   options.fleet_size = std::max<size_t>(config.min_clients, 85);
   Deployment deployment(instance, options);
+  if (telemetry != nullptr) {
+    deployment.SetTelemetry(telemetry);
+  }
   StageObjects objects = deployment.ObjectsFromContent();
   Coordinator coordinator(deployment.Testbed(), config, seed ^ 0x9e3779b9);
+  if (telemetry != nullptr) {
+    coordinator.SetTelemetry(telemetry);
+  }
   return coordinator.Run(objects, stages);
 }
 

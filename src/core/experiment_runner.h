@@ -59,6 +59,11 @@ class Deployment {
   void StopBackground();
   uint64_t BackgroundRequests() const;
 
+  // Wires a tracing/metrics sink into the server (every replica of a
+  // cluster). Coordinators built on this deployment attach separately via
+  // Coordinator::SetTelemetry on the same Telemetry object.
+  void SetTelemetry(Telemetry* telemetry);
+
  private:
   ContentStore content_;
   // Indirection injected into the testbed before the real target exists.
@@ -73,9 +78,12 @@ class Deployment {
 
 // Deploys |instance|, derives its stage objects from content, and runs the
 // requested stages. Fully self-contained (own EventLoop / Rng / testbed), so
-// calls with distinct instances are safe to run on distinct threads.
+// calls with distinct instances are safe to run on distinct threads. When
+// |telemetry| is non-null its tracer/metrics (which must be private to this
+// call's thread) receive the run's spans and counters.
 ExperimentResult RunSiteExperiment(const SiteInstance& instance, const ExperimentConfig& config,
-                                   const std::vector<StageKind>& stages, uint64_t seed);
+                                   const std::vector<StageKind>& stages, uint64_t seed,
+                                   Telemetry* telemetry = nullptr);
 
 // One-call helper for the survey benches: sample a site from |cohort|, deploy
 // it, profile it, run the requested stages, and return the result.

@@ -1,6 +1,8 @@
 #include "src/core/export.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <numeric>
 
 namespace mfc {
 namespace {
@@ -88,6 +90,82 @@ std::string ExportJson(const ExperimentResult& result) {
   }
   json += "]}";
   return json;
+}
+
+std::string ExportTraceJson(const Tracer& tracer) {
+  const std::vector<TraceSpan>& spans = tracer.Spans();
+  // Monotone timestamps: order events by (pid, start time, id).
+  std::vector<size_t> order(spans.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&spans](size_t a, size_t b) {
+    if (spans[a].pid != spans[b].pid) {
+      return spans[a].pid < spans[b].pid;
+    }
+    if (spans[a].start != spans[b].start) {
+      return spans[a].start < spans[b].start;
+    }
+    return spans[a].id < spans[b].id;
+  });
+
+  auto micros = [](SimTime t) {
+    char buf[40];
+    snprintf(buf, sizeof(buf), "%.3f", t * 1e6);
+    return std::string(buf);
+  };
+
+  std::string json = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (size_t i : order) {
+    const TraceSpan& span = spans[i];
+    if (!first) {
+      json += ",";
+    }
+    first = false;
+    json += "\n{\"name\":\"" + JsonEscape(span.name) + "\",\"cat\":\"" +
+            JsonEscape(span.category) + "\",\"ph\":\"X\",\"ts\":" + micros(span.start) +
+            ",\"dur\":" + micros(span.Duration()) + ",\"pid\":" + std::to_string(span.pid) +
+            ",\"tid\":" + std::to_string(span.track);
+    json += ",\"args\":{\"id\":" + std::to_string(span.id);
+    if (span.parent != 0) {
+      json += ",\"parent\":" + std::to_string(span.parent);
+    }
+    for (const auto& [key, value] : span.attrs) {
+      json += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+    }
+    json += "}}";
+  }
+  json += "\n]}\n";
+  return json;
+}
+
+std::string ExportMetricsCsv(const MetricsRegistry& metrics) {
+  auto fmt = [](double v) {
+    char buf[40];
+    snprintf(buf, sizeof(buf), "%.9g", v);
+    return std::string(buf);
+  };
+  std::string csv = "kind,name,field,value\n";
+  for (const auto& [name, value] : metrics.Counters()) {
+    csv += "counter," + name + ",value," + fmt(value) + "\n";
+  }
+  for (const auto& [name, value] : metrics.Gauges()) {
+    csv += "gauge," + name + ",value," + fmt(value) + "\n";
+  }
+  for (const auto& [name, stats] : metrics.Summaries()) {
+    csv += "summary," + name + ",count," + std::to_string(stats.Count()) + "\n";
+    csv += "summary," + name + ",mean," + fmt(stats.Mean()) + "\n";
+    csv += "summary," + name + ",stddev," + fmt(stats.StdDev()) + "\n";
+    csv += "summary," + name + ",min," + fmt(stats.MinValue()) + "\n";
+    csv += "summary," + name + ",max," + fmt(stats.MaxValue()) + "\n";
+  }
+  for (const auto& [name, hist] : metrics.Histograms()) {
+    csv += "hist," + name + ",total," + std::to_string(hist.Total()) + "\n";
+    for (size_t i = 0; i < hist.BucketCount(); ++i) {
+      csv += "hist," + name + ",bucket_" + std::to_string(i) + "," +
+             std::to_string(hist.BucketValue(i)) + "\n";
+    }
+  }
+  return csv;
 }
 
 }  // namespace mfc

@@ -7,6 +7,8 @@
 #include <string>
 
 #include "src/core/types.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace mfc {
 
@@ -18,6 +20,21 @@ std::string ExportEpochsCsv(const ExperimentResult& result);
 // Compact JSON: {"aborted":...,"registered_clients":N,"stages":[{...}]}
 // with per-stage verdicts and per-epoch metrics (no raw samples).
 std::string ExportJson(const ExperimentResult& result);
+
+// Chrome trace_event JSON (loadable in about:tracing / Perfetto): one
+// complete ("ph":"X") event per span, timestamps in microseconds of simulated
+// time, sorted ascending so downstream validators can assume monotone ts.
+// Span ids and parent links ride in args.id / args.parent; each request tree
+// renders on its own tid, merged survey sites on their own pid.
+std::string ExportTraceJson(const Tracer& tracer);
+
+// Flat CSV, one row per metric field:
+//   kind,name,field,value
+// counters/gauges use field "value"; summaries expand to count/mean/stddev/
+// min/max; histograms to total plus bucket_<i> counts. Rows are emitted in
+// name order (the registry's maps are ordered), so equal registries export
+// byte-identical CSVs.
+std::string ExportMetricsCsv(const MetricsRegistry& metrics);
 
 }  // namespace mfc
 

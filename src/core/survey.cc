@@ -1,5 +1,9 @@
 #include "src/core/survey.h"
 
+#include <atomic>
+#include <cstdio>
+#include <memory>
+
 #include "src/core/parallel_runner.h"
 
 namespace mfc {
@@ -29,7 +33,8 @@ void AccumulateBreakdown(SurveyBreakdown& breakdown, const ExperimentResult& res
 
 SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t servers,
                                         size_t max_crowd, uint64_t seed, size_t jobs,
-                                        std::vector<ExperimentResult>* per_site) {
+                                        std::vector<ExperimentResult>* per_site,
+                                        SurveyTelemetry* telemetry) {
   ExperimentConfig config;
   config.threshold = Millis(100);
   config.crowd_step = 5;
@@ -46,11 +51,57 @@ SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t s
     instances.push_back(SampleSite(rng, cohort));
   }
 
+  // Per-site observability shards: each task fills only slot i, and the
+  // shards are folded in index order below — merged telemetry is therefore
+  // byte-identical for any jobs count (the same invariant the results vector
+  // itself relies on).
+  const bool observe = telemetry != nullptr && telemetry->Enabled();
+  struct SiteTelemetry {
+    Tracer tracer;
+    MetricsRegistry metrics;
+  };
+  std::vector<std::unique_ptr<SiteTelemetry>> shards;
+  if (observe) {
+    shards.resize(servers);
+  }
+  std::atomic<size_t> completed{0};
+
   ParallelRunner runner(jobs);
   std::vector<ExperimentResult> results = runner.Map<ExperimentResult>(
       servers, [&](size_t i) {
-        return RunSiteExperiment(instances[i], config, {stage}, seed * 1000 + i);
+        Telemetry site_telemetry;
+        if (observe) {
+          shards[i] = std::make_unique<SiteTelemetry>();
+          if (telemetry->collect_trace) {
+            site_telemetry.tracer = &shards[i]->tracer;
+          }
+          if (telemetry->collect_metrics) {
+            site_telemetry.metrics = &shards[i]->metrics;
+          }
+        }
+        ExperimentResult result =
+            RunSiteExperiment(instances[i], config, {stage}, seed * 1000 + i,
+                              observe ? &site_telemetry : nullptr);
+        if (telemetry != nullptr && telemetry->progress) {
+          size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+          const StageResult* sr = result.stages.empty() ? nullptr : &result.stages[0];
+          fprintf(stderr, "[survey] site %zu/%zu (index %zu): %s\n", done, servers, i,
+                  result.aborted ? "aborted"
+                  : sr == nullptr ? "no stage"
+                  : sr->stopped
+                      ? ("stopped at " + std::to_string(sr->stopping_crowd_size)).c_str()
+                      : "NoStop");
+        }
+        return result;
       });
+
+  if (observe) {
+    for (size_t i = 0; i < shards.size(); ++i) {
+      telemetry->metrics.Merge(shards[i]->metrics);
+      telemetry->trace.MergeFrom(shards[i]->tracer, telemetry->next_pid + i);
+    }
+    telemetry->next_pid += servers;
+  }
 
   SurveyBreakdown breakdown;
   breakdown.cohort = cohort;

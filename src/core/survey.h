@@ -15,8 +15,30 @@
 #include <vector>
 
 #include "src/core/experiment_runner.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace mfc {
+
+// Optional observability for a survey run. Each site experiment gets its own
+// private Tracer / MetricsRegistry (its simulation world runs on one worker
+// thread); after all tasks finish they are folded into |metrics| and |trace|
+// in site-index order, so the merged outputs are byte-identical for any
+// --jobs value. In the merged trace each site's spans carry pid = its global
+// site index (offset by |next_pid| across successive cohorts).
+struct SurveyTelemetry {
+  bool collect_trace = false;
+  bool collect_metrics = false;
+  // Live "site k/N ..." lines on stderr as workers finish (unordered under
+  // --jobs > 1; purely informational).
+  bool progress = false;
+
+  MetricsRegistry metrics;  // merged, deterministic
+  Tracer trace;             // merged, deterministic
+  uint64_t next_pid = 0;    // first pid the next survey call will assign
+
+  bool Enabled() const { return collect_trace || collect_metrics; }
+};
 
 struct SurveyBreakdown {
   Cohort cohort = Cohort::kRank1To1K;
@@ -33,10 +55,13 @@ void AccumulateBreakdown(SurveyBreakdown& breakdown, const ExperimentResult& res
 
 // Runs |servers| independent site experiments across |jobs| workers
 // (0 = MFC_JOBS env / hardware default; 1 = sequential). When |per_site| is
-// non-null it receives the index-ordered per-site results.
+// non-null it receives the index-ordered per-site results. |telemetry|, when
+// non-null and enabled, accumulates merged per-site traces/metrics (see
+// SurveyTelemetry).
 SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t servers,
                                         size_t max_crowd, uint64_t seed, size_t jobs,
-                                        std::vector<ExperimentResult>* per_site = nullptr);
+                                        std::vector<ExperimentResult>* per_site = nullptr,
+                                        SurveyTelemetry* telemetry = nullptr);
 
 // Sequential wrapper kept for callers that predate the parallel runner.
 inline SurveyBreakdown RunSurveyCohort(Cohort cohort, StageKind stage, size_t servers,

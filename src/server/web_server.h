@@ -29,6 +29,7 @@
 #include "src/server/lru_cache.h"
 #include "src/server/resources.h"
 #include "src/sim/event_loop.h"
+#include "src/telemetry/trace.h"
 
 namespace mfc {
 
@@ -118,13 +119,40 @@ class WebServer : public HttpTarget {
   const std::vector<AccessLogEntry>& AccessLog() const { return access_log_; }
   void ClearAccessLog() { access_log_.clear(); }
 
+  // Optional tracing/metrics sink. Null (the default) keeps the request path
+  // identical to the uninstrumented server; when set, every request gets a
+  // root "request" span with queue/cpu/db/disk/net children and per-stage
+  // span-time totals accumulate in the registry.
+  void SetTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
  private:
+  // Per-request span state; allocated only while telemetry is enabled so the
+  // default path copies a null pointer around. shared_ptr because Ctx flows
+  // through std::function callbacks, which require copyable captures.
+  struct RequestTrace {
+    SpanId root = 0;        // 0 when only metrics are enabled
+    SimTime arrival = 0.0;
+    std::string stage;      // coordinator stage label at arrival
+    double queue_s = 0.0;
+    double cpu_s = 0.0;
+    double db_s = 0.0;
+    double disk_s = 0.0;
+    double net_s = 0.0;
+  };
+
   struct Ctx {
     HttpRequest request;
     bool is_mfc;
     ResponseTransport transport;
     size_t log_index;  // entry to fill in with status/bytes
+    std::shared_ptr<RequestTrace> trace;  // null when telemetry is off
   };
+
+  // Emits a child span [t0, Now()] of the request's root and charges the
+  // elapsed time to the request's |bucket| total. No-op when untraced.
+  void Charge(const Ctx& ctx, const char* name, SimTime t0, double RequestTrace::* bucket);
+  // Closes the root span and flushes per-stage totals into the registry.
+  void FinishRequestTrace(const RequestTrace& trace, HttpStatus status, double body_bytes);
 
   void Enqueue(Ctx ctx);
   void Process(Ctx ctx);
@@ -146,6 +174,7 @@ class WebServer : public HttpTarget {
   Database db_;
   LruByteCache page_cache_;
 
+  Telemetry* telemetry_ = nullptr;
   size_t active_threads_ = 0;
   std::deque<Ctx> accept_queue_;
   size_t active_cgi_ = 0;

@@ -1,0 +1,78 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+
+namespace mfc {
+
+void MetricsRegistry::Add(const std::string& name, double delta) { counters_[name] += delta; }
+
+void MetricsRegistry::Set(const std::string& name, double value) { gauges_[name] = value; }
+
+void MetricsRegistry::Observe(const std::string& name, double x) { summaries_[name].Add(x); }
+
+void MetricsRegistry::HistObserve(const std::string& name, const std::vector<double>& edges,
+                                  double x) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(name, Histogram(edges)).first;
+  }
+  it->second.Add(x);
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      gauges_[name] = value;
+    } else {
+      it->second = std::max(it->second, value);
+    }
+  }
+  for (const auto& [name, stats] : other.summaries_) {
+    summaries_[name].Merge(stats);
+  }
+  for (const auto& [name, hist] : other.hists_) {
+    auto it = hists_.find(name);
+    if (it == hists_.end()) {
+      hists_.emplace(name, hist);
+    } else {
+      it->second.Merge(hist);
+    }
+  }
+}
+
+double MetricsRegistry::Counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::Gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const RunningStats* MetricsRegistry::Summary(const std::string& name) const {
+  auto it = summaries_.find(name);
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::Hist(const std::string& name) const {
+  auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+bool MetricsRegistry::operator==(const MetricsRegistry& other) const {
+  return counters_ == other.counters_ && gauges_ == other.gauges_ &&
+         summaries_ == other.summaries_ && hists_ == other.hists_;
+}
+
+const std::vector<double>& LatencyBucketEdgesMs() {
+  static const std::vector<double> kEdges = {1,   2,   5,    10,   25,   50,  100,
+                                             250, 500, 1000, 2500, 5000, 10000};
+  return kEdges;
+}
+
+}  // namespace mfc

@@ -36,10 +36,17 @@ const TimeSeries& ResourceMonitor::Series(const std::string& name) const {
 }
 
 void ResourceMonitor::SampleOnce() {
+  // The event that delivered us has fired; forget its id before running the
+  // gauges so a Stop() from inside a gauge callback sees no pending event
+  // and — because the re-arm below checks running_ — actually halts the
+  // sampler instead of leaving a live event behind a stopped monitor.
+  pending_event_ = 0;
   for (auto& [name, gauge] : gauges_) {
     series_.at(name).Record(loop_.Now(), gauge());
   }
-  pending_event_ = loop_.ScheduleAfter(period_, [this] { SampleOnce(); });
+  if (running_) {
+    pending_event_ = loop_.ScheduleAfter(period_, [this] { SampleOnce(); });
+  }
 }
 
 }  // namespace mfc

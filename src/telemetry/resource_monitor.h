@@ -28,6 +28,8 @@ class ResourceMonitor {
   // Registers a gauge; must be called before Start().
   void AddGauge(const std::string& name, Gauge gauge);
 
+  // Start/Stop may be paired repeatedly: a restarted monitor samples
+  // immediately and appends to the existing series.
   void Start();
   void Stop();
   bool Running() const { return running_; }

@@ -1,6 +1,7 @@
 #include "src/telemetry/stats.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <string>
 
@@ -93,6 +94,24 @@ void RunningStats::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
 double RunningStats::Variance() const {
   if (count_ < 2) {
     return 0.0;
@@ -112,6 +131,14 @@ void Histogram::Add(double x) {
   auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
   counts_[static_cast<size_t>(it - edges_.begin())]++;
   ++total_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(edges_ == other.edges_ && "histogram merge requires identical bucket edges");
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
 }
 
 double Histogram::BucketFraction(size_t i) const {

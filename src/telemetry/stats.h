@@ -32,12 +32,18 @@ double FractionAbove(std::span<const double> values, double threshold);
 class RunningStats {
  public:
   void Add(double x);
+  // Parallel-safe Welford combine (Chan et al.): after a.Merge(b), |a| holds
+  // the same count/mean/variance/min/max as a single pass over both inputs.
+  // Used to fold per-job summaries from a parallel survey into one.
+  void Merge(const RunningStats& other);
   size_t Count() const { return count_; }
   double Mean() const { return mean_; }
   double Variance() const;  // sample variance, 0 for n < 2
   double StdDev() const;
   double MinValue() const { return min_; }
   double MaxValue() const { return max_; }
+
+  bool operator==(const RunningStats&) const = default;
 
  private:
   size_t count_ = 0;
@@ -56,9 +62,16 @@ class Histogram {
   explicit Histogram(std::vector<double> edges);
 
   void Add(double x);
+  // Adds |other|'s per-bucket counts; both histograms must have identical
+  // edges (asserted). The combine is exact, so merged parallel shards equal
+  // a single-pass histogram.
+  void Merge(const Histogram& other);
   size_t BucketCount() const { return counts_.size(); }
   size_t BucketValue(size_t i) const { return counts_[i]; }
   size_t Total() const { return total_; }
+  const std::vector<double>& Edges() const { return edges_; }
+
+  bool operator==(const Histogram&) const = default;
   // Fraction of all samples in bucket i. 0 if empty.
   double BucketFraction(size_t i) const;
   // Human-readable label like "[10, 20)".

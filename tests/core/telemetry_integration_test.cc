@@ -1,0 +1,222 @@
+// End-to-end telemetry: a fixed-seed experiment must produce the documented
+// span tree (request lifecycle + coordinator epochs) and merge-safe metrics,
+// and the merged survey telemetry must not depend on the jobs count. The
+// golden tests pin the structural shape (span vocabulary, parent links,
+// counts; metric row names) of a fixed-seed run against files checked in
+// under tests/golden/ — regenerate with MFC_UPDATE_GOLDEN=1 after an
+// intentional instrumentation change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment_runner.h"
+#include "src/core/export.h"
+#include "src/core/population.h"
+#include "src/core/survey.h"
+
+#ifndef MFC_GOLDEN_DIR
+#define MFC_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace mfc {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.threshold = Millis(100);
+  config.crowd_step = 5;
+  config.max_crowd = 55;
+  config.min_clients = 50;
+  return config;
+}
+
+struct Traced {
+  Tracer tracer;
+  MetricsRegistry metrics;
+  ExperimentResult result;
+};
+
+Traced RunTracedQtnp(uint64_t seed) {
+  Traced traced;
+  Telemetry telemetry;
+  telemetry.tracer = &traced.tracer;
+  telemetry.metrics = &traced.metrics;
+  traced.result = RunSiteExperiment(MakeQtnpProfile(), SmallConfig(),
+                                    {StageKind::kBase, StageKind::kSmallQuery,
+                                     StageKind::kLargeObject},
+                                    seed, &telemetry);
+  return traced;
+}
+
+// One line per (category, parent-name, name) with its occurrence count —
+// the structural skeleton of the trace, independent of timing values.
+std::string TraceStructure(const Tracer& tracer) {
+  std::map<std::string, size_t> counts;
+  for (const TraceSpan& span : tracer.Spans()) {
+    const std::string parent =
+        span.parent == 0 ? "-" : tracer.Spans()[span.parent - 1].name;
+    ++counts[span.category + "|" + parent + "|" + span.name];
+  }
+  std::string out;
+  for (const auto& [key, count] : counts) {
+    out += key + "|" + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+// The kind,name,field skeleton of the metrics CSV (values stripped).
+std::string MetricsStructure(const MetricsRegistry& metrics) {
+  std::istringstream in(ExportMetricsCsv(metrics));
+  std::string line, out;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    out += line.substr(0, line.rfind(',')) + "\n";
+  }
+  return out;
+}
+
+TEST(TelemetryIntegrationTest, RequestSpansDecomposeTheLifecycle) {
+  Traced traced = RunTracedQtnp(17);
+  ASSERT_FALSE(traced.result.aborted);
+
+  std::vector<const TraceSpan*> requests = traced.tracer.Named("request");
+  ASSERT_FALSE(requests.empty());
+
+  // Index children by parent id once.
+  std::map<SpanId, std::vector<const TraceSpan*>> children;
+  for (const TraceSpan& span : traced.tracer.Spans()) {
+    if (span.parent != 0) {
+      children[span.parent].push_back(&span);
+    }
+  }
+
+  size_t with_net = 0;
+  for (const TraceSpan* request : requests) {
+    EXPECT_FALSE(request->open);
+    EXPECT_EQ(request->parent, 0u);
+    std::map<std::string, size_t> kinds;
+    for (const TraceSpan* child : children[request->id]) {
+      ++kinds[child->name];
+      // Children stay inside the request in simulated time and share its
+      // render track.
+      EXPECT_GE(child->start, request->start);
+      EXPECT_LE(child->end, request->end + 1e-9);
+      EXPECT_EQ(child->track, request->id);
+    }
+    EXPECT_EQ(kinds.count("queue"), 1u) << "request " << request->id;
+    EXPECT_GE(kinds["cpu"], 1u) << "request " << request->id;
+    with_net += kinds.count("net");
+  }
+  // Every successfully served request streams a body.
+  EXPECT_GT(with_net, 0u);
+
+  // The flushed metrics agree with the span tree.
+  EXPECT_DOUBLE_EQ(traced.metrics.Counter("server.requests_total"),
+                   static_cast<double>(requests.size()));
+  ASSERT_NE(traced.metrics.Hist("server.request_ms"), nullptr);
+  EXPECT_EQ(traced.metrics.Hist("server.request_ms")->Total(), requests.size());
+}
+
+TEST(TelemetryIntegrationTest, CoordinatorSpansCoverEpochsAndDecisions) {
+  Traced traced = RunTracedQtnp(17);
+  ASSERT_FALSE(traced.result.aborted);
+
+  std::vector<const TraceSpan*> experiments = traced.tracer.Named("experiment");
+  ASSERT_EQ(experiments.size(), 1u);
+  std::vector<const TraceSpan*> stages = traced.tracer.Named("stage");
+  ASSERT_EQ(stages.size(), 3u);
+  for (const TraceSpan* stage : stages) {
+    EXPECT_EQ(stage->parent, experiments[0]->id);
+  }
+
+  std::vector<const TraceSpan*> epochs = traced.tracer.Named("epoch");
+  ASSERT_FALSE(epochs.empty());
+  EXPECT_DOUBLE_EQ(traced.metrics.Counter("coord.epochs"),
+                   static_cast<double>(epochs.size()));
+
+  // QTNP stops in Base and SmallQuery (Table 1), so confirmation epochs ran
+  // under a check_phase span and the stop decisions recorded a crowd size.
+  std::vector<const TraceSpan*> checks = traced.tracer.Named("check_phase");
+  EXPECT_FALSE(checks.empty());
+  size_t check_epochs = 0;
+  for (const TraceSpan* epoch : epochs) {
+    if (traced.tracer.Spans()[epoch->parent - 1].name == "check_phase") {
+      ++check_epochs;
+    }
+  }
+  EXPECT_DOUBLE_EQ(traced.metrics.Counter("coord.check_epochs"),
+                   static_cast<double>(check_epochs));
+
+  std::vector<const TraceSpan*> decisions = traced.tracer.Named("stop_decision");
+  ASSERT_EQ(decisions.size(), 3u);
+  EXPECT_GE(traced.metrics.Counter("coord.stages_stopped"), 2.0);
+}
+
+TEST(TelemetryIntegrationTest, SurveyMergedTelemetryIndependentOfJobs) {
+  auto run = [](size_t jobs) {
+    SurveyTelemetry telemetry;
+    telemetry.collect_trace = true;
+    telemetry.collect_metrics = true;
+    RunSurveyCohortParallel(Cohort::kRank100KTo1M, StageKind::kBase,
+                            /*servers=*/6, /*max_crowd=*/40, /*seed=*/5, jobs,
+                            nullptr, &telemetry);
+    return telemetry;
+  };
+  SurveyTelemetry sequential = run(1);
+  SurveyTelemetry parallel = run(4);
+
+  EXPECT_TRUE(sequential.metrics == parallel.metrics);
+  EXPECT_EQ(ExportMetricsCsv(sequential.metrics), ExportMetricsCsv(parallel.metrics));
+  EXPECT_EQ(ExportTraceJson(sequential.trace), ExportTraceJson(parallel.trace));
+}
+
+class GoldenTest : public ::testing::Test {
+ protected:
+  static std::string GoldenPath(const std::string& name) {
+    return std::string(MFC_GOLDEN_DIR) + "/" + name;
+  }
+
+  // Compares |actual| to the checked-in golden; rewrites the golden instead
+  // when MFC_UPDATE_GOLDEN is set in the environment.
+  static void CompareOrUpdate(const std::string& name, const std::string& actual) {
+    const std::string path = GoldenPath(name);
+    if (std::getenv("MFC_UPDATE_GOLDEN") != nullptr) {
+      std::ofstream out(path);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << actual;
+      GTEST_SKIP() << "updated " << path;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path
+                           << " (regenerate with MFC_UPDATE_GOLDEN=1)";
+    std::stringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(actual, expected.str())
+        << "structural drift vs " << path
+        << " — if intentional, regenerate with MFC_UPDATE_GOLDEN=1";
+  }
+};
+
+TEST_F(GoldenTest, FixedSeedTraceStructureMatchesGolden) {
+  Traced traced = RunTracedQtnp(17);
+  ASSERT_FALSE(traced.result.aborted);
+  CompareOrUpdate("qtnp_seed17_trace_structure.txt", TraceStructure(traced.tracer));
+}
+
+TEST_F(GoldenTest, FixedSeedMetricsStructureMatchesGolden) {
+  Traced traced = RunTracedQtnp(17);
+  ASSERT_FALSE(traced.result.aborted);
+  CompareOrUpdate("qtnp_seed17_metrics_structure.txt", MetricsStructure(traced.metrics));
+}
+
+}  // namespace
+}  // namespace mfc

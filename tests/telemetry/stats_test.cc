@@ -144,6 +144,91 @@ TEST(RunningStatsTest, SingleValue) {
   EXPECT_DOUBLE_EQ(rs.Variance(), 0.0);
 }
 
+// Parallel Welford combine: merging per-shard accumulators must agree with a
+// single accumulator that saw every value, for any split of the stream.
+TEST(RunningStatsTest, MergeMatchesSinglePass) {
+  std::vector<double> v;
+  uint64_t state = 0xdecafbad;
+  for (int i = 0; i < 321; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    v.push_back(static_cast<double>(static_cast<int64_t>(state >> 40) % 2000 - 1000) / 13.0);
+  }
+  RunningStats single;
+  for (double x : v) {
+    single.Add(x);
+  }
+  for (size_t split : {size_t{0}, size_t{1}, v.size() / 3, v.size() - 1, v.size()}) {
+    RunningStats left, right;
+    for (size_t i = 0; i < v.size(); ++i) {
+      (i < split ? left : right).Add(v[i]);
+    }
+    left.Merge(right);
+    EXPECT_EQ(left.Count(), single.Count()) << "split=" << split;
+    EXPECT_NEAR(left.Mean(), single.Mean(), 1e-9) << "split=" << split;
+    EXPECT_NEAR(left.StdDev(), single.StdDev(), 1e-9) << "split=" << split;
+    EXPECT_DOUBLE_EQ(left.MinValue(), single.MinValue());
+    EXPECT_DOUBLE_EQ(left.MaxValue(), single.MaxValue());
+  }
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats filled;
+  filled.Add(1.0);
+  filled.Add(3.0);
+  RunningStats empty;
+
+  RunningStats a = filled;
+  a.Merge(empty);  // empty right side: no-op
+  EXPECT_TRUE(a == filled);
+
+  RunningStats b = empty;
+  b.Merge(filled);  // empty left side: adopt right
+  EXPECT_TRUE(b == filled);
+
+  RunningStats c = empty;
+  c.Merge(empty);
+  EXPECT_EQ(c.Count(), 0u);
+}
+
+TEST(RunningStatsTest, MergeManyShardsAssociativity) {
+  // Fold order over several shards must not change the combined moments.
+  std::vector<RunningStats> shards(5);
+  RunningStats single;
+  for (int i = 0; i < 100; ++i) {
+    double x = static_cast<double>((i * 29) % 41) - 20.0;
+    shards[static_cast<size_t>(i) % shards.size()].Add(x);
+    single.Add(x);
+  }
+  RunningStats forward;
+  for (const RunningStats& s : shards) {
+    forward.Merge(s);
+  }
+  RunningStats backward;
+  for (size_t i = shards.size(); i-- > 0;) {
+    backward.Merge(shards[i]);
+  }
+  EXPECT_EQ(forward.Count(), single.Count());
+  EXPECT_NEAR(forward.Mean(), single.Mean(), 1e-9);
+  EXPECT_NEAR(forward.Variance(), single.Variance(), 1e-9);
+  EXPECT_NEAR(backward.Mean(), forward.Mean(), 1e-9);
+  EXPECT_NEAR(backward.Variance(), forward.Variance(), 1e-9);
+}
+
+TEST(HistogramTest, MergeAddsBucketCounts) {
+  Histogram a({10.0, 20.0});
+  a.Add(5.0);
+  a.Add(15.0);
+  Histogram b({10.0, 20.0});
+  b.Add(15.0);
+  b.Add(25.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Total(), 4u);
+  EXPECT_EQ(a.BucketValue(0), 1u);
+  EXPECT_EQ(a.BucketValue(1), 2u);
+  EXPECT_EQ(a.BucketValue(2), 1u);
+  EXPECT_EQ(a.Edges(), (std::vector<double>{10.0, 20.0}));
+}
+
 TEST(HistogramTest, BucketsAndFractions) {
   Histogram h({10.0, 20.0, 30.0});
   h.Add(5.0);    // (-inf, 10]

@@ -67,6 +67,57 @@ TEST(ResourceMonitorTest, StopHaltsSampling) {
   EXPECT_EQ(monitor.Series("v").Size(), n);
 }
 
+// Regression: Start() after Stop() must resume sampling instead of tripping
+// over state left behind by the previous run.
+TEST(ResourceMonitorTest, RestartAfterStopResumesSampling) {
+  EventLoop loop;
+  ResourceMonitor monitor(loop, 1.0);
+  double value = 0.0;
+  monitor.AddGauge("v", [&] { return value; });
+  monitor.Start();
+  loop.RunUntil(1.5);  // samples at t=0, t=1
+  monitor.Stop();
+  size_t after_first_run = monitor.Series("v").Size();
+  ASSERT_EQ(after_first_run, 2u);
+
+  loop.RunUntil(4.0);  // stopped: nothing accrues
+  EXPECT_EQ(monitor.Series("v").Size(), after_first_run);
+
+  value = 9.0;
+  monitor.Start();     // immediate sample at t=4, then every period
+  loop.RunUntil(5.5);  // samples at t=4, t=5
+  monitor.Stop();
+  ASSERT_EQ(monitor.Series("v").Size(), 4u);
+  EXPECT_DOUBLE_EQ(monitor.Series("v").Points()[2].value, 9.0);
+  EXPECT_DOUBLE_EQ(monitor.Series("v").Points()[2].time, 4.0);
+  EXPECT_DOUBLE_EQ(monitor.Series("v").Points()[3].time, 5.0);
+}
+
+// Regression: Stop() invoked from inside a gauge callback (mid-SampleOnce)
+// used to leave the just-rescheduled tick alive, so the "stopped" monitor
+// kept sampling. The re-arm must respect running_ as cleared by the gauge.
+TEST(ResourceMonitorTest, StopInsideGaugeHaltsImmediately) {
+  EventLoop loop;
+  ResourceMonitor monitor(loop, 1.0);
+  int calls = 0;
+  monitor.AddGauge("v", [&] {
+    ++calls;
+    if (calls == 2) {
+      monitor.Stop();
+    }
+    return static_cast<double>(calls);
+  });
+  monitor.Start();
+  loop.RunUntil(10.0);
+  EXPECT_EQ(calls, 2);  // t=0 and t=1, then silence
+  EXPECT_EQ(monitor.Series("v").Size(), 2u);
+
+  // And a later restart still works cleanly.
+  monitor.Start();
+  loop.RunUntil(10.5);
+  EXPECT_EQ(calls, 3);
+}
+
 TEST(ResourceMonitorTest, MultipleGauges) {
   EventLoop loop;
   ResourceMonitor monitor(loop, 0.5);

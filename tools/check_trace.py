@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file emitted by the MFC tracer.
+
+Checks (stdlib only, no third-party deps):
+  * the file parses as JSON and has a non-empty ``traceEvents`` list;
+  * every event carries the required keys (name/cat/ph/ts/dur/pid/tid) with
+    ``ph`` == "X" (complete events are all the exporter emits);
+  * durations are non-negative and timestamps are monotone non-decreasing
+    within each pid (the exporter sorts by (pid, start, id));
+  * ``args.parent`` links resolve to an existing span's ``args.id`` and
+    parents fully enclose their children in simulated time;
+  * span ids are unique across the whole file (survey merge remaps them).
+
+Usage:
+  check_trace.py <trace.json> [<metrics.csv>]
+  check_trace.py --profile-bin <mfc_profile> [--workdir <dir>]
+
+The second form runs a small fixed-seed experiment through mfc_profile with
+--trace/--metrics and validates what comes out, so a ctest entry needs no
+pre-generated fixture. Exit status 0 = valid, 1 = validation failure,
+2 = usage/setup error.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REQUIRED_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+
+def fail(msg):
+    print("check_trace: FAIL: %s" % msg, file=sys.stderr)
+    return 1
+
+
+def check_trace(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        return fail("%s: not readable JSON: %s" % (path, exc))
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail("%s: missing traceEvents" % path)
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return fail("%s: traceEvents empty" % path)
+
+    ids = {}
+    last_ts = {}
+    for i, ev in enumerate(events):
+        for key in REQUIRED_KEYS:
+            if key not in ev:
+                return fail("event %d missing key %r" % (i, key))
+        if ev["ph"] != "X":
+            return fail("event %d: unexpected ph %r" % (i, ev["ph"]))
+        if ev["dur"] < 0:
+            return fail("event %d (%s): negative dur %r" % (i, ev["name"], ev["dur"]))
+        pid = ev["pid"]
+        if pid in last_ts and ev["ts"] < last_ts[pid]:
+            return fail(
+                "event %d (%s): ts %r < previous ts %r in pid %r — not monotone"
+                % (i, ev["name"], ev["ts"], last_ts[pid], pid)
+            )
+        last_ts[pid] = ev["ts"]
+        args = ev.get("args", {})
+        span_id = args.get("id")
+        if span_id is None:
+            return fail("event %d (%s): missing args.id" % (i, ev["name"]))
+        if span_id in ids:
+            return fail("event %d (%s): duplicate span id %r" % (i, ev["name"], span_id))
+        ids[span_id] = ev
+
+    names = set()
+    for ev in events:
+        names.add(ev["name"])
+        parent = ev["args"].get("parent")
+        if parent is None:
+            continue
+        if parent not in ids:
+            return fail(
+                "span %r (%s): parent %r does not resolve"
+                % (ev["args"]["id"], ev["name"], parent)
+            )
+        pev = ids[parent]
+        if pev["pid"] != ev["pid"]:
+            return fail(
+                "span %r: parent %r lives in a different pid" % (ev["args"]["id"], parent)
+            )
+        # Parents must enclose children in simulated time (tolerate the
+        # exporter's fixed-point microsecond rounding).
+        eps = 0.5
+        if ev["ts"] + eps < pev["ts"] or ev["ts"] + ev["dur"] > pev["ts"] + pev["dur"] + eps:
+            return fail(
+                "span %r (%s) [%r,+%r] escapes parent %r (%s) [%r,+%r]"
+                % (
+                    ev["args"]["id"],
+                    ev["name"],
+                    ev["ts"],
+                    ev["dur"],
+                    parent,
+                    pev["name"],
+                    pev["ts"],
+                    pev["dur"],
+                )
+            )
+
+    print(
+        "check_trace: OK: %d events, %d pids, span names: %s"
+        % (len(events), len(last_ts), ", ".join(sorted(names)))
+    )
+    return 0
+
+
+def check_metrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as exc:
+        return fail("%s: %s" % (path, exc))
+    if not lines or lines[0] != "kind,name,field,value":
+        return fail("%s: bad or missing CSV header" % path)
+    if len(lines) < 2:
+        return fail("%s: no metric rows" % path)
+    for i, line in enumerate(lines[1:], start=2):
+        parts = line.split(",")
+        if len(parts) != 4:
+            return fail("%s:%d: expected 4 columns, got %d" % (path, i, len(parts)))
+        try:
+            float(parts[3])
+        except ValueError:
+            return fail("%s:%d: non-numeric value %r" % (path, i, parts[3]))
+    print("check_trace: OK: %d metric rows in %s" % (len(lines) - 1, path))
+    return 0
+
+
+def run_profile(profile_bin, workdir):
+    trace = os.path.join(workdir, "trace.json")
+    metrics = os.path.join(workdir, "metrics.csv")
+    # univ1 at seed 3 stops in every stage, so the trace exercises the full
+    # span vocabulary including check_phase confirmation epochs.
+    cmd = [
+        profile_bin,
+        "--profile=univ1",
+        "--seed=3",
+        "--max-crowd=60",
+        "--quiet",
+        "--trace=" + trace,
+        "--metrics=" + metrics,
+    ]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    if proc.returncode != 0:
+        print(proc.stderr.decode(errors="replace"), file=sys.stderr)
+        print("check_trace: SETUP FAIL: %s exited %d" % (cmd, proc.returncode), file=sys.stderr)
+        return 2
+    rc = check_trace(trace)
+    if rc == 0:
+        rc = check_metrics(metrics)
+    # A fixed-seed lab profile must produce both request-lifecycle and
+    # coordinator spans; their absence means the wiring regressed even if the
+    # file is structurally valid.
+    if rc == 0:
+        with open(trace, "r", encoding="utf-8") as f:
+            names = {ev["name"] for ev in json.load(f)["traceEvents"]}
+        for required in ("request", "queue", "cpu", "net", "experiment", "stage",
+                         "epoch", "check_phase", "stop_decision"):
+            if required not in names:
+                return fail("expected span %r absent from fixed-seed profile" % required)
+        print("check_trace: OK: all expected span kinds present")
+    return rc
+
+
+def main(argv):
+    if len(argv) >= 3 and argv[1] == "--profile-bin":
+        profile_bin = argv[2]
+        workdir = None
+        if len(argv) >= 5 and argv[3] == "--workdir":
+            workdir = argv[4]
+        if workdir:
+            os.makedirs(workdir, exist_ok=True)
+            return run_profile(profile_bin, workdir)
+        with tempfile.TemporaryDirectory() as tmp:
+            return run_profile(profile_bin, tmp)
+    if len(argv) == 2:
+        return check_trace(argv[1])
+    if len(argv) == 3:
+        rc = check_trace(argv[1])
+        return rc if rc else check_metrics(argv[2])
+    print(__doc__, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

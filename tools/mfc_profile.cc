@@ -46,6 +46,8 @@ struct Options {
   bool verbose_epochs = true;
   std::string csv_path;         // write per-epoch CSV here
   std::string json_path;        // write the full result as JSON here
+  std::string trace_path;       // write a Chrome trace_event JSON here
+  std::string metrics_path;     // write the merged metrics CSV here
   std::vector<StageKind> stages = {StageKind::kBase, StageKind::kSmallQuery,
                                    StageKind::kLargeObject};
 };
@@ -68,6 +70,8 @@ void Usage() {
       "  --crawl               discover probe objects by crawling\n"
       "  --csv=<path>          write per-epoch CSV\n"
       "  --json=<path>         write the result as JSON\n"
+      "  --trace=<path>        write request/coordinator spans as Chrome trace JSON\n"
+      "  --metrics=<path>      write the (merged) metrics registry as CSV\n"
       "  --seed=<N>            RNG seed\n"
       "  --quiet               suppress per-epoch output\n");
 }
@@ -113,6 +117,10 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       options.csv_path = *v;
     } else if (auto v = value_of("--json=")) {
       options.json_path = *v;
+    } else if (auto v = value_of("--trace=")) {
+      options.trace_path = *v;
+    } else if (auto v = value_of("--metrics=")) {
+      options.metrics_path = *v;
     } else if (arg == "--crawl") {
       options.crawl = true;
     } else if (arg == "--quiet") {
@@ -185,6 +193,18 @@ std::optional<SiteInstance> ResolveSite(const Options& options) {
   return SampleSite(rng, *cohort);
 }
 
+bool WriteFile(const std::string& path, const std::string& contents) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  fwrite(contents.data(), 1, contents.size(), f);
+  fclose(f);
+  printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 // --survey=N: profile N cohort sites across the worker pool and print the
 // paper-style stopping breakdown.
 int RunSurvey(const Options& options) {
@@ -202,8 +222,13 @@ int RunSurvey(const Options& options) {
          std::string(CohortName(*cohort)).c_str(), std::string(StageName(stage)).c_str(),
          options.survey, options.max_crowd, jobs,
          static_cast<unsigned long long>(options.seed));
+  SurveyTelemetry telemetry;
+  telemetry.collect_trace = !options.trace_path.empty();
+  telemetry.collect_metrics = !options.metrics_path.empty();
+  telemetry.progress = telemetry.Enabled();
   SurveyBreakdown b = RunSurveyCohortParallel(*cohort, stage, options.survey,
-                                              options.max_crowd, options.seed, jobs);
+                                              options.max_crowd, options.seed, jobs,
+                                              nullptr, telemetry.Enabled() ? &telemetry : nullptr);
   auto pct = [&](size_t n) {
     return b.servers == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
                                       static_cast<double>(b.servers);
@@ -212,6 +237,12 @@ int RunSurvey(const Options& options) {
          "40-50: %.0f%%  >50: %.0f%%  NoStop: %.0f%%\n",
          b.servers, pct(b.b10), pct(b.b20), pct(b.b30), pct(b.b40), pct(b.b50),
          pct(b.b50plus), pct(b.nostop));
+  if (!options.trace_path.empty()) {
+    WriteFile(options.trace_path, ExportTraceJson(telemetry.trace));
+  }
+  if (!options.metrics_path.empty()) {
+    WriteFile(options.metrics_path, ExportMetricsCsv(telemetry.metrics));
+  }
   return 0;
 }
 
@@ -230,6 +261,22 @@ int Run(const Options& options) {
   Deployment deployment(*site, deployment_options);
   deployment.StartBackground();
 
+  // Telemetry sink; wired only when a --trace / --metrics output was asked
+  // for, so plain runs keep the uninstrumented code path.
+  Tracer tracer;
+  MetricsRegistry metrics;
+  Telemetry telemetry;
+  if (!options.trace_path.empty()) {
+    telemetry.tracer = &tracer;
+  }
+  if (!options.metrics_path.empty()) {
+    telemetry.metrics = &metrics;
+  }
+  telemetry.progress = telemetry.Enabled();
+  if (telemetry.Enabled()) {
+    deployment.SetTelemetry(&telemetry);
+  }
+
   ExperimentConfig config;
   config.threshold = Millis(options.theta_ms);
   config.crowd_step = options.step;
@@ -246,6 +293,9 @@ int Run(const Options& options) {
          options.max_crowd, options.mr, options.crawl ? "  (crawl-profiled)" : "");
 
   Coordinator coordinator(deployment.Testbed(), config, options.seed + 1);
+  if (telemetry.Enabled()) {
+    coordinator.SetTelemetry(&telemetry);
+  }
   ExperimentResult result = coordinator.Run(objects, options.stages);
   deployment.StopBackground();
 
@@ -270,21 +320,17 @@ int Run(const Options& options) {
   }
   printf("%s", AnalyzeExperiment(result, config).ToText().c_str());
 
-  auto write_file = [](const std::string& path, const std::string& contents) {
-    FILE* f = fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      fprintf(stderr, "cannot write %s\n", path.c_str());
-      return;
-    }
-    fwrite(contents.data(), 1, contents.size(), f);
-    fclose(f);
-    printf("wrote %s\n", path.c_str());
-  };
   if (!options.csv_path.empty()) {
-    write_file(options.csv_path, ExportEpochsCsv(result));
+    WriteFile(options.csv_path, ExportEpochsCsv(result));
   }
   if (!options.json_path.empty()) {
-    write_file(options.json_path, ExportJson(result));
+    WriteFile(options.json_path, ExportJson(result));
+  }
+  if (!options.trace_path.empty()) {
+    WriteFile(options.trace_path, ExportTraceJson(tracer));
+  }
+  if (!options.metrics_path.empty()) {
+    WriteFile(options.metrics_path, ExportMetricsCsv(metrics));
   }
   return 0;
 }
