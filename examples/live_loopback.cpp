@@ -5,21 +5,61 @@
 // then runs the *same* Coordinator state machine used by the simulation
 // against a target whose back end degrades beyond a concurrency knee.
 //
-//   $ ./live_loopback [fleet_size] [knee]
+// The control plane can be stressed with injected faults, the live analog of
+// the simulation's control_loss_rate — the run should reach the same verdict
+// with the knobs on, only with retries doing the work:
+//
+//   $ ./live_loopback [fleet_size] [knee] [--drop=P] [--dup=P] [--delay=P]
+//                     [--connect-fail=P] [--fault-seed=N]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "src/content/site_generator.h"
 #include "src/core/coordinator.h"
 #include "src/core/inference.h"
 #include "src/rt/client_agent.h"
+#include "src/rt/fault_injector.h"
 #include "src/rt/live_harness.h"
 #include "src/rt/live_http_server.h"
 
+namespace {
+
+bool ParseRateFlag(const char* arg, const char* name, double* out) {
+  size_t len = strlen(name);
+  if (strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *out = atof(arg + len + 1);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  size_t fleet_size = argc > 1 ? static_cast<size_t>(atoi(argv[1])) : 16;
-  size_t knee = argc > 2 ? static_cast<size_t>(atoi(argv[2])) : 8;
+  size_t fleet_size = 16;
+  size_t knee = 8;
+  mfc::FaultConfig faults;
+  double fault_seed = 11;
+  size_t positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseRateFlag(arg, "--drop", &faults.drop_rate) ||
+        ParseRateFlag(arg, "--dup", &faults.duplicate_rate) ||
+        ParseRateFlag(arg, "--delay", &faults.delay_rate) ||
+        ParseRateFlag(arg, "--connect-fail", &faults.connect_failure_rate) ||
+        ParseRateFlag(arg, "--fault-seed", &fault_seed)) {
+      continue;
+    }
+    if (positional == 0) {
+      fleet_size = static_cast<size_t>(atoi(arg));
+    } else if (positional == 1) {
+      knee = static_cast<size_t>(atoi(arg));
+    }
+    ++positional;
+  }
+  faults.seed = static_cast<uint64_t>(fault_seed);
 
   mfc::Reactor reactor;
 
@@ -38,17 +78,37 @@ int main(int argc, char** argv) {
   printf("target server listening on 127.0.0.1:%u (knee at %zu concurrent requests)\n",
          server.Port(), knee);
 
-  // Coordinator + fleet.
+  // Coordinator + fleet. Each agent gets its own fault stream so a fixed
+  // --fault-seed reproduces the same fault schedule across the whole fleet.
+  mfc::RetryPolicy retry;
+  if (faults.Enabled()) {
+    retry.max_attempts = 8;
+    retry.initial_backoff = mfc::Millis(20);
+  }
   mfc::LiveHarness harness(reactor, server.Port());
   harness.set_request_timeout(2.0);
+  harness.set_retry_policy(retry);
+  std::vector<std::unique_ptr<mfc::FaultInjector>> injectors;
   std::vector<std::unique_ptr<mfc::ClientAgent>> agents;
   for (size_t i = 0; i < fleet_size; ++i) {
     agents.push_back(std::make_unique<mfc::ClientAgent>(
         reactor, i, mfc::LoopbackEndpoint(harness.ControlPort())));
     agents.back()->set_request_timeout(2.0);
+    agents.back()->set_retry_policy(retry);
+    if (faults.Enabled()) {
+      mfc::FaultConfig per_agent = faults;
+      per_agent.seed = faults.seed + i;
+      injectors.push_back(std::make_unique<mfc::FaultInjector>(per_agent));
+      agents.back()->set_fault_injector(injectors.back().get());
+    }
     agents.back()->Register();
   }
-  size_t registered = harness.WaitForRegistrations(fleet_size, 2.0);
+  if (faults.Enabled()) {
+    printf("fault injection: drop=%.2f dup=%.2f delay=%.2f connect-fail=%.2f seed=%llu\n",
+           faults.drop_rate, faults.duplicate_rate, faults.delay_rate,
+           faults.connect_failure_rate, static_cast<unsigned long long>(faults.seed));
+  }
+  size_t registered = harness.WaitForRegistrations(fleet_size, faults.Enabled() ? 10.0 : 2.0);
   printf("coordinator on UDP :%u — %zu/%zu agents registered\n\n", harness.ControlPort(),
          registered, fleet_size);
 
@@ -62,6 +122,15 @@ int main(int argc, char** argv) {
   config.request_timeout = mfc::Seconds(2);
   config.schedule_lead = mfc::Seconds(0.1);
   config.epoch_gap = mfc::Seconds(0.05);
+  if (faults.Enabled()) {
+    config.retry = retry;
+    // Commands are re-sent across the lead and held client-side until the
+    // burst instant, so a longer lead buys retry headroom, not idle time.
+    config.schedule_lead = mfc::Seconds(0.25);
+    config.min_clients = std::max<size_t>(1, fleet_size - fleet_size / 4);
+    config.epoch_quorum = 0.5;       // re-run epochs that lose half their samples
+    config.evict_after_misses = 3;   // replace clients that go silent
+  }
 
   mfc::StageObjects objects;
   objects.base_page = *mfc::ParseUrl("http://127.0.0.1/");
@@ -77,5 +146,28 @@ int main(int argc, char** argv) {
   printf("\n%s\n", mfc::AnalyzeExperiment(result, config).ToText().c_str());
   printf("server handled %llu real HTTP requests over loopback\n",
          static_cast<unsigned long long>(server.RequestsServed()));
+  if (faults.Enabled()) {
+    uint64_t dropped = 0, duplicated = 0, delayed = 0, failed_connects = 0;
+    for (const auto& injector : injectors) {
+      dropped += injector->stats().dropped;
+      duplicated += injector->stats().duplicated;
+      delayed += injector->stats().delayed;
+      failed_connects += injector->stats().failed_connects;
+    }
+    const mfc::ControlPlaneStats& cp = harness.stats();
+    printf("faults injected: %llu datagrams dropped, %llu duplicated, %llu delayed, "
+           "%llu connects failed\n",
+           static_cast<unsigned long long>(dropped),
+           static_cast<unsigned long long>(duplicated),
+           static_cast<unsigned long long>(delayed),
+           static_cast<unsigned long long>(failed_connects));
+    printf("control plane recovered: %llu ping, %llu rtt, %llu measure, %llu fire "
+           "retries; %llu duplicate samples discarded\n",
+           static_cast<unsigned long long>(cp.ping_retries),
+           static_cast<unsigned long long>(cp.rtt_retries),
+           static_cast<unsigned long long>(cp.measure_retries),
+           static_cast<unsigned long long>(cp.fire_retries),
+           static_cast<unsigned long long>(cp.duplicate_samples));
+  }
   return 0;
 }

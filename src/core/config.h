@@ -3,12 +3,34 @@
 #ifndef MFC_SRC_CORE_CONFIG_H_
 #define MFC_SRC_CORE_CONFIG_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 
 #include "src/sim/sim_time.h"
 
 namespace mfc {
+
+// Bounded exponential backoff for control-plane operations (client
+// registration, coordinator pings, RTT probes, command/sample re-issue).
+// Both substrates share this policy object: the live runtime executes it
+// against real timers; the simulation's loss model is the scenario it
+// defends against.
+struct RetryPolicy {
+  size_t max_attempts = 4;  // total tries including the first
+  SimDuration initial_backoff = Millis(100);
+  double multiplier = 2.0;
+  SimDuration max_backoff = Seconds(2);
+
+  // Wait after the |attempt|-th try (1-based) before retrying or giving up.
+  SimDuration BackoffFor(size_t attempt) const {
+    SimDuration backoff = initial_backoff;
+    for (size_t i = 1; i < attempt; ++i) {
+      backoff = std::min(max_backoff, backoff * multiplier);
+    }
+    return std::min(backoff, max_backoff);
+  }
+};
 
 struct ExperimentConfig {
   // Response-time degradation threshold θ. The paper uses 100 ms for the
@@ -67,6 +89,24 @@ struct ExperimentConfig {
   // Small Query uniqueness: append a per-client parameter so each client
   // requests a unique dynamically generated object when the site supports it.
   bool unique_queries = true;
+
+  // Control-plane retry policy (consumed by harnesses that retry, e.g.
+  // LiveHarness; the simulated testbed models loss without retransmission).
+  RetryPolicy retry;
+
+  // Graceful degradation (Section 3's flaky-client reality). Both knobs
+  // default off so the unhardened behaviour is bit-identical.
+  //
+  // A client that misses (returns no sample, or only timeouts, for) this
+  // many consecutive epochs it participated in is marked unhealthy and
+  // excluded from later crowds; the crowd is refilled from the remaining
+  // registered pool. 0 disables eviction.
+  size_t evict_after_misses = 0;
+  // Minimum fraction of scheduled samples an epoch must deliver. An epoch
+  // below quorum is re-run once; if the re-run is also below quorum the
+  // stage terminates with StageEndReason::kQuorumFailed instead of silently
+  // deciding on thin data. 0 disables the quorum check.
+  double epoch_quorum = 0.0;
 };
 
 // Object-classification bounds from Section 2.2.1.

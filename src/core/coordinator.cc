@@ -113,7 +113,7 @@ EpochResult Coordinator::RunEpoch(StageKind kind, const StageObjects& objects,
         is_measurer = true;
       }
     }
-    if (c.usable && !is_measurer) {
+    if (c.usable && c.healthy && !is_measurer) {
       usable.push_back(&c);
     }
   }
@@ -187,8 +187,42 @@ EpochResult Coordinator::RunEpoch(StageKind kind, const StageObjects& objects,
   }
 
   result.samples_received = result.samples.size();
+  result.samples_expected = n * per_client;
   result.metric = Percentile(normalized, MetricPercentile(kind));
   result.exceeded_threshold = result.metric > config_.threshold;
+
+  // Health accounting for the participants: a miss is an epoch contributing
+  // no sample at all (control plane silent) or nothing but timeouts. After
+  // evict_after_misses consecutive misses the client is marked unhealthy and
+  // drops out of the usable pool — spares take its place next epoch.
+  std::map<size_t, size_t> got;
+  std::map<size_t, size_t> ok;
+  for (const RequestSample& sample : result.samples) {
+    ++got[sample.client_id];
+    if (!sample.timed_out) {
+      ++ok[sample.client_id];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ClientState& c = *usable[i];
+    bool miss = got[c.id] == 0 || ok[c.id] == 0;
+    if (miss) {
+      ++c.consecutive_misses;
+    } else {
+      c.consecutive_misses = 0;
+    }
+    if (config_.evict_after_misses > 0 && c.healthy &&
+        c.consecutive_misses >= config_.evict_after_misses) {
+      c.healthy = false;
+      if (telemetry_ != nullptr && telemetry_->metrics != nullptr) {
+        telemetry_->metrics->Add("coord.clients_evicted");
+      }
+      if (telemetry_ != nullptr && telemetry_->progress) {
+        fprintf(stderr, "[mfc] client %zu evicted after %zu consecutive misses\n", c.id,
+                c.consecutive_misses);
+      }
+    }
+  }
 
   if (telemetry_ != nullptr) {
     if (epoch_span != 0) {
@@ -259,18 +293,74 @@ StageResult Coordinator::RunStage(StageKind kind, const StageObjects& objects,
     stage.total_requests += epoch.crowd_size;
     stage.max_crowd_tested = std::max(stage.max_crowd_tested, epoch.crowd_size);
   };
+  // Evictions shrink the pool mid-stage, so capacity is re-derived per epoch.
+  auto usable_capacity = [&clients, per_client] {
+    size_t healthy_usable = 0;
+    for (const ClientState& c : clients) {
+      if (c.usable && c.healthy) {
+        ++healthy_usable;
+      }
+    }
+    return healthy_usable * per_client;
+  };
+  auto below_quorum = [this](const EpochResult& epoch) {
+    return config_.epoch_quorum > 0.0 && epoch.samples_expected > 0 &&
+           static_cast<double>(epoch.samples_received) <
+               config_.epoch_quorum * static_cast<double>(epoch.samples_expected);
+  };
+  // Runs one epoch; if it falls below the sample quorum, the short epoch is
+  // recorded and the crowd is re-run once. |quorum_ok| reports whether the
+  // returned (possibly re-run) epoch met quorum — a false means the control
+  // plane is too degraded to trust and the stage must end.
+  auto run_quorum_epoch = [&](size_t crowd, bool check_phase, bool& quorum_ok) {
+    EpochResult epoch = RunEpoch(kind, objects, clients, crowd, check_phase);
+    account(epoch);
+    if (!below_quorum(epoch)) {
+      quorum_ok = true;
+      return epoch;
+    }
+    stage.epochs.push_back(std::move(epoch));
+    harness_.WaitUntil(harness_.Now() + config_.epoch_gap);
+    if (telemetry_ != nullptr && telemetry_->metrics != nullptr) {
+      telemetry_->metrics->Add("coord.epoch_requeues");
+    }
+    EpochResult rerun = RunEpoch(kind, objects, clients, crowd, check_phase);
+    rerun.requeued = true;
+    account(rerun);
+    quorum_ok = !below_quorum(rerun);
+    return rerun;
+  };
+  auto fail_quorum = [&](const EpochResult& epoch) {
+    stage.end_reason = StageEndReason::kQuorumFailed;
+    stage.end_detail = "epoch at crowd " + std::to_string(epoch.crowd_size) + " received " +
+                       std::to_string(epoch.samples_received) + "/" +
+                       std::to_string(epoch.samples_expected) + " samples after re-run";
+    if (telemetry_ != nullptr && telemetry_->metrics != nullptr) {
+      telemetry_->metrics->Add("coord.quorum_failures");
+    }
+  };
 
   for (size_t e = 1; e <= config_.max_epochs; ++e) {
     size_t crowd = config_.crowd_step * e;
-    if (crowd > config_.max_crowd || crowd > usable * per_client) {
+    if (crowd > config_.max_crowd || crowd > usable_capacity()) {
+      stage.end_detail = "crowd " + std::to_string(crowd) +
+                         " exceeds budget or usable-client capacity";
       break;  // ran out of budget or clients: NoStop
     }
-    EpochResult epoch = RunEpoch(kind, objects, clients, crowd, /*check_phase=*/false);
-    account(epoch);
+    bool quorum_ok = true;
+    EpochResult epoch = run_quorum_epoch(crowd, /*check_phase=*/false, quorum_ok);
     bool exceeded = epoch.exceeded_threshold;
     decision_metric = epoch.metric;
+    EpochResult quorum_snapshot;
+    quorum_snapshot.crowd_size = epoch.crowd_size;
+    quorum_snapshot.samples_received = epoch.samples_received;
+    quorum_snapshot.samples_expected = epoch.samples_expected;
     stage.epochs.push_back(std::move(epoch));
     harness_.WaitUntil(harness_.Now() + config_.epoch_gap);
+    if (!quorum_ok) {
+      fail_quorum(quorum_snapshot);
+      break;
+    }
 
     if (!exceeded || crowd < config_.min_crowd_for_inference) {
       continue;
@@ -283,16 +373,26 @@ StageResult Coordinator::RunStage(StageKind kind, const StageObjects& objects,
     }
     epoch_parent_ = check_span != 0 ? check_span : stage_span;
     bool confirmed = false;
+    bool check_quorum_failed = false;
     for (long delta : {-1L, 0L, 1L}) {
       size_t check_crowd = static_cast<size_t>(static_cast<long>(crowd) + delta);
-      EpochResult check = RunEpoch(kind, objects, clients, check_crowd, /*check_phase=*/true);
-      account(check);
+      bool check_quorum_ok = true;
+      EpochResult check = run_quorum_epoch(check_crowd, /*check_phase=*/true, check_quorum_ok);
       bool check_exceeded = check.exceeded_threshold;
       if (check_exceeded) {
         decision_metric = check.metric;
       }
+      EpochResult check_snapshot;
+      check_snapshot.crowd_size = check.crowd_size;
+      check_snapshot.samples_received = check.samples_received;
+      check_snapshot.samples_expected = check.samples_expected;
       stage.epochs.push_back(std::move(check));
       harness_.WaitUntil(harness_.Now() + config_.epoch_gap);
+      if (!check_quorum_ok) {
+        fail_quorum(check_snapshot);
+        check_quorum_failed = true;
+        break;
+      }
       if (check_exceeded) {
         confirmed = true;
         break;
@@ -303,9 +403,14 @@ StageResult Coordinator::RunStage(StageKind kind, const StageObjects& objects,
     }
     EndSpan(check_span);
     epoch_parent_ = stage_span;
+    if (check_quorum_failed) {
+      break;
+    }
     if (confirmed) {
       stage.stopped = true;
       stage.stopping_crowd_size = crowd;
+      stage.end_reason = StageEndReason::kConstraintFound;
+      stage.end_detail = "check phase confirmed at crowd " + std::to_string(crowd);
       break;
     }
   }
@@ -318,6 +423,7 @@ StageResult Coordinator::RunStage(StageKind kind, const StageObjects& objects,
     if (decision_span != 0) {
       Tracer& tracer = *telemetry_->tracer;
       tracer.Attr(decision_span, "stopped", std::string(stage.stopped ? "true" : "false"));
+      tracer.Attr(decision_span, "end_reason", std::string(StageEndReasonName(stage.end_reason)));
       tracer.Attr(decision_span, "stopping_crowd",
                   static_cast<uint64_t>(stage.stopping_crowd_size));
       tracer.Attr(decision_span, "max_crowd_tested",

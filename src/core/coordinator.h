@@ -74,6 +74,11 @@ class Coordinator {
     SimDuration target_rtt = 0.0;
     SimDuration base_response_time = 0.0;
     bool usable = false;
+    // Graceful-degradation bookkeeping: a client that misses (no sample, or
+    // nothing but timeouts) config.evict_after_misses epochs in a row is
+    // marked unhealthy and silently replaced by a spare from the usable pool.
+    size_t consecutive_misses = 0;
+    bool healthy = true;
   };
 
   // Builds the request client |id| issues for |kind| (stable across epochs so

@@ -72,6 +72,10 @@ std::string ExportJson(const ExperimentResult& result) {
       json += ",\"stopping_crowd_size\":" + std::to_string(stage.stopping_crowd_size);
     }
     json += ",\"max_crowd_tested\":" + std::to_string(stage.max_crowd_tested);
+    json += ",\"end_reason\":\"" + std::string(StageEndReasonName(stage.end_reason)) + "\"";
+    if (!stage.end_detail.empty()) {
+      json += ",\"end_detail\":\"" + JsonEscape(stage.end_detail) + "\"";
+    }
     json += ",\"total_requests\":" + std::to_string(stage.total_requests);
     json += ",\"epochs\":[";
     for (size_t e = 0; e < stage.epochs.size(); ++e) {

@@ -14,6 +14,18 @@ std::string_view StageName(StageKind kind) {
   return "Unknown";
 }
 
+std::string_view StageEndReasonName(StageEndReason reason) {
+  switch (reason) {
+    case StageEndReason::kConstraintFound:
+      return "ConstraintFound";
+    case StageEndReason::kNoStop:
+      return "NoStop";
+    case StageEndReason::kQuorumFailed:
+      return "QuorumFailed";
+  }
+  return "Unknown";
+}
+
 const StageResult* ExperimentResult::Stage(StageKind kind) const {
   for (const StageResult& stage : stages) {
     if (stage.kind == kind) {

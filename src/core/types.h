@@ -35,11 +35,23 @@ struct RequestSample {
 struct EpochResult {
   size_t crowd_size = 0;  // concurrent requests scheduled (clients x conns)
   size_t samples_received = 0;
+  size_t samples_expected = 0;  // what the dispatched plans should deliver
   SimDuration metric = 0.0;  // median (or 90th pct) normalized response time
   bool exceeded_threshold = false;
   bool check_phase = false;  // one of the N-1 / N / N+1 confirmation crowds
+  bool requeued = false;     // re-run of an epoch that fell below quorum
   std::vector<RequestSample> samples;
 };
+
+// Why a stage ended — an explicit verdict on the control plane's health, not
+// just the capacity question.
+enum class StageEndReason {
+  kConstraintFound,  // check phase confirmed; stopping_crowd_size is valid
+  kNoStop,           // crowd budget or client pool exhausted, no constraint
+  kQuorumFailed,     // control plane could not sustain the sample quorum
+};
+
+std::string_view StageEndReasonName(StageEndReason reason);
 
 // Per-stage verdict.
 struct StageResult {
@@ -48,6 +60,8 @@ struct StageResult {
   bool stopped = false;
   size_t stopping_crowd_size = 0;  // valid when stopped
   size_t max_crowd_tested = 0;
+  StageEndReason end_reason = StageEndReason::kNoStop;
+  std::string end_detail;  // human-readable cause (quorum shortfall, ...)
   std::vector<EpochResult> epochs;
   uint64_t total_requests = 0;
   SimTime started = 0.0;

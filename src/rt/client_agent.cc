@@ -1,17 +1,71 @@
 #include "src/rt/client_agent.h"
 
 #include <cmath>
+#include <utility>
+
+#include "src/rt/fault_injector.h"
 
 namespace mfc {
+namespace {
+
+// Command tokens older than this are forgotten; a coordinator re-issuing a
+// command after a minute has long since failed the stage.
+constexpr double kSeenCommandTtl = 60.0;
+constexpr size_t kSeenCommandCap = 4096;
+
+}  // namespace
 
 ClientAgent::ClientAgent(Reactor& reactor, uint64_t client_id, const sockaddr_in& coordinator)
     : reactor_(reactor), client_id_(client_id), coordinator_(coordinator),
-      socket_(reactor, 0) {
+      socket_(reactor, 0), alive_(std::make_shared<bool>(true)) {
   socket_.SetReceiver(
       [this](std::string_view payload, const sockaddr_in& from) { OnDatagram(payload, from); });
 }
 
-void ClientAgent::Register() { Send(MsgRegister{client_id_}); }
+ClientAgent::~ClientAgent() {
+  *alive_ = false;
+  if (register_timer_ != 0) {
+    reactor_.CancelTimer(register_timer_);
+  }
+  for (auto& [id, pending] : pending_samples_) {
+    if (pending.timer != 0) {
+      reactor_.CancelTimer(pending.timer);
+    }
+  }
+}
+
+void ClientAgent::set_fault_injector(FaultInjector* fault) {
+  fault_ = fault;
+  socket_.set_fault_injector(fault);
+}
+
+void ClientAgent::Register() {
+  registered_ = false;
+  register_attempts_ = 0;
+  if (register_timer_ != 0) {
+    reactor_.CancelTimer(register_timer_);
+    register_timer_ = 0;
+  }
+  SendRegister();
+}
+
+void ClientAgent::SendRegister() {
+  ++register_attempts_;
+  Send(MsgRegister{client_id_});
+  if (register_attempts_ >= retry_.max_attempts) {
+    return;  // out of attempts; Registered() stays false unless an ack lands
+  }
+  register_timer_ = reactor_.ScheduleAfter(
+      retry_.BackoffFor(register_attempts_), [this, alive = alive_] {
+        if (!*alive) {
+          return;
+        }
+        register_timer_ = 0;
+        if (!registered_) {
+          SendRegister();
+        }
+      });
+}
 
 void ClientAgent::Send(const ControlMessage& message) {
   socket_.SendTo(EncodeMessage(message), coordinator_);
@@ -24,6 +78,22 @@ void ClientAgent::OnDatagram(std::string_view payload, const sockaddr_in&) {
   }
   if (const auto* ping = std::get_if<MsgPing>(&*message)) {
     Send(MsgPong{ping->seq});
+  } else if (const auto* ack = std::get_if<MsgRegisterAck>(&*message)) {
+    if (ack->client_id == client_id_) {
+      registered_ = true;
+      if (register_timer_ != 0) {
+        reactor_.CancelTimer(register_timer_);
+        register_timer_ = 0;
+      }
+    }
+  } else if (const auto* sample_ack = std::get_if<MsgSampleAck>(&*message)) {
+    auto it = pending_samples_.find(sample_ack->sample_id);
+    if (it != pending_samples_.end()) {
+      if (it->second.timer != 0) {
+        reactor_.CancelTimer(it->second.timer);
+      }
+      pending_samples_.erase(it);
+    }
   } else if (const auto* measure = std::get_if<MsgMeasure>(&*message)) {
     HandleMeasure(*measure);
   } else if (const auto* fire = std::get_if<MsgFire>(&*message)) {
@@ -33,38 +103,98 @@ void ClientAgent::OnDatagram(std::string_view payload, const sockaddr_in&) {
   }
 }
 
+bool ClientAgent::SeenCommand(uint64_t token) {
+  double now = reactor_.Now();
+  // Tokens are issued monotonically, so map order tracks receipt time: prune
+  // from the front until the set is fresh and bounded.
+  while (!seen_commands_.empty() &&
+         (now - seen_commands_.begin()->second > kSeenCommandTtl ||
+          seen_commands_.size() >= kSeenCommandCap)) {
+    seen_commands_.erase(seen_commands_.begin());
+  }
+  auto [it, inserted] = seen_commands_.emplace(token, now);
+  (void)it;
+  return !inserted;
+}
+
 void ClientAgent::HandleRttProbe(const MsgRttProbe& message) {
   // TCP connect() round trip approximates the SYN RTT to the target.
   double start = reactor_.Now();
   uint64_t token = message.token;
   uint64_t probe_id = next_fetch_id_++;
   auto conn = TcpConnection::Connect(
-      reactor_, LoopbackEndpoint(message.tcp_port), [this, token, probe_id, start](bool ok) {
+      reactor_, LoopbackEndpoint(message.tcp_port),
+      [this, alive = alive_, token, probe_id, start](bool ok) {
+        if (!*alive) {
+          return;
+        }
         double rtt = reactor_.Now() - start;
         if (ok) {
           Send(MsgRtt{token, static_cast<uint64_t>(std::llround(rtt * 1e6))});
+        } else {
+          Send(MsgRttFail{token});
         }
-        reactor_.ScheduleAfter(0.0, [this, probe_id] { rtt_probes_.erase(probe_id); });
-      });
+        reactor_.ScheduleAfter(0.0, [this, alive, probe_id] {
+          if (*alive) {
+            rtt_probes_.erase(probe_id);
+          }
+        });
+      },
+      fault_);
   if (conn != nullptr) {
     rtt_probes_[probe_id] = std::move(conn);
+  } else {
+    // A silent client here would stall the coordinator until its deadline;
+    // tell it outright so it can retry or fall back immediately.
+    Send(MsgRttFail{token});
   }
 }
 
 void ClientAgent::HandleMeasure(const MsgMeasure& message) {
-  LaunchFetch(message.token, message.method, message.tcp_port, message.target);
+  bool duplicate = SeenCommand(message.token);
+  Send(MsgCmdAck{message.token});  // ack duplicates too: the first ack was lost
+  if (duplicate) {
+    return;
+  }
+  // Solo measurements tolerate connect retries — there is no crowd to stay
+  // synchronized with.
+  LaunchFetch(message.token, message.method, message.tcp_port, message.target,
+              /*attempt=*/1, /*retry_connect=*/true);
 }
 
 void ClientAgent::HandleFire(const MsgFire& message) {
+  bool duplicate = SeenCommand(message.token);
+  Send(MsgCmdAck{message.token});
+  if (duplicate) {
+    return;
+  }
+  // Hold fire until the commanded instant: every client joins the burst
+  // together no matter when its (possibly re-issued) copy of the command
+  // arrived within the schedule lead.
+  double fire_at = static_cast<double>(message.fire_at_micros) * 1e-6;
+  if (fire_at > reactor_.Now()) {
+    reactor_.ScheduleAt(fire_at, [this, alive = alive_, message] {
+      if (*alive) {
+        FireNow(message);
+      }
+    });
+    return;
+  }
+  FireNow(message);
+}
+
+void ClientAgent::FireNow(const MsgFire& message) {
   // MFC-mr: open |connections| parallel connections carrying the same
-  // request (Section 4.1).
+  // request (Section 4.1). No connect retries: a late re-fire would fall
+  // outside the synchronized burst and skew the crowd's response times.
   for (uint32_t c = 0; c < message.connections; ++c) {
-    LaunchFetch(message.token, message.method, message.tcp_port, message.target);
+    LaunchFetch(message.token, message.method, message.tcp_port, message.target,
+                /*attempt=*/1, /*retry_connect=*/false);
   }
 }
 
 void ClientAgent::LaunchFetch(uint64_t token, const std::string& method, uint16_t port,
-                              const std::string& target) {
+                              const std::string& target, size_t attempt, bool retry_connect) {
   HttpRequest request;
   request.method = method == "HEAD" ? HttpMethod::kHead : HttpMethod::kGet;
   request.target = target;
@@ -75,17 +205,68 @@ void ClientAgent::LaunchFetch(uint64_t token, const std::string& method, uint16_
   uint64_t fetch_id = next_fetch_id_++;
   auto fetch = HttpFetch::Start(
       reactor_, port, request, request_timeout_,
-      [this, token, fetch_id](const FetchResult& result) {
+      [this, token, fetch_id, method, port, target, attempt,
+       retry_connect](const FetchResult& result) {
+        if (result.connect_failed && retry_connect && attempt < retry_.max_attempts) {
+          reactor_.ScheduleAfter(
+              retry_.BackoffFor(attempt),
+              [this, alive = alive_, token, method, port, target, attempt, retry_connect] {
+                if (*alive) {
+                  LaunchFetch(token, method, port, target, attempt + 1, retry_connect);
+                }
+              });
+          fetches_.erase(fetch_id);
+          return;
+        }
         MsgSample sample;
         sample.token = token;
         sample.http_code = static_cast<int>(result.status);
         sample.bytes = result.bytes;
         sample.rt_microseconds = static_cast<uint64_t>(std::llround(result.elapsed * 1e6));
         sample.timed_out = result.timed_out;
-        Send(sample);
+        SendSampleReliably(sample);
         fetches_.erase(fetch_id);
-      });
+      },
+      fault_);
   fetches_[fetch_id] = std::move(fetch);
+}
+
+void ClientAgent::SendSampleReliably(MsgSample sample) {
+  sample.sample_id = next_sample_id_++;
+  Send(sample);
+  if (retry_.max_attempts <= 1) {
+    return;  // fire-and-forget, as the paper's original UDP control plane did
+  }
+  PendingSample pending;
+  pending.sample = sample;
+  pending.attempts = 1;
+  pending_samples_[sample.sample_id] = pending;
+  ScheduleSampleRetransmit(sample.sample_id);
+}
+
+void ClientAgent::ScheduleSampleRetransmit(uint64_t sample_id) {
+  auto it = pending_samples_.find(sample_id);
+  if (it == pending_samples_.end()) {
+    return;
+  }
+  it->second.timer = reactor_.ScheduleAfter(
+      retry_.BackoffFor(it->second.attempts), [this, alive = alive_, sample_id] {
+        if (!*alive) {
+          return;
+        }
+        auto entry = pending_samples_.find(sample_id);
+        if (entry == pending_samples_.end()) {
+          return;  // acked while the retransmit was queued
+        }
+        entry->second.timer = 0;
+        ++entry->second.attempts;
+        Send(entry->second.sample);
+        if (entry->second.attempts < retry_.max_attempts) {
+          ScheduleSampleRetransmit(sample_id);
+        } else {
+          pending_samples_.erase(entry);  // give up; coordinator quorum decides
+        }
+      });
 }
 
 }  // namespace mfc

@@ -1,16 +1,23 @@
 // Live MFC client agent (Figure 2b over real sockets).
 //
 // Registers with the coordinator over UDP, answers latency probes, and on
-// command fires HTTP requests at the target the moment the command arrives —
-// the synchronization comes entirely from when the coordinator *sends* each
-// command (Section 2.2.4). Samples are pushed back over UDP as each request
-// completes or hits the kill timer.
+// command fires HTTP requests at the target. FIRE commands carry the burst
+// instant (Section 2.2.4's scheduled arrival): the agent holds fire until
+// then, so a command re-issued after control loss still joins the crowd on
+// time. Samples are pushed back over UDP as each request completes or hits
+// the kill timer.
+//
+// The control plane assumes loss: registration repeats until the coordinator
+// acks it, MEASURE/FIRE commands are acked on receipt (and deduplicated by
+// token, so a re-issued or fault-duplicated command never double-fires), and
+// samples are retransmitted with bounded backoff until SAMPLEACK arrives.
 #ifndef MFC_SRC_RT_CLIENT_AGENT_H_
 #define MFC_SRC_RT_CLIENT_AGENT_H_
 
 #include <map>
 #include <memory>
 
+#include "src/core/config.h"
 #include "src/rt/http_fetch.h"
 #include "src/rt/sockets.h"
 #include "src/rt/wire.h"
@@ -20,25 +27,49 @@ namespace mfc {
 class ClientAgent {
  public:
   ClientAgent(Reactor& reactor, uint64_t client_id, const sockaddr_in& coordinator);
+  ~ClientAgent();
   ClientAgent(const ClientAgent&) = delete;
   ClientAgent& operator=(const ClientAgent&) = delete;
 
-  // Announces this agent to the coordinator.
+  // Announces this agent to the coordinator; re-sends with backoff until the
+  // coordinator's REGACK arrives (or attempts run out).
   void Register();
+  bool Registered() const { return registered_; }
 
   uint64_t ClientId() const { return client_id_; }
   uint16_t ControlPort() const { return socket_.Port(); }
   void set_request_timeout(double seconds) { request_timeout_ = seconds; }
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
+  // Routes control datagrams and TCP connects through |fault| (which must
+  // outlive the agent). nullptr restores fault-free operation.
+  void set_fault_injector(FaultInjector* fault);
 
   uint64_t RequestsFired() const { return requests_fired_; }
 
  private:
+  struct PendingSample {
+    MsgSample sample;
+    size_t attempts = 1;
+    Reactor::TimerId timer = 0;
+  };
+
   void OnDatagram(std::string_view payload, const sockaddr_in& from);
   void HandleMeasure(const MsgMeasure& message);
   void HandleFire(const MsgFire& message);
+  // Opens the command's parallel connections immediately; HandleFire defers
+  // to this at the commanded fire_at instant.
+  void FireNow(const MsgFire& message);
   void HandleRttProbe(const MsgRttProbe& message);
+  // True if |token| was already executed (duplicate command); records it
+  // otherwise. Old tokens are pruned so the set stays bounded.
+  bool SeenCommand(uint64_t token);
   void LaunchFetch(uint64_t token, const std::string& method, uint16_t port,
-                   const std::string& target);
+                   const std::string& target, size_t attempt, bool retry_connect);
+  // Sends |sample| and schedules bounded retransmissions until SAMPLEACK.
+  void SendSampleReliably(MsgSample sample);
+  void ScheduleSampleRetransmit(uint64_t sample_id);
+  void SendRegister();
   void Send(const ControlMessage& message);
 
   Reactor& reactor_;
@@ -46,10 +77,22 @@ class ClientAgent {
   sockaddr_in coordinator_;
   UdpSocket socket_;
   double request_timeout_ = 10.0;
+  RetryPolicy retry_;
+  FaultInjector* fault_ = nullptr;
   uint64_t requests_fired_ = 0;
   uint64_t next_fetch_id_ = 1;
+  uint64_t next_sample_id_ = 1;
+  bool registered_ = false;
+  size_t register_attempts_ = 0;
+  Reactor::TimerId register_timer_ = 0;
   std::map<uint64_t, std::unique_ptr<HttpFetch>> fetches_;
   std::map<uint64_t, std::unique_ptr<TcpConnection>> rtt_probes_;
+  std::map<uint64_t, PendingSample> pending_samples_;
+  std::map<uint64_t, double> seen_commands_;  // token -> receipt time
+  // Guards every reactor task that captures |this|: the destructor flips it,
+  // so tasks still queued when the agent dies become no-ops instead of
+  // use-after-frees.
+  std::shared_ptr<bool> alive_;
 };
 
 }  // namespace mfc

@@ -1,0 +1,37 @@
+#include "src/rt/fault_injector.h"
+
+namespace mfc {
+
+FaultInjector::DatagramPlan FaultInjector::PlanDatagram(double now) {
+  DatagramPlan plan;
+  ++stats_.datagrams;
+  if (first_datagram_at_ < 0.0) {
+    first_datagram_at_ = now;
+  }
+  bool dead = config_.dead_after > 0.0 && now - first_datagram_at_ >= config_.dead_after;
+  if (dead || (config_.drop_rate > 0.0 && rng_.Chance(config_.drop_rate))) {
+    plan.drop = true;
+    ++stats_.dropped;
+    return plan;
+  }
+  if (config_.duplicate_rate > 0.0 && rng_.Chance(config_.duplicate_rate)) {
+    plan.copies = 2;
+    ++stats_.duplicated;
+  }
+  if (config_.delay_rate > 0.0 && rng_.Chance(config_.delay_rate)) {
+    plan.delay = config_.delay;
+    ++stats_.delayed;
+  }
+  return plan;
+}
+
+bool FaultInjector::FailConnect() {
+  ++stats_.connects;
+  if (config_.connect_failure_rate > 0.0 && rng_.Chance(config_.connect_failure_rate)) {
+    ++stats_.failed_connects;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mfc

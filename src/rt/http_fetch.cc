@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/rt/fault_injector.h"
+
 namespace mfc {
 
 HttpFetch::HttpFetch(Reactor& reactor, double timeout, DoneCallback done)
@@ -9,7 +11,7 @@ HttpFetch::HttpFetch(Reactor& reactor, double timeout, DoneCallback done)
 
 std::unique_ptr<HttpFetch> HttpFetch::Start(Reactor& reactor, uint16_t port,
                                             const HttpRequest& request, double timeout,
-                                            DoneCallback done) {
+                                            DoneCallback done, FaultInjector* fault) {
   // unique_ptr with private ctor: wrap manually.
   std::unique_ptr<HttpFetch> fetch(new HttpFetch(reactor, timeout, std::move(done)));
   HttpFetch* self = fetch.get();
@@ -28,10 +30,13 @@ std::unique_ptr<HttpFetch> HttpFetch::Start(Reactor& reactor, uint16_t port,
   });
   self->connection_ = TcpConnection::Connect(
       reactor, LoopbackEndpoint(port),
-      [self, request](bool ok) { self->OnConnected(ok, request); });
+      [self, request](bool ok) { self->OnConnected(ok, request); }, fault);
   if (self->connection_ == nullptr) {
     // Immediate local failure; report asynchronously for a uniform contract.
-    reactor.ScheduleAfter(0.0, [self] {
+    // The timer id is kept so destruction before the reactor drains cancels
+    // the task instead of leaving it to fire on a dangling |self|.
+    self->connect_fail_timer_ = reactor.ScheduleAfter(0.0, [self] {
+      self->connect_fail_timer_ = 0;
       FetchResult result;
       result.connect_failed = true;
       result.status = HttpStatus::kServiceUnavailable;
@@ -45,6 +50,12 @@ HttpFetch::~HttpFetch() {
   finished_ = true;  // suppress any in-flight Finish path
   if (kill_timer_ != 0) {
     reactor_.CancelTimer(kill_timer_);
+  }
+  if (connect_fail_timer_ != 0) {
+    reactor_.CancelTimer(connect_fail_timer_);
+  }
+  if (done_timer_ != 0) {
+    reactor_.CancelTimer(done_timer_);
   }
 }
 
@@ -110,9 +121,11 @@ void HttpFetch::Finish(FetchResult result) {
   if (connection_ != nullptr) {
     connection_->Close();
   }
-  // Deliver off-stack so the owner may destroy us inside the callback.
+  // Deliver off-stack so the owner may destroy us inside the callback. The
+  // timer is cancelled by the destructor: "destroying the handle cancels the
+  // operation" must hold even between Finish and delivery.
   auto callback = std::move(done_);
-  reactor_.ScheduleAfter(0.0, [callback = std::move(callback), result] {
+  done_timer_ = reactor_.ScheduleAfter(0.0, [callback = std::move(callback), result] {
     if (callback) {
       callback(result);
     }

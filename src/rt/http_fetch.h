@@ -12,6 +12,8 @@
 
 namespace mfc {
 
+class FaultInjector;
+
 struct FetchResult {
   HttpStatus status = HttpStatus::kClientTimeout;
   uint64_t bytes = 0;    // wire bytes received (headers + body)
@@ -22,14 +24,18 @@ struct FetchResult {
 
 // Fires |done| exactly once, via a zero-delay reactor timer so the owner may
 // destroy the fetch from inside the callback. Destroying the handle earlier
-// cancels the operation (no callback).
+// cancels the operation (no callback) — including the asynchronous
+// connect-failure and result-delivery tasks, whose timers the destructor
+// cancels so no scheduled lambda ever touches a destroyed fetch.
 class HttpFetch {
  public:
   using DoneCallback = std::function<void(const FetchResult&)>;
 
+  // |fault| (optional) may veto the TCP connect, exercising the same
+  // immediate-failure path as a local socket error.
   static std::unique_ptr<HttpFetch> Start(Reactor& reactor, uint16_t port,
                                           const HttpRequest& request, double timeout,
-                                          DoneCallback done);
+                                          DoneCallback done, FaultInjector* fault = nullptr);
   ~HttpFetch();
   HttpFetch(const HttpFetch&) = delete;
   HttpFetch& operator=(const HttpFetch&) = delete;
@@ -46,6 +52,8 @@ class HttpFetch {
   double timeout_;
   double start_ = 0.0;
   Reactor::TimerId kill_timer_ = 0;
+  Reactor::TimerId connect_fail_timer_ = 0;  // pending immediate-failure report
+  Reactor::TimerId done_timer_ = 0;          // pending |done| delivery
   std::unique_ptr<TcpConnection> connection_;
   ResponseParser parser_;
   uint64_t wire_bytes_ = 0;

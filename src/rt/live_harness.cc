@@ -3,12 +3,29 @@
 #include <algorithm>
 #include <string>
 
+#include "src/telemetry/metrics.h"
+
 namespace mfc {
 
 LiveHarness::LiveHarness(Reactor& reactor, uint16_t target_port, uint16_t control_port)
-    : reactor_(reactor), target_port_(target_port), socket_(reactor, control_port) {
+    : reactor_(reactor), target_port_(target_port), socket_(reactor, control_port),
+      alive_(std::make_shared<bool>(true)) {
   socket_.SetReceiver(
       [this](std::string_view payload, const sockaddr_in& from) { OnDatagram(payload, from); });
+}
+
+LiveHarness::~LiveHarness() { *alive_ = false; }
+
+void LiveHarness::Bump(uint64_t& counter, const char* metric, uint64_t delta) {
+  counter += delta;
+  if (metrics_ != nullptr) {
+    metrics_->Add(metric, static_cast<double>(delta));
+  }
+}
+
+size_t LiveHarness::PendingControlEntries() const {
+  return pending_pongs_.size() + completed_pongs_.size() + pending_rtt_probes_.size() +
+         completed_rtts_.size() + acked_commands_.size();
 }
 
 void LiveHarness::OnDatagram(std::string_view payload, const sockaddr_in& from) {
@@ -17,7 +34,10 @@ void LiveHarness::OnDatagram(std::string_view payload, const sockaddr_in& from) 
     return;
   }
   if (const auto* reg = std::get_if<MsgRegister>(&*message)) {
+    // Re-registrations refresh the address; the ack is idempotent, so a
+    // client whose REGACK was lost simply re-sends and gets acked again.
     clients_[static_cast<size_t>(reg->client_id)] = from;
+    socket_.SendTo(EncodeMessage(MsgRegisterAck{reg->client_id}), from);
   } else if (const auto* pong = std::get_if<MsgPong>(&*message)) {
     auto it = pending_pongs_.find(pong->seq);
     if (it != pending_pongs_.end()) {
@@ -25,20 +45,50 @@ void LiveHarness::OnDatagram(std::string_view payload, const sockaddr_in& from) 
       pending_pongs_.erase(it);
     }
   } else if (const auto* rtt = std::get_if<MsgRtt>(&*message)) {
-    completed_rtts_[rtt->token] = static_cast<double>(rtt->microseconds) * 1e-6;
-  } else if (const auto* sample = std::get_if<MsgSample>(&*message)) {
-    if (crowd_.has_value()) {
-      auto it = crowd_->token_to_client.find(sample->token);
-      if (it != crowd_->token_to_client.end()) {
-        RequestSample out;
-        out.client_id = it->second;
-        out.code = static_cast<HttpStatus>(sample->http_code);
-        out.bytes = static_cast<double>(sample->bytes);
-        out.response_time = static_cast<double>(sample->rt_microseconds) * 1e-6;
-        out.timed_out = sample->timed_out;
-        crowd_->samples.push_back(out);
-      }
+    // Only solicited replies are recorded; late duplicates from earlier
+    // attempts would otherwise pile up in completed_rtts_ forever.
+    if (pending_rtt_probes_.erase(rtt->token) != 0) {
+      completed_rtts_[rtt->token] = static_cast<double>(rtt->microseconds) * 1e-6;
     }
+  } else if (const auto* fail = std::get_if<MsgRttFail>(&*message)) {
+    if (pending_rtt_probes_.erase(fail->token) != 0) {
+      completed_rtts_[fail->token] = -1.0;  // explicit failure, not a timeout
+      Bump(stats_.rtt_failures, "live.rtt_failures");
+    }
+  } else if (const auto* ack = std::get_if<MsgCmdAck>(&*message)) {
+    // Only acks for commands the current crowd/fetch is waiting on matter; a
+    // late ack for a finished crowd would otherwise sit in the set forever.
+    if (crowd_.has_value() && crowd_->token_to_client.count(ack->token) != 0) {
+      acked_commands_.insert(ack->token);
+    }
+  } else if (const auto* sample = std::get_if<MsgSample>(&*message)) {
+    // Ack unconditionally — late and duplicate copies included — so the
+    // client's retransmit loop always terminates.
+    socket_.SendTo(EncodeMessage(MsgSampleAck{sample->sample_id}), from);
+    if (!crowd_.has_value()) {
+      return;
+    }
+    auto it = crowd_->token_to_client.find(sample->token);
+    if (it == crowd_->token_to_client.end()) {
+      return;
+    }
+    if (!crowd_->seen.insert({sample->token, sample->sample_id}).second) {
+      Bump(stats_.duplicate_samples, "live.duplicate_samples");
+      return;
+    }
+    auto budget = crowd_->budget.find(sample->token);
+    if (budget == crowd_->budget.end() || budget->second == 0) {
+      Bump(stats_.duplicate_samples, "live.duplicate_samples");
+      return;
+    }
+    --budget->second;
+    RequestSample out;
+    out.client_id = it->second;
+    out.code = static_cast<HttpStatus>(sample->http_code);
+    out.bytes = static_cast<double>(sample->bytes);
+    out.response_time = static_cast<double>(sample->rt_microseconds) * 1e-6;
+    out.timed_out = sample->timed_out;
+    crowd_->samples.push_back(out);
   }
 }
 
@@ -56,47 +106,127 @@ size_t LiveHarness::WaitForRegistrations(size_t count, double timeout) {
 }
 
 std::vector<size_t> LiveHarness::ProbeClients(SimDuration timeout) {
-  std::vector<size_t> responsive;
-  std::map<uint64_t, size_t> seq_to_client;
-  for (const auto& [id, addr] : clients_) {
-    uint64_t seq = next_token_++;
-    pending_pongs_[seq] = reactor_.Now();
-    seq_to_client[seq] = id;
-    SendTo(id, MsgPing{seq});
+  size_t attempts = std::max<size_t>(retry_.max_attempts, 1);
+  double slice = timeout / static_cast<double>(attempts);
+  std::map<uint64_t, size_t> seq_to_client;  // every seq minted by this call
+  std::set<size_t> answered;
+
+  for (size_t attempt = 1; attempt <= attempts; ++attempt) {
+    size_t missing = 0;
+    for (const auto& [id, addr] : clients_) {
+      if (answered.count(id) != 0) {
+        continue;
+      }
+      ++missing;
+      uint64_t seq = next_token_++;
+      pending_pongs_[seq] = reactor_.Now();
+      seq_to_client[seq] = id;
+      SendTo(id, MsgPing{seq});
+    }
+    if (missing == 0) {
+      break;
+    }
+    if (attempt > 1) {
+      Bump(stats_.ping_retries, "live.ping_retries", missing);
+    }
+    double deadline = reactor_.Now() + slice;
+    reactor_.RunUntil(
+        [this, &seq_to_client, &answered] {
+          for (const auto& [seq, client] : seq_to_client) {
+            if (completed_pongs_.count(seq) != 0) {
+              answered.insert(client);
+            }
+          }
+          return answered.size() >= clients_.size();
+        },
+        deadline);
   }
-  double deadline = reactor_.Now() + timeout;
-  reactor_.RunUntil([this] { return pending_pongs_.empty(); }, deadline);
   for (const auto& [seq, client] : seq_to_client) {
     if (completed_pongs_.count(seq) != 0) {
-      responsive.push_back(client);
+      answered.insert(client);
     }
+    pending_pongs_.erase(seq);
+    completed_pongs_.erase(seq);
   }
-  std::sort(responsive.begin(), responsive.end());
-  pending_pongs_.clear();
-  return responsive;
+  return std::vector<size_t>(answered.begin(), answered.end());
 }
 
 SimDuration LiveHarness::MeasureCoordRtt(size_t client) {
-  uint64_t seq = next_token_++;
-  pending_pongs_[seq] = reactor_.Now();
-  SendTo(client, MsgPing{seq});
-  double deadline = reactor_.Now() + 1.0;
-  reactor_.RunUntil([this, seq] { return completed_pongs_.count(seq) != 0; }, deadline);
-  auto it = completed_pongs_.find(seq);
-  SimDuration rtt = it != completed_pongs_.end() ? it->second : 1.0;
-  completed_pongs_.erase(seq);
-  pending_pongs_.erase(seq);
+  size_t attempts = std::max<size_t>(retry_.max_attempts, 1);
+  double slice = 1.0 / static_cast<double>(attempts);
+  std::vector<uint64_t> seqs;
+  SimDuration rtt = 1.0;  // conservative substitute when every attempt misses
+  bool got = false;
+
+  for (size_t attempt = 1; attempt <= attempts && !got; ++attempt) {
+    uint64_t seq = next_token_++;
+    pending_pongs_[seq] = reactor_.Now();
+    seqs.push_back(seq);
+    if (attempt > 1) {
+      Bump(stats_.ping_retries, "live.ping_retries");
+    }
+    SendTo(client, MsgPing{seq});
+    double deadline = reactor_.Now() + slice;
+    reactor_.RunUntil(
+        [this, &seqs] {
+          for (uint64_t s : seqs) {
+            if (completed_pongs_.count(s) != 0) {
+              return true;
+            }
+          }
+          return false;
+        },
+        deadline);
+    for (uint64_t s : seqs) {
+      auto it = completed_pongs_.find(s);
+      if (it != completed_pongs_.end()) {
+        rtt = it->second;
+        got = true;
+        break;
+      }
+    }
+  }
+  for (uint64_t s : seqs) {
+    pending_pongs_.erase(s);
+    completed_pongs_.erase(s);
+  }
   return rtt;
 }
 
 SimDuration LiveHarness::MeasureTargetRtt(size_t client) {
-  uint64_t token = next_token_++;
-  SendTo(client, MsgRttProbe{token, target_port_});
-  double deadline = reactor_.Now() + 1.0;
-  reactor_.RunUntil([this, token] { return completed_rtts_.count(token) != 0; }, deadline);
-  auto it = completed_rtts_.find(token);
-  SimDuration rtt = it != completed_rtts_.end() ? it->second : 1.0;
-  completed_rtts_.erase(token);
+  size_t attempts = std::max<size_t>(retry_.max_attempts, 1);
+  double slice = 1.0 / static_cast<double>(attempts);
+  std::vector<uint64_t> tokens;
+  SimDuration rtt = 1.0;
+  bool got = false;
+
+  for (size_t attempt = 1; attempt <= attempts && !got; ++attempt) {
+    uint64_t token = next_token_++;
+    pending_rtt_probes_.insert(token);
+    tokens.push_back(token);
+    if (attempt > 1) {
+      Bump(stats_.rtt_retries, "live.rtt_retries");
+    }
+    SendTo(client, MsgRttProbe{token, target_port_});
+    double deadline = reactor_.Now() + slice;
+    // An RTTFAIL reply also completes the wait — that is the point of the
+    // explicit failure message: retry immediately instead of idling to the
+    // deadline.
+    reactor_.RunUntil([this, token] { return completed_rtts_.count(token) != 0; },
+                      deadline);
+    auto it = completed_rtts_.find(token);
+    if (it != completed_rtts_.end() && it->second >= 0.0) {
+      rtt = it->second;
+      got = true;
+    }
+  }
+  if (!got) {
+    Bump(stats_.rtt_fallbacks, "live.rtt_fallbacks");
+  }
+  for (uint64_t token : tokens) {
+    pending_rtt_probes_.erase(token);
+    completed_rtts_.erase(token);
+  }
   return rtt;
 }
 
@@ -110,13 +240,29 @@ RequestSample LiveHarness::FetchOnce(size_t client, const HttpRequest& request) 
   }
   crowd_ = PendingCrowd{};
   crowd_->token_to_client[token] = client;
+  crowd_->budget[token] = 1;
 
   MsgMeasure measure;
   measure.token = token;
   measure.method = std::string(MethodName(request.method));
   measure.tcp_port = target_port_;
   measure.target = request.target;
+
+  size_t attempts = std::max<size_t>(retry_.max_attempts, 1);
   SendTo(client, measure);
+  for (size_t attempt = 1; attempt < attempts; ++attempt) {
+    double deadline = reactor_.Now() + retry_.BackoffFor(attempt);
+    reactor_.RunUntil(
+        [this, token] {
+          return acked_commands_.count(token) != 0 || !crowd_->samples.empty();
+        },
+        deadline);
+    if (acked_commands_.count(token) != 0 || !crowd_->samples.empty()) {
+      break;
+    }
+    Bump(stats_.measure_retries, "live.measure_retries");
+    SendTo(client, measure);
+  }
 
   double deadline = reactor_.Now() + request_timeout_ + 1.0;
   reactor_.RunUntil([this] { return !crowd_->samples.empty(); }, deadline);
@@ -130,6 +276,7 @@ RequestSample LiveHarness::FetchOnce(size_t client, const HttpRequest& request) 
     sample.timed_out = true;
     sample.response_time = request_timeout_;
   }
+  acked_commands_.erase(token);
   crowd_.reset();
   if (had_crowd) {
     crowd_ = std::move(saved);
@@ -137,13 +284,37 @@ RequestSample LiveHarness::FetchOnce(size_t client, const HttpRequest& request) 
   return sample;
 }
 
+void LiveHarness::ScheduleFireRetry(uint64_t generation, size_t client, const MsgFire& fire,
+                                    size_t attempt) {
+  if (attempt >= retry_.max_attempts) {
+    return;
+  }
+  reactor_.ScheduleAfter(
+      retry_.BackoffFor(attempt),
+      [this, alive = alive_, generation, client, fire, attempt] {
+        if (!*alive || crowd_generation_ != generation) {
+          return;  // harness gone or crowd over; the command no longer matters
+        }
+        if (acked_commands_.count(fire.token) != 0) {
+          return;
+        }
+        Bump(stats_.fire_retries, "live.fire_retries");
+        SendTo(client, fire);
+        ScheduleFireRetry(generation, client, fire, attempt + 1);
+      });
+}
+
 std::vector<RequestSample> LiveHarness::ExecuteCrowd(const std::vector<CrowdRequestPlan>& plans,
                                                      SimTime poll_time) {
+  uint64_t generation = ++crowd_generation_;
   crowd_ = PendingCrowd{};
+  std::vector<uint64_t> tokens;
   size_t expected = 0;
   for (const CrowdRequestPlan& plan : plans) {
     uint64_t token = next_token_++;
+    tokens.push_back(token);
     crowd_->token_to_client[token] = plan.client_id;
+    crowd_->budget[token] = static_cast<uint32_t>(plan.connections);
     expected += plan.connections;
 
     MsgFire fire;
@@ -152,14 +323,35 @@ std::vector<RequestSample> LiveHarness::ExecuteCrowd(const std::vector<CrowdRequ
     fire.method = std::string(MethodName(plan.request.method));
     fire.tcp_port = target_port_;
     fire.target = plan.request.target;
+    // Ship the burst instant with the command and transmit right away: the
+    // agent holds fire until the instant, so the whole schedule lead becomes
+    // headroom for re-issuing lost commands instead of dead air. Plans
+    // without an arrival time keep the legacy send-time pacing (the agent
+    // fires on receipt).
     double send_at = std::max(plan.command_send_time, reactor_.Now());
+    if (plan.intended_arrival > 0.0) {
+      fire.fire_at_micros = static_cast<uint64_t>(plan.intended_arrival * 1e6);
+      send_at = reactor_.Now();
+    }
     size_t client = plan.client_id;
-    reactor_.ScheduleAt(send_at, [this, client, fire] { SendTo(client, fire); });
+    reactor_.ScheduleAt(send_at, [this, alive = alive_, generation, client, fire] {
+      if (!*alive || crowd_generation_ != generation) {
+        return;
+      }
+      SendTo(client, fire);
+      ScheduleFireRetry(generation, client, fire, 1);
+    });
   }
   reactor_.RunUntil([this, expected] { return crowd_->samples.size() >= expected; },
                     poll_time);
   std::vector<RequestSample> samples = std::move(crowd_->samples);
   crowd_.reset();
+  // Invalidate any still-queued FIRE sends/retries and drop this crowd's ack
+  // bookkeeping: tokens are never reused, so leftover entries are pure leak.
+  ++crowd_generation_;
+  for (uint64_t token : tokens) {
+    acked_commands_.erase(token);
+  }
   return samples;
 }
 

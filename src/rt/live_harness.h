@@ -2,24 +2,49 @@
 // transport. The very same Coordinator state machine that drives the
 // simulation drives this over UDP control + TCP data on real hosts (here:
 // loopback agents).
+//
+// The control plane is loss-tolerant: registrations are acked (REGACK),
+// pings/RTT probes are re-sent with bounded backoff, MEASURE/FIRE commands
+// are re-issued until the client's CMDACK arrives, and every SAMPLE is acked
+// so client retransmissions stop. Duplicate samples (retransmits, or copies
+// minted by a fault injector) are deduplicated by (token, sample_id), and a
+// per-token budget caps how many samples one command may contribute.
 #ifndef MFC_SRC_RT_LIVE_HARNESS_H_
 #define MFC_SRC_RT_LIVE_HARNESS_H_
 
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
+#include "src/core/config.h"
 #include "src/core/harness.h"
 #include "src/rt/sockets.h"
 #include "src/rt/wire.h"
 
 namespace mfc {
 
+class MetricsRegistry;
+
+// Control-plane health counters, exported to MetricsRegistry as live.*.
+struct ControlPlaneStats {
+  uint64_t ping_retries = 0;     // PINGs re-sent after a missed slice
+  uint64_t rtt_retries = 0;      // RTTPROBEs re-sent
+  uint64_t rtt_failures = 0;     // explicit RTTFAIL replies received
+  uint64_t rtt_fallbacks = 0;    // probes that exhausted retries -> 1 s substitute
+  uint64_t measure_retries = 0;  // MEASUREs re-issued awaiting CMDACK
+  uint64_t fire_retries = 0;     // FIREs re-issued awaiting CMDACK
+  uint64_t duplicate_samples = 0;  // retransmitted/duplicated SAMPLEs discarded
+};
+
 class LiveHarness : public ClientHarness {
  public:
   // |target_port|: TCP port of the server under test (requests carry only
   // the path; the harness owns the endpoint). |control_port| 0 = ephemeral.
   LiveHarness(Reactor& reactor, uint16_t target_port, uint16_t control_port = 0);
+  ~LiveHarness() override;
 
   uint16_t ControlPort() const { return socket_.Port(); }
 
@@ -29,6 +54,17 @@ class LiveHarness : public ClientHarness {
 
   // Per-request client-side kill timer mirrored into fetch deadlines.
   void set_request_timeout(double seconds) { request_timeout_ = seconds; }
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  // Routes the coordinator's own control datagrams through |fault| (must
+  // outlive the harness). nullptr restores fault-free operation.
+  void set_fault_injector(FaultInjector* fault) { socket_.set_fault_injector(fault); }
+  // Mirrors ControlPlaneStats increments into |metrics| under live.* names.
+  void SetMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  const ControlPlaneStats& stats() const { return stats_; }
+  // Total in-flight/leftover control-plane bookkeeping entries; tests assert
+  // this stays bounded across stages (no token-map leaks).
+  size_t PendingControlEntries() const;
 
   // ClientHarness:
   size_t ClientCount() const override { return clients_.size(); }
@@ -44,23 +80,45 @@ class LiveHarness : public ClientHarness {
  private:
   void OnDatagram(std::string_view payload, const sockaddr_in& from);
   void SendTo(size_t client, const ControlMessage& message);
+  void Bump(uint64_t& counter, const char* metric, uint64_t delta = 1);
+  // Re-sends |fire| with backoff until the client acks it, the crowd
+  // generation moves on, or attempts run out.
+  void ScheduleFireRetry(uint64_t generation, size_t client, const MsgFire& fire,
+                         size_t attempt);
 
   Reactor& reactor_;
   uint16_t target_port_;
   UdpSocket socket_;
   double request_timeout_ = 10.0;
+  RetryPolicy retry_;
+  ControlPlaneStats stats_;
+  MetricsRegistry* metrics_ = nullptr;
   std::map<size_t, sockaddr_in> clients_;  // registered agents by id
 
-  // In-flight expectations, keyed by token / seq.
+  // In-flight expectations, keyed by token / seq. Every wait cleans up the
+  // tokens it minted — from the completed maps too — so late or unsolicited
+  // replies cannot accumulate across a long experiment.
   uint64_t next_token_ = 1;
-  std::map<uint64_t, double> pending_pongs_;        // seq -> send time
-  std::map<uint64_t, double> completed_pongs_;      // seq -> rtt
-  std::map<uint64_t, double> completed_rtts_;       // token -> seconds
+  std::map<uint64_t, double> pending_pongs_;    // seq -> send time
+  std::map<uint64_t, double> completed_pongs_;  // seq -> rtt
+  std::set<uint64_t> pending_rtt_probes_;       // tokens with an outstanding probe
+  std::map<uint64_t, double> completed_rtts_;   // token -> seconds (-1 = failed)
+  std::set<uint64_t> acked_commands_;           // MEASURE/FIRE tokens CMDACKed
   struct PendingCrowd {
     std::map<uint64_t, size_t> token_to_client;
+    // token -> samples this command may still contribute (connections).
+    std::map<uint64_t, uint32_t> budget;
+    // (token, sample_id) pairs already counted.
+    std::set<std::pair<uint64_t, uint64_t>> seen;
     std::vector<RequestSample> samples;
   };
   std::optional<PendingCrowd> crowd_;
+  // Bumped at crowd start AND end so pending FIRE-retry timers from any
+  // earlier crowd turn into no-ops.
+  uint64_t crowd_generation_ = 0;
+  // Guards reactor tasks that capture |this| (FIRE sends/retries) against
+  // the harness being destroyed first.
+  std::shared_ptr<bool> alive_;
 };
 
 }  // namespace mfc

@@ -10,6 +10,8 @@
 
 #include <cassert>
 
+#include "src/rt/fault_injector.h"
+
 namespace mfc {
 namespace {
 
@@ -64,7 +66,11 @@ TcpConnection::TcpConnection(Reactor& reactor, ScopedFd fd)
 TcpConnection::~TcpConnection() { Close(); }
 
 std::unique_ptr<TcpConnection> TcpConnection::Connect(Reactor& reactor, const sockaddr_in& addr,
-                                                      std::function<void(bool)> on_connected) {
+                                                      std::function<void(bool)> on_connected,
+                                                      FaultInjector* fault) {
+  if (fault != nullptr && fault->FailConnect()) {
+    return nullptr;  // injected local connect failure
+  }
   ScopedFd fd(socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.Valid()) {
     return nullptr;
@@ -240,6 +246,9 @@ UdpSocket::UdpSocket(Reactor& reactor, uint16_t port) : reactor_(reactor) {
 }
 
 UdpSocket::~UdpSocket() {
+  for (Reactor::TimerId id : pending_sends_) {
+    reactor_.CancelTimer(id);
+  }
   if (fd_.Valid()) {
     reactor_.UnwatchFd(fd_.Get());
   }
@@ -250,9 +259,34 @@ void UdpSocket::SetReceiver(DatagramCallback on_datagram) {
   reactor_.WatchFd(fd_.Get(), EPOLLIN, [this](uint32_t) { OnReadable(); });
 }
 
-void UdpSocket::SendTo(std::string_view payload, const sockaddr_in& to) {
+void UdpSocket::RawSend(std::string_view payload, const sockaddr_in& to) {
   sendto(fd_.Get(), payload.data(), payload.size(), 0,
          reinterpret_cast<const sockaddr*>(&to), sizeof(to));
+}
+
+void UdpSocket::SendTo(std::string_view payload, const sockaddr_in& to) {
+  if (fault_ == nullptr) {
+    RawSend(payload, to);
+    return;
+  }
+  FaultInjector::DatagramPlan plan = fault_->PlanDatagram(reactor_.Now());
+  if (plan.drop) {
+    return;
+  }
+  if (plan.delay <= 0.0) {
+    for (uint32_t c = 0; c < plan.copies; ++c) {
+      RawSend(payload, to);
+    }
+    return;
+  }
+  for (uint32_t c = 0; c < plan.copies; ++c) {
+    auto id = std::make_shared<Reactor::TimerId>(0);
+    *id = reactor_.ScheduleAfter(plan.delay, [this, id, copy = std::string(payload), to] {
+      pending_sends_.erase(*id);
+      RawSend(copy, to);
+    });
+    pending_sends_.insert(*id);
+  }
 }
 
 void UdpSocket::OnReadable() {

@@ -9,11 +9,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "src/rt/reactor.h"
 
 namespace mfc {
+
+class FaultInjector;
 
 // Closes the fd on destruction.
 class ScopedFd {
@@ -50,8 +53,11 @@ class TcpConnection {
   TcpConnection& operator=(const TcpConnection&) = delete;
 
   // Initiates a nonblocking connect; |on_connected| fires when writable.
+  // A non-null |fault| may veto the attempt (returns nullptr, as for any
+  // immediate local failure).
   static std::unique_ptr<TcpConnection> Connect(Reactor& reactor, const sockaddr_in& addr,
-                                                std::function<void(bool ok)> on_connected);
+                                                std::function<void(bool ok)> on_connected,
+                                                FaultInjector* fault = nullptr);
 
   void SetCallbacks(DataCallback on_data, ClosedCallback on_closed);
 
@@ -113,13 +119,22 @@ class UdpSocket {
   void SendTo(std::string_view payload, const sockaddr_in& to);
   uint16_t Port() const { return port_; }
 
+  // When set, every outgoing datagram passes through |fault| (drop / delay /
+  // duplicate). The injector must outlive the socket.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
  private:
   void OnReadable();
+  void RawSend(std::string_view payload, const sockaddr_in& to);
 
   Reactor& reactor_;
   ScopedFd fd_;
   uint16_t port_ = 0;
   DatagramCallback on_datagram_;
+  FaultInjector* fault_ = nullptr;
+  // Timers for fault-delayed sends, cancelled on destruction so no scheduled
+  // lambda outlives the socket.
+  std::set<Reactor::TimerId> pending_sends_;
 };
 
 }  // namespace mfc

@@ -54,12 +54,25 @@ std::string EncodeMessage(const ControlMessage& message) {
     }
     std::string operator()(const MsgFire& m) const {
       return "FIRE " + std::to_string(m.token) + " " + std::to_string(m.connections) + " " +
-             m.method + " " + std::to_string(m.tcp_port) + " " + m.target;
+             m.method + " " + std::to_string(m.tcp_port) + " " + m.target + " " +
+             std::to_string(m.fire_at_micros);
     }
     std::string operator()(const MsgSample& m) const {
       return "SAMPLE " + std::to_string(m.token) + " " + std::to_string(m.http_code) + " " +
              std::to_string(m.bytes) + " " + std::to_string(m.rt_microseconds) + " " +
-             (m.timed_out ? "1" : "0");
+             (m.timed_out ? "1" : "0") + " " + std::to_string(m.sample_id);
+    }
+    std::string operator()(const MsgRegisterAck& m) const {
+      return "REGACK " + std::to_string(m.client_id);
+    }
+    std::string operator()(const MsgRttFail& m) const {
+      return "RTTFAIL " + std::to_string(m.token);
+    }
+    std::string operator()(const MsgCmdAck& m) const {
+      return "CMDACK " + std::to_string(m.token);
+    }
+    std::string operator()(const MsgSampleAck& m) const {
+      return "SAMPLEACK " + std::to_string(m.sample_id);
     }
   };
   return std::visit(Encoder{}, message);
@@ -104,22 +117,44 @@ std::optional<ControlMessage> DecodeMessage(std::string_view line) {
         ParseNumber(words[3], m.tcp_port) && !m.target.empty() && m.target[0] == '/') {
       return m;
     }
-  } else if (verb == "FIRE" && words.size() == 6) {
+  } else if (verb == "FIRE" && (words.size() == 6 || words.size() == 7)) {
+    // The trailing fire-at timestamp is optional so pre-timestamp senders
+    // still parse; absent means "fire on receipt".
     MsgFire m;
     m.method = std::string(words[3]);
     m.target = std::string(words[5]);
     if (ParseNumber(words[1], m.token) && ParseNumber(words[2], m.connections) &&
         ValidMethod(m.method) && ParseNumber(words[4], m.tcp_port) && !m.target.empty() &&
-        m.target[0] == '/') {
+        m.target[0] == '/' && (words.size() == 6 || ParseNumber(words[6], m.fire_at_micros))) {
       return m;
     }
-  } else if (verb == "SAMPLE" && words.size() == 6) {
+  } else if (verb == "SAMPLE" && words.size() == 7) {
     MsgSample m;
     int timed_out = 0;
     if (ParseNumber(words[1], m.token) && ParseNumber(words[2], m.http_code) &&
         ParseNumber(words[3], m.bytes) && ParseNumber(words[4], m.rt_microseconds) &&
-        ParseNumber(words[5], timed_out)) {
+        ParseNumber(words[5], timed_out) && ParseNumber(words[6], m.sample_id)) {
       m.timed_out = timed_out != 0;
+      return m;
+    }
+  } else if (verb == "REGACK" && words.size() == 2) {
+    MsgRegisterAck m;
+    if (ParseNumber(words[1], m.client_id)) {
+      return m;
+    }
+  } else if (verb == "RTTFAIL" && words.size() == 2) {
+    MsgRttFail m;
+    if (ParseNumber(words[1], m.token)) {
+      return m;
+    }
+  } else if (verb == "CMDACK" && words.size() == 2) {
+    MsgCmdAck m;
+    if (ParseNumber(words[1], m.token)) {
+      return m;
+    }
+  } else if (verb == "SAMPLEACK" && words.size() == 2) {
+    MsgSampleAck m;
+    if (ParseNumber(words[1], m.sample_id)) {
       return m;
     }
   }

@@ -1,15 +1,22 @@
 // Control-plane wire protocol between the live coordinator and client
 // agents. UDP datagrams carrying one space-separated text line each — the
-// paper likewise used UDP for all control messages, with no retransmission.
+// paper used UDP for all control messages with no retransmission; we add
+// explicit acks so the retry layer can re-issue lost commands, registrations
+// and samples without ever double-executing them (receivers deduplicate by
+// token / sample id).
 //
 //   client -> coordinator   REGISTER <client_id>
+//   coordinator -> client   REGACK <client_id>
 //   coordinator -> client   PING <seq>
 //   client -> coordinator   PONG <seq>
 //   coordinator -> client   RTTPROBE <token> <tcp_port>
 //   client -> coordinator   RTT <token> <microseconds>
+//   client -> coordinator   RTTFAIL <token>            (probe connect failed)
 //   coordinator -> client   MEASURE <token> <method> <tcp_port> <target>
 //   coordinator -> client   FIRE <token> <connections> <method> <tcp_port> <target>
-//   client -> coordinator   SAMPLE <token> <http_code> <bytes> <rt_us> <timed_out>
+//   client -> coordinator   CMDACK <token>             (MEASURE/FIRE received)
+//   client -> coordinator   SAMPLE <token> <http_code> <bytes> <rt_us> <timed_out> <sample_id>
+//   coordinator -> client   SAMPLEACK <sample_id>
 #ifndef MFC_SRC_RT_WIRE_H_
 #define MFC_SRC_RT_WIRE_H_
 
@@ -22,6 +29,9 @@
 namespace mfc {
 
 struct MsgRegister {
+  uint64_t client_id = 0;
+};
+struct MsgRegisterAck {
   uint64_t client_id = 0;
 };
 struct MsgPing {
@@ -38,6 +48,11 @@ struct MsgRtt {
   uint64_t token = 0;
   uint64_t microseconds = 0;
 };
+// Explicit probe-failure reply: without it the coordinator would block until
+// its deadline and silently substitute a fallback RTT.
+struct MsgRttFail {
+  uint64_t token = 0;
+};
 struct MsgMeasure {
   uint64_t token = 0;
   std::string method;  // "GET" | "HEAD"
@@ -50,6 +65,16 @@ struct MsgFire {
   std::string method;
   uint16_t tcp_port = 0;
   std::string target;
+  // Absolute reactor-clock instant (microseconds) at which the client must
+  // launch its requests; 0 means fire on receipt. Commands are sent a
+  // schedule_lead ahead of the burst, so a copy re-issued after control-plane
+  // loss still joins the crowd at the same instant as everyone else.
+  uint64_t fire_at_micros = 0;
+};
+// Receipt ack for MEASURE/FIRE, sent even for duplicate commands so the
+// coordinator stops re-issuing once any copy got through.
+struct MsgCmdAck {
+  uint64_t token = 0;
 };
 struct MsgSample {
   uint64_t token = 0;
@@ -57,10 +82,17 @@ struct MsgSample {
   uint64_t bytes = 0;
   uint64_t rt_microseconds = 0;
   bool timed_out = false;
+  // Unique per client; (token, sample_id) identifies one sample so
+  // retransmitted or duplicated reports are counted once.
+  uint64_t sample_id = 0;
+};
+struct MsgSampleAck {
+  uint64_t sample_id = 0;
 };
 
 using ControlMessage = std::variant<MsgRegister, MsgPing, MsgPong, MsgRttProbe, MsgRtt,
-                                    MsgMeasure, MsgFire, MsgSample>;
+                                    MsgMeasure, MsgFire, MsgSample, MsgRegisterAck,
+                                    MsgRttFail, MsgCmdAck, MsgSampleAck>;
 
 std::string EncodeMessage(const ControlMessage& message);
 

@@ -6,6 +6,8 @@
 #include <set>
 #include <vector>
 
+#include "src/telemetry/metrics.h"
+
 namespace mfc {
 namespace {
 
@@ -18,6 +20,10 @@ class MockHarness : public ClientHarness {
   SimDuration base_response = 0.050;
   // delay(crowd_size, sample_index) -> added seconds.
   std::function<SimDuration(size_t, size_t)> delay = [](size_t, size_t) { return 0.0; };
+  // deliver(client_id, epoch_index) -> false swallows that client's samples,
+  // modelling a lossy control plane or a dead client. epoch_index counts
+  // ExecuteCrowd calls.
+  std::function<bool(size_t, size_t)> deliver = [](size_t, size_t) { return true; };
 
   std::vector<size_t> crowd_history;            // epoch crowd sizes, in order
   std::vector<std::vector<CrowdRequestPlan>> plan_history;
@@ -51,10 +57,14 @@ class MockHarness : public ClientHarness {
       crowd += plan.connections;
     }
     crowd_history.push_back(crowd);
+    size_t epoch_index = crowd_history.size() - 1;
     std::vector<RequestSample> samples;
     size_t index = 0;
     for (const auto& plan : plans) {
       for (size_t c = 0; c < plan.connections; ++c, ++index) {
+        if (!deliver(plan.client_id, epoch_index)) {
+          continue;
+        }
         RequestSample sample;
         sample.client_id = plan.client_id;
         sample.code = HttpStatus::kOk;
@@ -293,6 +303,126 @@ TEST(CoordinatorTest, TotalRequestsAccounted) {
   ExperimentResult result = coordinator.Run(AllObjects(), {StageKind::kBase});
   // NoStop run: 5+10+...+50 = 275 requests.
   EXPECT_EQ(result.TotalRequests(), 275u);
+}
+
+TEST(CoordinatorTest, EndReasonReportsConstraintFound) {
+  MockHarness harness;
+  harness.delay = [](size_t crowd, size_t) { return crowd >= 23 ? 0.200 : 0.0; };
+  Coordinator coordinator(harness, SmallConfig());
+  ExperimentResult result = coordinator.Run(AllObjects(), {StageKind::kBase});
+  const StageResult& stage = result.stages[0];
+  EXPECT_TRUE(stage.stopped);
+  EXPECT_EQ(stage.end_reason, StageEndReason::kConstraintFound);
+  EXPECT_NE(stage.end_detail.find("check phase confirmed"), std::string::npos);
+}
+
+TEST(CoordinatorTest, EvictsSilentClientAndBackfillsFromSpares) {
+  MockHarness harness;
+  // Client 0 is half-dead: it accepts commands but its samples never arrive.
+  harness.deliver = [](size_t client, size_t) { return client != 0; };
+  ExperimentConfig config = SmallConfig();
+  config.evict_after_misses = 2;
+  MetricsRegistry metrics;
+  Telemetry telemetry;
+  telemetry.metrics = &metrics;
+  Coordinator coordinator(harness, config);
+  coordinator.SetTelemetry(&telemetry);
+  ExperimentResult result = coordinator.Run(AllObjects(), {StageKind::kBase});
+
+  EXPECT_EQ(metrics.Counter("coord.clients_evicted"), 1.0);
+  // Spares backfill: every epoch still fields a full crowd (60 registered,
+  // at most 50 needed), so the schedule never shrinks below plan.
+  for (const EpochResult& epoch : result.stages[0].epochs) {
+    EXPECT_EQ(epoch.samples_expected, epoch.crowd_size);
+  }
+  // Once evicted, client 0 never joins another crowd.
+  bool seen_after_eviction = false;
+  size_t participations = 0;
+  for (const auto& plans : harness.plan_history) {
+    bool in_crowd = false;
+    for (const auto& plan : plans) {
+      in_crowd |= plan.client_id == 0;
+    }
+    if (in_crowd) {
+      ++participations;
+      if (participations > config.evict_after_misses) {
+        seen_after_eviction = true;
+      }
+    }
+  }
+  EXPECT_GE(participations, config.evict_after_misses);
+  EXPECT_FALSE(seen_after_eviction);
+}
+
+TEST(CoordinatorTest, BelowQuorumEpochIsRerunOnceAndRecovers) {
+  MockHarness harness;
+  // One bad epoch: the third ExecuteCrowd call (index 2) loses half its
+  // samples; the re-run (index 3) is clean.
+  harness.deliver = [](size_t client, size_t epoch_index) {
+    return epoch_index != 2 || client % 2 != 0;
+  };
+  ExperimentConfig config = SmallConfig();
+  config.epoch_quorum = 0.9;
+  MetricsRegistry metrics;
+  Telemetry telemetry;
+  telemetry.metrics = &metrics;
+  Coordinator coordinator(harness, config);
+  coordinator.SetTelemetry(&telemetry);
+  ExperimentResult result = coordinator.Run(AllObjects(), {StageKind::kBase});
+
+  const StageResult& stage = result.stages[0];
+  EXPECT_FALSE(stage.stopped);
+  EXPECT_EQ(stage.end_reason, StageEndReason::kNoStop);
+  EXPECT_EQ(metrics.Counter("coord.epoch_requeues"), 1.0);
+  EXPECT_EQ(metrics.Counter("coord.quorum_failures"), 0.0);
+  // 10 planned crowds + 1 re-run; crowd 15 appears twice back to back.
+  ASSERT_EQ(stage.epochs.size(), 11u);
+  EXPECT_EQ(harness.crowd_history,
+            (std::vector<size_t>{5, 10, 15, 15, 20, 25, 30, 35, 40, 45, 50}));
+  size_t requeued = 0;
+  for (const EpochResult& epoch : stage.epochs) {
+    requeued += epoch.requeued ? 1 : 0;
+  }
+  EXPECT_EQ(requeued, 1u);
+}
+
+TEST(CoordinatorTest, PersistentQuorumShortfallEndsStageExplicitly) {
+  MockHarness harness;
+  // From the third call on, half the fleet's samples are lost for good: the
+  // re-run cannot recover and the stage must end with an explicit verdict.
+  harness.deliver = [](size_t client, size_t epoch_index) {
+    return epoch_index < 2 || client % 2 != 0;
+  };
+  ExperimentConfig config = SmallConfig();
+  config.epoch_quorum = 0.9;
+  MetricsRegistry metrics;
+  Telemetry telemetry;
+  telemetry.metrics = &metrics;
+  Coordinator coordinator(harness, config);
+  coordinator.SetTelemetry(&telemetry);
+  ExperimentResult result = coordinator.Run(AllObjects(), {StageKind::kBase});
+
+  const StageResult& stage = result.stages[0];
+  EXPECT_FALSE(stage.stopped);
+  EXPECT_EQ(stage.end_reason, StageEndReason::kQuorumFailed);
+  EXPECT_NE(stage.end_detail.find("samples after re-run"), std::string::npos);
+  EXPECT_EQ(metrics.Counter("coord.epoch_requeues"), 1.0);
+  EXPECT_EQ(metrics.Counter("coord.quorum_failures"), 1.0);
+  // Crowds 5, 10 clean; 15 short, re-run short, stop.
+  EXPECT_EQ(harness.crowd_history, (std::vector<size_t>{5, 10, 15, 15}));
+  EXPECT_TRUE(stage.epochs.back().requeued);
+}
+
+TEST(CoordinatorTest, QuorumKnobOffKeepsScheduleIdentical) {
+  // Same lossy fleet, knob off: the schedule must match the seed behavior
+  // (no re-runs, no early termination).
+  MockHarness harness;
+  harness.deliver = [](size_t client, size_t) { return client % 2 != 0; };
+  Coordinator coordinator(harness, SmallConfig());
+  ExperimentResult result = coordinator.Run(AllObjects(), {StageKind::kBase});
+  EXPECT_EQ(result.stages[0].end_reason, StageEndReason::kNoStop);
+  EXPECT_EQ(harness.crowd_history,
+            (std::vector<size_t>{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}));
 }
 
 TEST(CoordinatorTest, EpochGapSeparatesEpochs) {
