@@ -9,6 +9,11 @@
 //   --trace=<path>    collect per-site spans, write merged Chrome trace JSON
 //   --metrics=<path>  collect per-site metrics, write the merged CSV; also
 //                     adds span_totals to the --json record (see README.md)
+//   --journal=<path>  write-ahead journal: every completed site experiment
+//                     is appended + fsynced, SIGINT/SIGTERM drain in-flight
+//                     sites and exit 130 with a resume hint
+//   --resume          replay already-journaled sites from --journal and run
+//                     only the remainder (bit-identical output, any --jobs)
 #ifndef MFC_BENCH_SURVEY_COMMON_H_
 #define MFC_BENCH_SURVEY_COMMON_H_
 
@@ -16,10 +21,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/export.h"
+#include "src/core/journal/journal.h"
+#include "src/core/journal/shutdown.h"
 #include "src/core/parallel_runner.h"
 #include "src/core/survey.h"
 
@@ -31,6 +39,8 @@ struct SurveyArgs {
   std::string json_path;
   std::string trace_path;       // empty = tracing off (the default path)
   std::string metrics_path;     // empty = metrics off
+  std::string journal_path;     // empty = no journal (default crash behavior)
+  bool resume = false;
   bool ok = true;
 };
 
@@ -50,15 +60,25 @@ inline SurveyArgs ParseSurveyArgs(int argc, char** argv) {
       args.trace_path = arg.substr(strlen("--trace="));
     } else if (arg.rfind("--metrics=", 0) == 0) {
       args.metrics_path = arg.substr(strlen("--metrics="));
+    } else if (arg.rfind("--journal=", 0) == 0) {
+      args.journal_path = arg.substr(strlen("--journal="));
+    } else if (arg == "--journal" && i + 1 < argc) {
+      args.journal_path = argv[++i];
+    } else if (arg == "--resume") {
+      args.resume = true;
     } else if (!arg.empty() && arg[0] != '-') {
       args.servers_override = static_cast<size_t>(atoi(arg.c_str()));
     } else {
       fprintf(stderr,
               "unknown flag '%s' (supported: <servers> --jobs=N --json=<path> "
-              "--trace=<path> --metrics=<path>)\n",
+              "--trace=<path> --metrics=<path> --journal=<path> --resume)\n",
               arg.c_str());
       args.ok = false;
     }
+  }
+  if (args.resume && args.journal_path.empty()) {
+    fprintf(stderr, "--resume requires --journal=<path>\n");
+    args.ok = false;
   }
   return args;
 }
@@ -83,14 +103,13 @@ inline void PrintBreakdown(const SurveyBreakdown& b) {
          pct(b.servers - b.nostop).c_str());
 }
 
+// Atomic write (temp file + rename): an aborted bench never leaves a
+// truncated trace/metrics/json file behind.
 inline bool WriteBenchFile(const std::string& path, const std::string& contents) {
-  FILE* f = fopen(path.c_str(), "w");
-  if (f == nullptr) {
+  if (!WriteFileAtomic(path, contents)) {
     fprintf(stderr, "cannot write %s\n", path.c_str());
     return false;
   }
-  fwrite(contents.data(), 1, contents.size(), f);
-  fclose(f);
   printf("wrote %s\n", path.c_str());
   return true;
 }
@@ -101,6 +120,11 @@ inline bool WriteBenchFile(const std::string& path, const std::string& contents)
 // also owns a SurveyTelemetry that the cohort runs fold their per-site spans
 // and metrics into; without those flags no telemetry is attached and output
 // stays byte-identical to the untraced bench.
+//
+// With --journal the recorder opens (or resumes) a SurveyJournal, installs
+// the graceful-shutdown signal handlers, and threads the journal through
+// every cohort run; Finish() then reports resumed/executed site counts in
+// the --json record and returns 130 when the run was interrupted.
 class SurveyRecorder {
  public:
   SurveyRecorder(std::string bench_name, const SurveyArgs& args)
@@ -113,16 +137,56 @@ class SurveyRecorder {
     telemetry_.collect_trace = !trace_path_.empty();
     telemetry_.collect_metrics = !metrics_path_.empty();
     telemetry_.progress = telemetry_.Enabled();
+    if (!args.journal_path.empty()) {
+      // The fingerprint pins everything that shapes the work partition —
+      // but never --jobs or output paths, which a resume may change freely.
+      char fingerprint[96];
+      snprintf(fingerprint, sizeof(fingerprint), "trace=%d;metrics=%d;servers_override=%zu",
+               telemetry_.collect_trace ? 1 : 0, telemetry_.collect_metrics ? 1 : 0,
+               args.servers_override);
+      std::string error;
+      journal_ = SurveyJournal::Open(args.journal_path, bench_name_, fingerprint, args.resume,
+                                     &error);
+      if (journal_ == nullptr) {
+        fprintf(stderr, "journal error: %s\n", error.c_str());
+        exit(2);
+      }
+      if (!journal_->Warning().empty()) {
+        fprintf(stderr, "journal warning: %s\n", journal_->Warning().c_str());
+      }
+      ClearShutdownRequest();
+      InstallShutdownHandlers();
+    }
   }
 
   size_t Jobs() const { return jobs_; }
 
   // Runs one cohort with the recorder's jobs count, prints it, and records it.
+  // Once a shutdown signal arrived, remaining cohorts are skipped entirely
+  // (they stay absent from the journal and the --json breakdowns).
   SurveyBreakdown RunAndPrint(Cohort cohort, StageKind stage, size_t servers,
                               size_t max_crowd, uint64_t seed) {
+    if (journal_ != nullptr && ShutdownRequested()) {
+      interrupted_ = true;
+      SurveyBreakdown skipped;
+      skipped.cohort = cohort;
+      return skipped;
+    }
+    if (journal_ != nullptr) {
+      std::string error;
+      if (!journal_->BeginCohort(cohort, stage, servers, max_crowd, seed, telemetry_.next_pid,
+                                 &error)) {
+        fprintf(stderr, "journal error: %s\n", error.c_str());
+        exit(2);
+      }
+    }
     SurveyBreakdown b = RunSurveyCohortParallel(cohort, stage, servers, max_crowd, seed, jobs_,
                                                 nullptr,
-                                                telemetry_.Enabled() ? &telemetry_ : nullptr);
+                                                telemetry_.Enabled() ? &telemetry_ : nullptr,
+                                                journal_.get());
+    if (journal_ != nullptr && journal_->interrupted.load(std::memory_order_relaxed)) {
+      interrupted_ = true;
+    }
     PrintBreakdown(b);
     breakdowns_.push_back(b);
     return b;
@@ -130,8 +194,18 @@ class SurveyRecorder {
 
   // Writes the JSON record / trace / metrics files that were requested.
   // Returns 0 (main's exit code) on success, 1 if any file could not be
-  // written.
-  int Finish() const {
+  // written, 130 when the run was interrupted by a shutdown signal (the
+  // journal holds every completed site; rerun with --resume to finish).
+  int Finish() {
+    if (journal_ != nullptr) {
+      journal_->Sync();
+      if (interrupted_) {
+        fprintf(stderr,
+                "interrupted: %zu site(s) journaled; resume with --journal=%s --resume\n",
+                journal_->resumed_sites.load() + journal_->executed_sites.load(),
+                journal_->Path().c_str());
+      }
+    }
     int rc = 0;
     if (!trace_path_.empty() && !WriteBenchFile(trace_path_, ExportTraceJson(telemetry_.trace))) {
       rc = 1;
@@ -140,33 +214,58 @@ class SurveyRecorder {
         !WriteBenchFile(metrics_path_, ExportMetricsCsv(telemetry_.metrics))) {
       rc = 1;
     }
-    if (json_path_.empty()) {
-      return rc;
+    if (!json_path_.empty() && !WriteBenchFile(json_path_, BuildJson())) {
+      rc = 1;
     }
+    if (rc == 0 && interrupted_) {
+      rc = 130;
+    }
+    return rc;
+  }
+
+ private:
+  std::string BuildJson() const {
     double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
                       .count();
-    FILE* f = fopen(json_path_.c_str(), "w");
-    if (f == nullptr) {
-      fprintf(stderr, "cannot write %s\n", json_path_.c_str());
-      return 1;
+    std::string json;
+    char line[512];
+    snprintf(line, sizeof(line), "{\n  \"bench\": \"%s\",\n  \"jobs\": %zu,\n",
+             bench_name_.c_str(), jobs_);
+    json += line;
+    if (journal_ != nullptr) {
+      // Resume-audit fields: only present when journaling so a no-journal
+      // run's --json stays byte-identical to pre-journal builds.
+      snprintf(line, sizeof(line),
+               "  \"resumed_sites\": %zu,\n  \"executed_sites\": %zu,\n"
+               "  \"interrupted\": %s,\n",
+               journal_->resumed_sites.load(), journal_->executed_sites.load(),
+               interrupted_ ? "true" : "false");
+      json += line;
+      if (interrupted_) {
+        snprintf(line, sizeof(line), "  \"resume_hint\": \"--journal=%s --resume\",\n",
+                 journal_->Path().c_str());
+        json += line;
+      }
     }
-    fprintf(f, "{\n  \"bench\": \"%s\",\n  \"jobs\": %zu,\n  \"wall_seconds\": %.6f,\n",
-            bench_name_.c_str(), jobs_, wall);
-    fprintf(f, "  \"breakdowns\": [\n");
+    snprintf(line, sizeof(line), "  \"wall_seconds\": %.6f,\n", wall);
+    json += line;
+    json += "  \"breakdowns\": [\n";
     for (size_t i = 0; i < breakdowns_.size(); ++i) {
       const SurveyBreakdown& b = breakdowns_[i];
-      fprintf(f,
-              "    {\"cohort\": \"%s\", \"servers\": %zu, \"le10\": %zu, \"b20\": %zu, "
-              "\"b30\": %zu, \"b40\": %zu, \"b50\": %zu, \"gt50\": %zu, \"nostop\": %zu}%s\n",
-              std::string(CohortName(b.cohort)).c_str(), b.servers, b.b10, b.b20, b.b30,
-              b.b40, b.b50, b.b50plus, b.nostop, i + 1 < breakdowns_.size() ? "," : "");
+      snprintf(line, sizeof(line),
+               "    {\"cohort\": \"%s\", \"servers\": %zu, \"le10\": %zu, \"b20\": %zu, "
+               "\"b30\": %zu, \"b40\": %zu, \"b50\": %zu, \"gt50\": %zu, \"nostop\": %zu}%s\n",
+               std::string(CohortName(b.cohort)).c_str(), b.servers, b.b10, b.b20, b.b30,
+               b.b40, b.b50, b.b50plus, b.nostop, i + 1 < breakdowns_.size() ? "," : "");
+      json += line;
     }
-    fprintf(f, "  ]%s\n", telemetry_.collect_metrics ? "," : "");
+    json += "  ]";
+    json += telemetry_.collect_metrics ? ",\n" : "\n";
     // Per-stage span-time breakdown (seconds of simulated time each request
     // spent per lifecycle phase), summed over every surveyed site. Only
     // present when --metrics was given so default --json output is unchanged.
     if (telemetry_.collect_metrics) {
-      fprintf(f, "  \"span_totals\": {\n");
+      json += "  \"span_totals\": {\n";
       static const char* kStages[] = {"Base", "SmallQuery", "LargeObject"};
       bool first = true;
       for (const char* stage : kStages) {
@@ -175,26 +274,24 @@ class SurveyRecorder {
         if (count == 0.0) {
           continue;
         }
-        fprintf(f,
-                "%s    \"%s\": {\"count\": %.0f, \"queue_s\": %.9g, \"cpu_s\": %.9g, "
-                "\"db_s\": %.9g, \"disk_s\": %.9g, \"net_s\": %.9g}",
-                first ? "" : ",\n", stage, count,
-                telemetry_.metrics.Counter(prefix + "queue_s"),
-                telemetry_.metrics.Counter(prefix + "cpu_s"),
-                telemetry_.metrics.Counter(prefix + "db_s"),
-                telemetry_.metrics.Counter(prefix + "disk_s"),
-                telemetry_.metrics.Counter(prefix + "net_s"));
+        snprintf(line, sizeof(line),
+                 "%s    \"%s\": {\"count\": %.0f, \"queue_s\": %.9g, \"cpu_s\": %.9g, "
+                 "\"db_s\": %.9g, \"disk_s\": %.9g, \"net_s\": %.9g}",
+                 first ? "" : ",\n", stage, count,
+                 telemetry_.metrics.Counter(prefix + "queue_s"),
+                 telemetry_.metrics.Counter(prefix + "cpu_s"),
+                 telemetry_.metrics.Counter(prefix + "db_s"),
+                 telemetry_.metrics.Counter(prefix + "disk_s"),
+                 telemetry_.metrics.Counter(prefix + "net_s"));
+        json += line;
         first = false;
       }
-      fprintf(f, "\n  }\n");
+      json += "\n  }\n";
     }
-    fprintf(f, "}\n");
-    fclose(f);
-    printf("wrote %s\n", json_path_.c_str());
-    return rc;
+    json += "}\n";
+    return json;
   }
 
- private:
   std::string bench_name_;
   std::string json_path_;
   std::string trace_path_;
@@ -203,6 +300,8 @@ class SurveyRecorder {
   std::chrono::steady_clock::time_point start_;
   std::vector<SurveyBreakdown> breakdowns_;
   SurveyTelemetry telemetry_;
+  std::unique_ptr<SurveyJournal> journal_;
+  bool interrupted_ = false;
 };
 
 }  // namespace mfc

@@ -1,5 +1,7 @@
 #include "src/core/export.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
@@ -170,6 +172,25 @@ std::string ExportMetricsCsv(const MetricsRegistry& metrics) {
     }
   }
   return csv;
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& contents) {
+  std::string tmp = path + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  bool ok = fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  ok = fflush(f) == 0 && ok;
+  ok = fsync(fileno(f)) == 0 && ok;
+  ok = fclose(f) == 0 && ok;
+  if (ok) {
+    ok = rename(tmp.c_str(), path.c_str()) == 0;
+  }
+  if (!ok) {
+    remove(tmp.c_str());
+  }
+  return ok;
 }
 
 }  // namespace mfc

@@ -36,6 +36,12 @@ std::string ExportTraceJson(const Tracer& tracer);
 // byte-identical CSVs.
 std::string ExportMetricsCsv(const MetricsRegistry& metrics);
 
+// Crash-safe file write: writes to |path|.tmp, flushes + fsyncs, then
+// renames over |path|. Readers never observe a truncated file — an aborted
+// run leaves either the old contents or nothing, not a half-written export.
+// Returns false (and removes the temp file) on any failure.
+bool WriteFileAtomic(const std::string& path, const std::string& contents);
+
 }  // namespace mfc
 
 #endif  // MFC_SRC_CORE_EXPORT_H_

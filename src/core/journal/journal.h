@@ -1,0 +1,168 @@
+// Write-ahead experiment journal: crash-safe surveys with deterministic
+// resume (DESIGN.md §9).
+//
+// A journal is a JSONL file. Every line is one self-delimiting record
+//
+//   {"crc":"<16 hex>","body":{...}}\n
+//
+// where |crc| is the FNV-1a 64 checksum of the exact body bytes. Record
+// bodies come in three types:
+//
+//   header — first line; binds the journal to the producing tool and a
+//            caller-supplied config fingerprint (everything that shapes the
+//            work except --jobs and output paths, which must not matter);
+//   cohort — one per RunSurveyCohortParallel call, in call order: cohort,
+//            stage, server count, crowd ceiling, seed, and the pid base the
+//            merged trace assigns this cohort's sites;
+//   site   — one per completed site experiment: cohort ordinal, site index,
+//            seed, stage, merged-trace pid, the full ExperimentResult, and
+//            (when collected) the site's private trace spans and metrics
+//            registry, all encoded with exact bit-pattern doubles.
+//
+// Because each site experiment is a pure function of (instance, config,
+// seed) and the telemetry fold walks sites in index order, replaying the
+// journaled prefix and executing only the remainder reproduces an
+// uninterrupted run byte for byte, for any kill point and any --jobs value.
+//
+// Corruption recovery: loading stops at the first record that fails to
+// parse, fails its checksum, or is internally inconsistent; that record and
+// everything after it are dropped (with a warning) and the file is truncated
+// back to the valid prefix before appending resumes. A header that does not
+// match the current tool + fingerprint is a hard error — a journal is never
+// silently reused for a different run.
+#ifndef MFC_SRC_CORE_JOURNAL_JOURNAL_H_
+#define MFC_SRC_CORE_JOURNAL_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/journal/json.h"
+#include "src/core/population.h"
+#include "src/core/types.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+namespace mfc {
+
+inline constexpr int kJournalVersion = 1;
+
+struct JournalCohortRecord {
+  size_t ordinal = 0;
+  Cohort cohort = Cohort::kRank1To1K;
+  StageKind stage = StageKind::kBase;
+  size_t servers = 0;
+  size_t max_crowd = 0;
+  uint64_t seed = 0;
+  uint64_t pid_base = 0;  // merged-trace pid of this cohort's site 0
+};
+
+struct JournalSiteRecord {
+  size_t cohort_ordinal = 0;
+  size_t site_index = 0;
+  uint64_t seed = 0;
+  StageKind stage = StageKind::kBase;
+  uint64_t pid = 0;  // pid this site's spans take in the merged trace
+  ExperimentResult result;
+  bool has_trace = false;
+  bool has_metrics = false;
+  std::vector<TraceSpan> trace_spans;
+  MetricsRegistry metrics;
+};
+
+// Record-body codecs, exposed for tests and tools. Encoders emit compact
+// single-line JSON; decoders reject structurally invalid input.
+std::string EncodeExperimentResult(const ExperimentResult& result);
+bool DecodeExperimentResult(const JsonValue& value, ExperimentResult* out);
+std::string EncodeTraceSpans(const std::vector<TraceSpan>& spans);
+bool DecodeTraceSpans(const JsonValue& value, std::vector<TraceSpan>* out);
+std::string EncodeMetrics(const MetricsRegistry& metrics);
+bool DecodeMetrics(const JsonValue& value, MetricsRegistry* out);
+std::string EncodeSiteRecord(const JournalSiteRecord& record);
+
+// Frames |body| as one journal line with its checksum.
+std::string FrameJournalRecord(const std::string& body);
+
+// One survey run's journal: loaded state (for replay) + append handle.
+// Thread-safety: AppendSite may be called from ParallelRunner workers; all
+// read accessors only touch state that is immutable after Open.
+class SurveyJournal {
+ public:
+  // Opens |path|, creating it (with a header) when absent or empty. An
+  // existing journal must carry a matching tool + fingerprint header and —
+  // unless |resume| — no records beyond the header. A corrupt tail is
+  // dropped with a note in Warning() and the file truncated to the valid
+  // prefix. Returns null and fills |error| on any hard failure.
+  static std::unique_ptr<SurveyJournal> Open(const std::string& path, const std::string& tool,
+                                             const std::string& fingerprint, bool resume,
+                                             std::string* error);
+  ~SurveyJournal();
+
+  SurveyJournal(const SurveyJournal&) = delete;
+  SurveyJournal& operator=(const SurveyJournal&) = delete;
+
+  const std::string& Path() const { return path_; }
+  // Non-empty when a corrupt suffix was dropped at open.
+  const std::string& Warning() const { return warning_; }
+  size_t RecordsDropped() const { return records_dropped_; }
+  // True when the journal already held site records at open (a resume).
+  bool HasReplayableSites() const { return !sites_.empty(); }
+
+  // Declares the next cohort run (cohorts are strictly sequential). If the
+  // journal already holds a cohort record at this ordinal its parameters
+  // must match exactly; otherwise a new record is appended. Returns false
+  // and fills |error| on a mismatch — the caller must treat that as a
+  // config error, never run against the journal anyway.
+  bool BeginCohort(Cohort cohort, StageKind stage, size_t servers, size_t max_crowd,
+                   uint64_t seed, uint64_t pid_base, std::string* error);
+
+  size_t CurrentOrdinal() const { return current_ordinal_; }
+
+  // Replay record for site |index| of the current cohort, or null if that
+  // site still has to execute.
+  const JournalSiteRecord* Replayed(size_t index) const;
+  // Arbitrary lookup (single-experiment tools, tests).
+  const JournalSiteRecord* SiteAt(size_t ordinal, size_t index) const;
+
+  const std::vector<JournalCohortRecord>& Cohorts() const { return cohorts_; }
+
+  // Appends one completed site experiment and fsyncs — after this returns
+  // the record survives process death. Thread-safe.
+  void AppendSite(const JournalSiteRecord& record);
+
+  // Flushes + fsyncs the underlying file (records are already synced per
+  // append; this is for paranoia at shutdown).
+  void Sync();
+
+  // Run-audit counters (exposed in --json): sites replayed from the journal
+  // vs. executed live this run.
+  std::atomic<size_t> resumed_sites{0};
+  std::atomic<size_t> executed_sites{0};
+  // Set by the survey when a graceful shutdown left sites unexecuted.
+  std::atomic<bool> interrupted{false};
+
+ private:
+  SurveyJournal() = default;
+
+  void AppendFrameLocked(const std::string& body);
+
+  std::string path_;
+  FILE* file_ = nullptr;
+  std::mutex mu_;
+  std::string warning_;
+  size_t records_dropped_ = 0;
+  std::vector<JournalCohortRecord> cohorts_;
+  // Immutable after Open: (ordinal, index) -> replay record.
+  std::map<std::pair<size_t, size_t>, JournalSiteRecord> sites_;
+  size_t current_ordinal_ = 0;
+  size_t begun_cohorts_ = 0;
+};
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_CORE_JOURNAL_JOURNAL_H_

@@ -1,0 +1,36 @@
+#include "src/core/journal/shutdown.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+
+namespace mfc {
+namespace {
+
+std::atomic<int> g_shutdown_requested{0};
+
+extern "C" void HandleShutdownSignal(int /*sig*/) {
+  // Second signal: the user is done waiting for the drain. _exit is
+  // async-signal-safe; 130 is the conventional fatal-SIGINT status.
+  if (g_shutdown_requested.exchange(1, std::memory_order_relaxed) != 0) {
+    _exit(130);
+  }
+}
+
+}  // namespace
+
+void InstallShutdownHandlers() {
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_relaxed) != 0;
+}
+
+void RequestShutdown() { g_shutdown_requested.store(1, std::memory_order_relaxed); }
+
+void ClearShutdownRequest() { g_shutdown_requested.store(0, std::memory_order_relaxed); }
+
+}  // namespace mfc

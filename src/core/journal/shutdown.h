@@ -1,0 +1,31 @@
+// Process-wide graceful-shutdown flag for journaled runs.
+//
+// InstallShutdownHandlers() routes SIGINT/SIGTERM to a flag that long-running
+// survey loops poll between site experiments: in-flight experiments drain to
+// completion (and reach the journal), no new ones start, and the caller emits
+// a partial report with a resume hint. A second signal force-exits with
+// status 130 — the escape hatch when draining itself wedges.
+//
+// Handlers are only installed when a journal is active; without one the
+// default signal disposition (immediate death) is untouched, keeping
+// non-journaled runs bit-identical in behavior as well as output.
+#ifndef MFC_SRC_CORE_JOURNAL_SHUTDOWN_H_
+#define MFC_SRC_CORE_JOURNAL_SHUTDOWN_H_
+
+namespace mfc {
+
+// Idempotent; registers SIGINT and SIGTERM handlers.
+void InstallShutdownHandlers();
+
+// True once a shutdown signal arrived (or RequestShutdown ran).
+bool ShutdownRequested();
+
+// Programmatic trigger, equivalent to receiving one signal (tests, embedders).
+void RequestShutdown();
+
+// Clears the flag so a later run in the same process starts fresh (tests).
+void ClearShutdownRequest();
+
+}  // namespace mfc
+
+#endif  // MFC_SRC_CORE_JOURNAL_SHUTDOWN_H_

@@ -53,4 +53,47 @@ void ParallelRunner::RunIndexed(size_t count, const std::function<void(size_t)>&
   }
 }
 
+size_t ParallelRunner::RunIndexed(size_t count, const std::function<void(size_t)>& fn,
+                                  const std::function<bool()>& cancel) const {
+  if (count == 0) {
+    return 0;
+  }
+  size_t workers = jobs_ < count ? jobs_ : count;
+  if (workers <= 1) {
+    size_t ran = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (cancel && cancel()) {
+        break;
+      }
+      fn(i);
+      ++ran;
+    }
+    return ran;
+  }
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> ran{0};
+  auto worker = [&] {
+    for (;;) {
+      if (cancel && cancel()) {
+        return;
+      }
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      fn(i);
+      ran.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return ran.load(std::memory_order_relaxed);
+}
+
 }  // namespace mfc

@@ -34,6 +34,14 @@ class ParallelRunner {
   // count) workers pull indices from a shared atomic cursor.
   void RunIndexed(size_t count, const std::function<void(size_t)>& fn) const;
 
+  // Cancelable variant: |cancel| is polled before claiming each index; once
+  // it returns true no new indices start, but tasks already claimed run to
+  // completion (a graceful drain, not an abort). Returns the number of tasks
+  // that ran. Which indices ran is scheduling-dependent under cancellation —
+  // callers must track completion per index, not assume a prefix.
+  size_t RunIndexed(size_t count, const std::function<void(size_t)>& fn,
+                    const std::function<bool()>& cancel) const;
+
   // Convenience: materializes make(i) for every index into an index-ordered
   // vector. T must be default-constructible and movable.
   template <typename T, typename MakeFn>

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "src/core/journal/journal.h"
+#include "src/core/journal/shutdown.h"
 #include "src/core/parallel_runner.h"
 
 namespace mfc {
@@ -34,7 +36,7 @@ void AccumulateBreakdown(SurveyBreakdown& breakdown, const ExperimentResult& res
 SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t servers,
                                         size_t max_crowd, uint64_t seed, size_t jobs,
                                         std::vector<ExperimentResult>* per_site,
-                                        SurveyTelemetry* telemetry) {
+                                        SurveyTelemetry* telemetry, SurveyJournal* journal) {
   ExperimentConfig config;
   config.threshold = Millis(100);
   config.crowd_step = 5;
@@ -65,38 +67,98 @@ SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t s
     shards.resize(servers);
   }
   std::atomic<size_t> completed{0};
+  std::atomic<size_t> processed{0};
+  const uint64_t pid_base = telemetry != nullptr ? telemetry->next_pid : 0;
+
+  auto run_site = [&](size_t i) {
+    // Replay from the journal when this site already completed in an
+    // earlier (interrupted) run: restore the result and the telemetry shard
+    // exactly as the live path would have produced them.
+    const JournalSiteRecord* replay =
+        journal != nullptr ? journal->Replayed(i) : nullptr;
+    if (replay != nullptr) {
+      if (observe) {
+        shards[i] = std::make_unique<SiteTelemetry>();
+        for (const TraceSpan& span : replay->trace_spans) {
+          shards[i]->tracer.RestoreSpan(span);
+        }
+        shards[i]->metrics = replay->metrics;
+      }
+      journal->resumed_sites.fetch_add(1, std::memory_order_relaxed);
+      processed.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry != nullptr && telemetry->progress) {
+        size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        fprintf(stderr, "[survey] site %zu/%zu (index %zu): replayed from journal\n", done,
+                servers, i);
+      }
+      return replay->result;
+    }
+
+    Telemetry site_telemetry;
+    if (observe) {
+      shards[i] = std::make_unique<SiteTelemetry>();
+      if (telemetry->collect_trace) {
+        site_telemetry.tracer = &shards[i]->tracer;
+      }
+      if (telemetry->collect_metrics) {
+        site_telemetry.metrics = &shards[i]->metrics;
+      }
+    }
+    ExperimentResult result =
+        RunSiteExperiment(instances[i], config, {stage}, seed * 1000 + i,
+                          observe ? &site_telemetry : nullptr);
+    if (journal != nullptr) {
+      JournalSiteRecord record;
+      record.cohort_ordinal = journal->CurrentOrdinal();
+      record.site_index = i;
+      record.seed = seed * 1000 + i;
+      record.stage = stage;
+      record.pid = pid_base + i;
+      record.result = result;
+      if (observe && telemetry->collect_trace) {
+        record.has_trace = true;
+        record.trace_spans = shards[i]->tracer.Spans();
+      }
+      if (observe && telemetry->collect_metrics) {
+        record.has_metrics = true;
+        record.metrics = shards[i]->metrics;
+      }
+      journal->AppendSite(record);
+    }
+    processed.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry != nullptr && telemetry->progress) {
+      size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      const StageResult* sr = result.stages.empty() ? nullptr : &result.stages[0];
+      fprintf(stderr, "[survey] site %zu/%zu (index %zu): %s\n", done, servers, i,
+              result.aborted ? "aborted"
+              : sr == nullptr ? "no stage"
+              : sr->stopped
+                  ? ("stopped at " + std::to_string(sr->stopping_crowd_size)).c_str()
+                  : "NoStop");
+    }
+    return result;
+  };
 
   ParallelRunner runner(jobs);
-  std::vector<ExperimentResult> results = runner.Map<ExperimentResult>(
-      servers, [&](size_t i) {
-        Telemetry site_telemetry;
-        if (observe) {
-          shards[i] = std::make_unique<SiteTelemetry>();
-          if (telemetry->collect_trace) {
-            site_telemetry.tracer = &shards[i]->tracer;
-          }
-          if (telemetry->collect_metrics) {
-            site_telemetry.metrics = &shards[i]->metrics;
-          }
-        }
-        ExperimentResult result =
-            RunSiteExperiment(instances[i], config, {stage}, seed * 1000 + i,
-                              observe ? &site_telemetry : nullptr);
-        if (telemetry != nullptr && telemetry->progress) {
-          size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
-          const StageResult* sr = result.stages.empty() ? nullptr : &result.stages[0];
-          fprintf(stderr, "[survey] site %zu/%zu (index %zu): %s\n", done, servers, i,
-                  result.aborted ? "aborted"
-                  : sr == nullptr ? "no stage"
-                  : sr->stopped
-                      ? ("stopped at " + std::to_string(sr->stopping_crowd_size)).c_str()
-                      : "NoStop");
-        }
-        return result;
-      });
+  std::vector<ExperimentResult> results(servers);
+  if (journal != nullptr) {
+    // Journaled runs are cancelable: a shutdown signal drains in-flight
+    // sites (which still reach the journal) and skips the rest.
+    runner.RunIndexed(
+        servers, [&](size_t i) { results[i] = run_site(i); },
+        [] { return ShutdownRequested(); });
+    if (processed.load(std::memory_order_relaxed) < servers) {
+      journal->interrupted.store(true, std::memory_order_relaxed);
+    }
+  } else {
+    runner.RunIndexed(servers, [&](size_t i) { results[i] = run_site(i); });
+  }
 
   if (observe) {
     for (size_t i = 0; i < shards.size(); ++i) {
+      if (shards[i] == nullptr) {
+        continue;  // skipped under graceful shutdown
+      }
       telemetry->metrics.Merge(shards[i]->metrics);
       telemetry->trace.MergeFrom(shards[i]->tracer, telemetry->next_pid + i);
     }

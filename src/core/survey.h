@@ -20,6 +20,8 @@
 
 namespace mfc {
 
+class SurveyJournal;
+
 // Optional observability for a survey run. Each site experiment gets its own
 // private Tracer / MetricsRegistry (its simulation world runs on one worker
 // thread); after all tasks finish they are folded into |metrics| and |trace|
@@ -58,10 +60,21 @@ void AccumulateBreakdown(SurveyBreakdown& breakdown, const ExperimentResult& res
 // non-null it receives the index-ordered per-site results. |telemetry|, when
 // non-null and enabled, accumulates merged per-site traces/metrics (see
 // SurveyTelemetry).
+//
+// |journal|, when non-null, makes the run crash-safe: the caller must have
+// called journal->BeginCohort for this cohort first. Sites already present
+// in the journal replay from it (results and, when collected, telemetry
+// shards) instead of executing; every live site is appended + fsynced as it
+// completes. Because shards fold in index order either way, a resumed run is
+// byte-identical to an uninterrupted one for any --jobs. With a journal the
+// run also polls ShutdownRequested(): on a signal, in-flight sites drain,
+// unstarted sites are skipped (their per_site slots stay default — ignored
+// by AccumulateBreakdown), and journal->interrupted is set.
 SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t servers,
                                         size_t max_crowd, uint64_t seed, size_t jobs,
                                         std::vector<ExperimentResult>* per_site = nullptr,
-                                        SurveyTelemetry* telemetry = nullptr);
+                                        SurveyTelemetry* telemetry = nullptr,
+                                        SurveyJournal* journal = nullptr);
 
 // Sequential wrapper kept for callers that predate the parallel runner.
 inline SurveyBreakdown RunSurveyCohort(Cohort cohort, StageKind stage, size_t servers,

@@ -44,6 +44,14 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
   }
 }
 
+void MetricsRegistry::RestoreSummary(const std::string& name, RunningStats stats) {
+  summaries_.insert_or_assign(name, std::move(stats));
+}
+
+void MetricsRegistry::RestoreHist(const std::string& name, Histogram hist) {
+  hists_.insert_or_assign(name, std::move(hist));
+}
+
 double MetricsRegistry::Counter(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0.0 : it->second;

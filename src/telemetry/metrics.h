@@ -36,6 +36,11 @@ class MetricsRegistry {
   // Deterministic pairwise combine (see file comment for per-kind rules).
   void Merge(const MetricsRegistry& other);
 
+  // Journal-replay restore: install a fully built summary / histogram under
+  // |name|, replacing any existing entry.
+  void RestoreSummary(const std::string& name, RunningStats stats);
+  void RestoreHist(const std::string& name, Histogram hist);
+
   double Counter(const std::string& name) const;  // 0 if absent
   double Gauge(const std::string& name) const;    // 0 if absent
   const RunningStats* Summary(const std::string& name) const;  // null if absent

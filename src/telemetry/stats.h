@@ -42,6 +42,20 @@ class RunningStats {
   double StdDev() const;
   double MinValue() const { return min_; }
   double MaxValue() const { return max_; }
+  // Raw Welford second moment — with Count/Mean/Min/Max this is the full
+  // accumulator state, so journals can round-trip a summary exactly.
+  double M2() const { return m2_; }
+
+  // Rebuilds an accumulator from serialized state (journal replay).
+  static RunningStats FromParts(size_t count, double mean, double m2, double min, double max) {
+    RunningStats s;
+    s.count_ = count;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
 
   bool operator==(const RunningStats&) const = default;
 
@@ -70,6 +84,18 @@ class Histogram {
   size_t BucketValue(size_t i) const { return counts_[i]; }
   size_t Total() const { return total_; }
   const std::vector<double>& Edges() const { return edges_; }
+
+  // Rebuilds a histogram from serialized state (journal replay). |counts|
+  // must have edges.size() + 1 entries; the total is recomputed.
+  static Histogram FromParts(std::vector<double> edges, std::vector<size_t> counts) {
+    Histogram h(std::move(edges));
+    h.total_ = 0;
+    for (size_t c : counts) {
+      h.total_ += c;
+    }
+    h.counts_ = std::move(counts);
+    return h;
+  }
 
   bool operator==(const Histogram&) const = default;
   // Fraction of all samples in bucket i. 0 if empty.

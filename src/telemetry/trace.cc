@@ -66,6 +66,11 @@ void Tracer::MergeFrom(const Tracer& other, uint64_t pid) {
   next_id_ += other.spans_.size();
 }
 
+void Tracer::RestoreSpan(TraceSpan span) {
+  spans_.push_back(std::move(span));
+  next_id_ = spans_.size() + 1;
+}
+
 std::vector<const TraceSpan*> Tracer::Named(const std::string& name) const {
   std::vector<const TraceSpan*> out;
   for (const TraceSpan& span : spans_) {

@@ -73,6 +73,11 @@ class Tracer {
   // Spans with matching |name| (tests / structural golden files).
   std::vector<const TraceSpan*> Named(const std::string& name) const;
 
+  // Journal-replay restore: appends |span| verbatim. Spans must be restored
+  // in id order (1..n) so the id-to-index invariant holds; next_id_ advances
+  // past every restored span.
+  void RestoreSpan(TraceSpan span);
+
  private:
   SpanId next_id_ = 1;
   std::vector<TraceSpan> spans_;  // indexed by id - 1

@@ -1,0 +1,498 @@
+// Write-ahead experiment journal: codec round-trips, corruption recovery,
+// and the deterministic-resume contract (a killed survey resumed with a
+// different jobs count reproduces an uninterrupted run byte for byte).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment_runner.h"
+#include "src/core/export.h"
+#include "src/core/journal/journal.h"
+#include "src/core/journal/json.h"
+#include "src/core/journal/shutdown.h"
+#include "src/core/survey.h"
+
+namespace mfc {
+namespace {
+
+std::string TempPath(const std::string& name) { return testing::TempDir() + name; }
+
+std::string Slurp(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string contents;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  fclose(f);
+  return contents;
+}
+
+void Spit(const std::string& path, const std::string& contents) {
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  fwrite(contents.data(), 1, contents.size(), f);
+  fclose(f);
+}
+
+// ---- exact-double and JSON layer ----------------------------------------
+
+TEST(ExactDoubleTest, RoundTripsBitPatterns) {
+  const double values[] = {0.0,    -0.0,   0.1,  1.0 / 3.0, -3.25, 1e308,
+                           5e-324, 1e-300, 42.0, 123456.789};
+  for (double v : values) {
+    double back = 0.0;
+    ASSERT_TRUE(DecodeExactDouble(EncodeExactDouble(v), &back));
+    EXPECT_EQ(memcmp(&v, &back, sizeof(v)), 0) << v;
+  }
+}
+
+TEST(ExactDoubleTest, RejectsMalformedEncodings) {
+  double out = 0.0;
+  EXPECT_FALSE(DecodeExactDouble("", &out));
+  EXPECT_FALSE(DecodeExactDouble("x123", &out));                   // too short
+  EXPECT_FALSE(DecodeExactDouble("y0000000000000000", &out));      // bad prefix
+  EXPECT_FALSE(DecodeExactDouble("x000000000000000G", &out));      // bad hex
+  EXPECT_FALSE(DecodeExactDouble("x00000000000000000", &out));     // too long
+}
+
+TEST(JournalJsonTest, ParsesNestedDocument) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(R"({"a":[1,2,{"b":"x\"y"}],"c":true,"d":null})", &doc, &error)) << error;
+  const JsonValue* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 3u);
+  bool ok = false;
+  EXPECT_EQ(a->items[1].U64(&ok), 2u);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(a->items[2].Find("b")->scalar, "x\"y");
+  EXPECT_TRUE(doc.Find("c")->Bool(&ok));
+}
+
+TEST(JournalJsonTest, RejectsTrailingGarbage) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(ParseJson(R"({"a":1} trailing)", &doc, &error));
+  EXPECT_FALSE(ParseJson(R"({"a":)", &doc, &error));
+  EXPECT_FALSE(ParseJson("", &doc, &error));
+}
+
+// ---- record codecs -------------------------------------------------------
+
+ExperimentResult MakeResult() {
+  ExperimentResult result;
+  result.registered_clients = 61;
+  StageResult stage;
+  stage.kind = StageKind::kSmallQuery;
+  stage.stopped = true;
+  stage.stopping_crowd_size = 25;
+  stage.max_crowd_tested = 30;
+  stage.end_reason = StageEndReason::kConstraintFound;
+  stage.end_detail = "metric 123.4 ms > theta \"quoted\"";
+  stage.total_requests = 77;
+  stage.started = 1.5;
+  stage.finished = 208.25 + 0.1;  // force a non-terminating binary fraction
+  EpochResult epoch;
+  epoch.crowd_size = 25;
+  epoch.samples_received = 24;
+  epoch.samples_expected = 25;
+  epoch.metric = 0.1234567;
+  epoch.exceeded_threshold = true;
+  epoch.check_phase = true;
+  RequestSample sample;
+  sample.client_id = 7;
+  sample.code = HttpStatus::kOk;
+  sample.bytes = 2048;
+  sample.response_time = 0.105;
+  sample.normalized = 1.0 / 3.0;
+  sample.timed_out = false;
+  epoch.samples.push_back(sample);
+  sample.client_id = 8;
+  sample.code = HttpStatus::kClientTimeout;
+  sample.timed_out = true;
+  epoch.samples.push_back(sample);
+  stage.epochs.push_back(epoch);
+  result.stages.push_back(stage);
+  return result;
+}
+
+TEST(JournalCodecTest, ExperimentResultRoundTrips) {
+  ExperimentResult original = MakeResult();
+  std::string encoded = EncodeExperimentResult(original);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(encoded, &doc, &error)) << error;
+  ExperimentResult decoded;
+  ASSERT_TRUE(DecodeExperimentResult(doc, &decoded));
+  // Re-encoding must be byte-identical: the codec loses nothing.
+  EXPECT_EQ(EncodeExperimentResult(decoded), encoded);
+  EXPECT_EQ(decoded.registered_clients, 61u);
+  ASSERT_EQ(decoded.stages.size(), 1u);
+  EXPECT_EQ(decoded.stages[0].kind, StageKind::kSmallQuery);
+  EXPECT_EQ(decoded.stages[0].end_detail, original.stages[0].end_detail);
+  ASSERT_EQ(decoded.stages[0].epochs.size(), 1u);
+  const RequestSample& s = decoded.stages[0].epochs[0].samples[1];
+  EXPECT_EQ(s.code, HttpStatus::kClientTimeout);
+  EXPECT_TRUE(s.timed_out);
+  EXPECT_EQ(memcmp(&s.normalized, &original.stages[0].epochs[0].samples[1].normalized,
+                   sizeof(double)),
+            0);
+}
+
+TEST(JournalCodecTest, MetricsRoundTrip) {
+  MetricsRegistry metrics;
+  metrics.Add("req.count", 3.0);
+  metrics.Set("queue.depth", 17.5);
+  metrics.Observe("rt", 0.1);
+  metrics.Observe("rt", 0.3);
+  metrics.Observe("rt", 0.25);
+  metrics.HistObserve("lat", LatencyBucketEdgesMs(), 12.0);
+  metrics.HistObserve("lat", LatencyBucketEdgesMs(), 700.0);
+  std::string encoded = EncodeMetrics(metrics);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(encoded, &doc, &error)) << error;
+  MetricsRegistry decoded;
+  ASSERT_TRUE(DecodeMetrics(doc, &decoded));
+  EXPECT_TRUE(decoded == metrics);
+  EXPECT_EQ(EncodeMetrics(decoded), encoded);
+}
+
+TEST(JournalCodecTest, TraceSpansRoundTrip) {
+  Tracer tracer;
+  SpanId root = tracer.StartSpan("request", "server", 0, 1.0);
+  SpanId child = tracer.StartSpan("cpu", "server", root, 1.25);
+  tracer.Attr(child, "budget_s", 0.125);
+  tracer.EndSpan(child, 1.5);
+  tracer.EndSpan(root, 2.0);
+  std::string encoded = EncodeTraceSpans(tracer.Spans());
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(encoded, &doc, &error)) << error;
+  std::vector<TraceSpan> decoded;
+  ASSERT_TRUE(DecodeTraceSpans(doc, &decoded));
+  EXPECT_EQ(EncodeTraceSpans(decoded), encoded);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[1].parent, root);
+  EXPECT_EQ(decoded[1].attrs.size(), 1u);
+  EXPECT_FALSE(decoded[0].open);
+}
+
+TEST(JournalCodecTest, FrameCarriesVerifiableChecksum) {
+  std::string body = R"({"type":"site","index":3})";
+  std::string line = FrameJournalRecord(body);
+  ASSERT_EQ(line.back(), '\n');
+  // The frame embeds the body verbatim and a 16-hex fnv1a64 of it.
+  EXPECT_NE(line.find(body), std::string::npos);
+  char expect[24];
+  snprintf(expect, sizeof(expect), "%016llx",
+           static_cast<unsigned long long>(Fnv1a64(body)));
+  EXPECT_NE(line.find(expect), std::string::npos);
+}
+
+// ---- survey journal: resume determinism ----------------------------------
+
+constexpr Cohort kCohort = Cohort::kStartup;
+constexpr StageKind kStage = StageKind::kBase;
+constexpr size_t kServers = 3;
+constexpr size_t kMaxCrowd = 20;
+constexpr uint64_t kSeed = 901;
+constexpr char kTool[] = "journal_test";
+constexpr char kPrint[] = "trace=1;metrics=1";
+
+struct SurveyOut {
+  SurveyBreakdown breakdown;
+  std::vector<ExperimentResult> per_site;
+  SurveyTelemetry telemetry;
+};
+
+void RunCohort(SurveyOut* out, size_t jobs, SurveyJournal* journal) {
+  out->telemetry.collect_trace = true;
+  out->telemetry.collect_metrics = true;
+  out->breakdown = RunSurveyCohortParallel(kCohort, kStage, kServers, kMaxCrowd, kSeed, jobs,
+                                           &out->per_site, &out->telemetry, journal);
+}
+
+std::string EncodeAll(const std::vector<ExperimentResult>& results) {
+  std::string all;
+  for (const ExperimentResult& r : results) {
+    all += EncodeExperimentResult(r);
+    all += '\n';
+  }
+  return all;
+}
+
+void ExpectSameOutput(const SurveyOut& a, const SurveyOut& b) {
+  EXPECT_EQ(a.breakdown, b.breakdown);
+  EXPECT_EQ(EncodeAll(a.per_site), EncodeAll(b.per_site));
+  EXPECT_TRUE(a.telemetry.metrics == b.telemetry.metrics);
+  EXPECT_EQ(ExportTraceJson(a.telemetry.trace), ExportTraceJson(b.telemetry.trace));
+}
+
+std::vector<std::string> SortedLines(const std::string& contents) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    size_t newline = contents.find('\n', pos);
+    lines.push_back(contents.substr(pos, newline - pos));
+    pos = newline == std::string::npos ? contents.size() : newline + 1;
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+std::unique_ptr<SurveyJournal> OpenForTest(const std::string& path, bool resume) {
+  std::string error;
+  std::unique_ptr<SurveyJournal> journal = SurveyJournal::Open(path, kTool, kPrint, resume,
+                                                               &error);
+  EXPECT_NE(journal, nullptr) << error;
+  if (journal != nullptr) {
+    std::string begin_error;
+    EXPECT_TRUE(journal->BeginCohort(kCohort, kStage, kServers, kMaxCrowd, kSeed, 0,
+                                     &begin_error))
+        << begin_error;
+  }
+  return journal;
+}
+
+TEST(SurveyJournalTest, FreshJournalMatchesPlainRun) {
+  std::string path = TempPath("journal_fresh.jsonl");
+  remove(path.c_str());
+  SurveyOut plain;
+  RunCohort(&plain, 1, nullptr);
+  SurveyOut journaled;
+  {
+    auto journal = OpenForTest(path, false);
+    ASSERT_NE(journal, nullptr);
+    RunCohort(&journaled, 2, journal.get());
+    EXPECT_EQ(journal->executed_sites.load(), kServers);
+    EXPECT_EQ(journal->resumed_sites.load(), 0u);
+    EXPECT_FALSE(journal->interrupted.load());
+  }
+  ExpectSameOutput(plain, journaled);
+  remove(path.c_str());
+}
+
+// Kill points are simulated by truncating the journal to its first K site
+// records — exactly the on-disk state a crash after K completed sites
+// leaves, since every append is framed and fsynced.
+TEST(SurveyJournalTest, ResumeFromAnyPrefixIsBitIdentical) {
+  std::string path = TempPath("journal_prefix.jsonl");
+  remove(path.c_str());
+  SurveyOut plain;
+  RunCohort(&plain, 1, nullptr);
+  {
+    auto journal = OpenForTest(path, false);
+    ASSERT_NE(journal, nullptr);
+    SurveyOut full;
+    RunCohort(&full, 1, journal.get());
+  }
+  std::string contents = Slurp(path);
+  for (size_t keep_sites : {size_t{0}, size_t{1}, kServers - 1}) {
+    // Keep the header + cohort record + keep_sites site records.
+    size_t keep_lines = 2 + keep_sites;
+    size_t offset = 0;
+    for (size_t line = 0; line < keep_lines; ++line) {
+      offset = contents.find('\n', offset) + 1;
+    }
+    std::string truncated = contents.substr(0, offset);
+    Spit(path, truncated);
+    auto journal = OpenForTest(path, true);
+    ASSERT_NE(journal, nullptr);
+    EXPECT_TRUE(journal->Warning().empty()) << journal->Warning();
+    SurveyOut resumed;
+    RunCohort(&resumed, keep_sites + 1, journal.get());  // a different jobs count
+    EXPECT_EQ(journal->resumed_sites.load(), keep_sites);
+    EXPECT_EQ(journal->executed_sites.load(), kServers - keep_sites);
+    ExpectSameOutput(plain, resumed);
+    // Completion must rebuild the full journal — same records, though with
+    // jobs > 1 the re-executed suffix may append in completion order.
+    EXPECT_EQ(SortedLines(Slurp(path)), SortedLines(contents))
+        << "keep_sites=" << keep_sites;
+  }
+  remove(path.c_str());
+}
+
+TEST(SurveyJournalTest, CorruptTailDroppedAndRecovered) {
+  std::string path = TempPath("journal_corrupt_tail.jsonl");
+  remove(path.c_str());
+  SurveyOut plain;
+  RunCohort(&plain, 1, nullptr);
+  {
+    auto journal = OpenForTest(path, false);
+    SurveyOut full;
+    RunCohort(&full, 1, journal.get());
+  }
+  std::string contents = Slurp(path);
+  // A torn final write: half a record with no newline.
+  Spit(path, contents.substr(0, contents.size() - 40));
+  {
+    auto journal = OpenForTest(path, true);
+    ASSERT_NE(journal, nullptr);
+    EXPECT_FALSE(journal->Warning().empty());
+    EXPECT_EQ(journal->RecordsDropped(), 1u);
+    SurveyOut resumed;
+    RunCohort(&resumed, 2, journal.get());
+    ExpectSameOutput(plain, resumed);
+  }
+  EXPECT_EQ(Slurp(path), contents);
+  remove(path.c_str());
+}
+
+TEST(SurveyJournalTest, ChecksumMismatchDropsRecordAndSuffix) {
+  std::string path = TempPath("journal_corrupt_mid.jsonl");
+  remove(path.c_str());
+  {
+    auto journal = OpenForTest(path, false);
+    SurveyOut full;
+    RunCohort(&full, 1, journal.get());
+  }
+  std::string contents = Slurp(path);
+  // Flip one byte inside the first site record's body (line 3): the frame
+  // stays well-formed but the checksum no longer matches.
+  size_t line3 = contents.find('\n', contents.find('\n') + 1) + 1;
+  std::string corrupted = contents;
+  size_t flip = corrupted.find("\"result\"", line3) + 1;
+  corrupted[flip] = corrupted[flip] == 'r' ? 'R' : 'r';
+  Spit(path, corrupted);
+  auto journal = OpenForTest(path, true);
+  ASSERT_NE(journal, nullptr);
+  EXPECT_FALSE(journal->Warning().empty());
+  // The bad record and everything after it are gone; only the prefix replays.
+  EXPECT_EQ(journal->RecordsDropped(), kServers);
+  EXPECT_EQ(journal->Replayed(0), nullptr);
+  SurveyOut plain;
+  RunCohort(&plain, 1, nullptr);
+  SurveyOut resumed;
+  RunCohort(&resumed, 1, journal.get());
+  EXPECT_EQ(journal->resumed_sites.load(), 0u);
+  EXPECT_EQ(journal->executed_sites.load(), kServers);
+  ExpectSameOutput(plain, resumed);
+  remove(path.c_str());
+}
+
+TEST(SurveyJournalTest, FingerprintMismatchIsHardError) {
+  std::string path = TempPath("journal_fingerprint.jsonl");
+  remove(path.c_str());
+  {
+    std::string error;
+    auto journal = SurveyJournal::Open(path, kTool, kPrint, false, &error);
+    ASSERT_NE(journal, nullptr);
+  }
+  std::string error;
+  EXPECT_EQ(SurveyJournal::Open(path, kTool, "trace=0;metrics=0", true, &error), nullptr);
+  EXPECT_NE(error.find("different run"), std::string::npos) << error;
+  EXPECT_EQ(SurveyJournal::Open(path, "other_tool", kPrint, true, &error), nullptr);
+  remove(path.c_str());
+}
+
+TEST(SurveyJournalTest, NotAJournalIsHardError) {
+  std::string path = TempPath("journal_not_a_journal.jsonl");
+  Spit(path, "this is not a journal\n");
+  std::string error;
+  EXPECT_EQ(SurveyJournal::Open(path, kTool, kPrint, true, &error), nullptr);
+  EXPECT_NE(error.find("not an mfc journal"), std::string::npos) << error;
+  // Crucially, the unrecognized file must survive untouched — Open must
+  // never truncate or overwrite something that is not a journal.
+  EXPECT_EQ(Slurp(path), "this is not a journal\n");
+  remove(path.c_str());
+}
+
+TEST(SurveyJournalTest, CohortConfigMismatchFailsBeginCohort) {
+  std::string path = TempPath("journal_cohort_mismatch.jsonl");
+  remove(path.c_str());
+  {
+    auto journal = OpenForTest(path, false);
+    ASSERT_NE(journal, nullptr);
+  }
+  std::string error;
+  auto journal = SurveyJournal::Open(path, kTool, kPrint, true, &error);
+  ASSERT_NE(journal, nullptr) << error;
+  std::string begin_error;
+  EXPECT_FALSE(journal->BeginCohort(kCohort, kStage, kServers + 1, kMaxCrowd, kSeed, 0,
+                                    &begin_error));
+  EXPECT_NE(begin_error.find("mismatch"), std::string::npos) << begin_error;
+  remove(path.c_str());
+}
+
+TEST(SurveyJournalTest, ExistingRecordsRequireResume) {
+  std::string path = TempPath("journal_needs_resume.jsonl");
+  remove(path.c_str());
+  {
+    auto journal = OpenForTest(path, false);
+    ASSERT_NE(journal, nullptr);
+  }
+  std::string error;
+  EXPECT_EQ(SurveyJournal::Open(path, kTool, kPrint, false, &error), nullptr);
+  EXPECT_NE(error.find("--resume"), std::string::npos) << error;
+  remove(path.c_str());
+}
+
+TEST(SurveyJournalTest, ShutdownRequestInterruptsThenResumeCompletes) {
+  std::string path = TempPath("journal_shutdown.jsonl");
+  remove(path.c_str());
+  SurveyOut plain;
+  RunCohort(&plain, 1, nullptr);
+  {
+    auto journal = OpenForTest(path, false);
+    ASSERT_NE(journal, nullptr);
+    RequestShutdown();
+    SurveyOut interrupted;
+    RunCohort(&interrupted, 1, journal.get());
+    ClearShutdownRequest();
+    EXPECT_TRUE(journal->interrupted.load());
+    EXPECT_EQ(journal->executed_sites.load(), 0u);
+  }
+  auto journal = OpenForTest(path, true);
+  ASSERT_NE(journal, nullptr);
+  SurveyOut resumed;
+  RunCohort(&resumed, 2, journal.get());
+  EXPECT_FALSE(journal->interrupted.load());
+  EXPECT_EQ(journal->executed_sites.load(), kServers);
+  ExpectSameOutput(plain, resumed);
+  remove(path.c_str());
+}
+
+TEST(SurveyJournalTest, RunSurveyExperimentReplaysSingleSites) {
+  std::string path = TempPath("journal_single.jsonl");
+  remove(path.c_str());
+  ExperimentConfig config;
+  config.max_crowd = kMaxCrowd;
+  std::string error;
+  std::string first;
+  {
+    auto journal = SurveyJournal::Open(path, kTool, "single", false, &error);
+    ASSERT_NE(journal, nullptr) << error;
+    Rng rng(kSeed);
+    for (size_t i = 0; i < 2; ++i) {
+      ExperimentResult result = RunSurveyExperiment(rng, kCohort, config, {kStage},
+                                                    kSeed * 1000 + i, journal.get(), i);
+      first += EncodeExperimentResult(result);
+    }
+    EXPECT_EQ(journal->executed_sites.load(), 2u);
+  }
+  auto journal = SurveyJournal::Open(path, kTool, "single", true, &error);
+  ASSERT_NE(journal, nullptr) << error;
+  Rng rng(kSeed);
+  std::string second;
+  for (size_t i = 0; i < 2; ++i) {
+    ExperimentResult result = RunSurveyExperiment(rng, kCohort, config, {kStage},
+                                                  kSeed * 1000 + i, journal.get(), i);
+    second += EncodeExperimentResult(result);
+  }
+  EXPECT_EQ(journal->resumed_sites.load(), 2u);
+  EXPECT_EQ(journal->executed_sites.load(), 0u);
+  EXPECT_EQ(first, second);
+  remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mfc

@@ -3,6 +3,7 @@
 // load, broken targets, or clients whose base measurements fail.
 #include <gtest/gtest.h>
 
+#include "src/core/config.h"
 #include "src/core/experiment_runner.h"
 #include "src/core/sim_testbed.h"
 #include "src/server/web_server.h"
@@ -165,6 +166,67 @@ TEST_P(StoppingSoundnessTest, StopNeverFarBelowTrueKnee) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StoppingSoundnessTest, ::testing::Range(1, 9));
+
+// --- RetryPolicy backoff schedule ----------------------------------------
+// The control plane's retry loops (registration, pings, command re-issue)
+// all consume BackoffFor; its schedule must be bounded and deterministic.
+
+TEST(RetryPolicyTest, DefaultScheduleIsBoundedExponential) {
+  RetryPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(1), Millis(100));
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(2), Millis(200));
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(3), Millis(400));
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(4), Millis(800));
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(5), Millis(1600));
+  // From here the max-delay clamp takes over and holds.
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(6), Seconds(2));
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(7), Seconds(2));
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(64), Seconds(2));
+}
+
+TEST(RetryPolicyTest, ScheduleIsMonotoneThroughAttemptCap) {
+  RetryPolicy policy;
+  SimDuration previous = 0.0;
+  for (size_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    SimDuration backoff = policy.BackoffFor(attempt);
+    EXPECT_GE(backoff, previous) << "attempt " << attempt;
+    EXPECT_LE(backoff, policy.max_backoff) << "attempt " << attempt;
+    previous = backoff;
+  }
+}
+
+TEST(RetryPolicyTest, InitialBackoffAboveMaxIsClampedFromAttemptOne) {
+  RetryPolicy policy;
+  policy.initial_backoff = Seconds(5);
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(1), Seconds(2));
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(3), Seconds(2));
+}
+
+TEST(RetryPolicyTest, UnitMultiplierKeepsConstantBackoff) {
+  RetryPolicy policy;
+  policy.multiplier = 1.0;
+  for (size_t attempt = 1; attempt <= 2 * policy.max_attempts; ++attempt) {
+    EXPECT_DOUBLE_EQ(policy.BackoffFor(attempt), Millis(100)) << "attempt " << attempt;
+  }
+}
+
+TEST(RetryPolicyTest, IdenticalPoliciesProduceIdenticalSchedules) {
+  RetryPolicy a;
+  RetryPolicy b;
+  a.multiplier = b.multiplier = 1.7;
+  a.initial_backoff = b.initial_backoff = Millis(35);
+  a.max_backoff = b.max_backoff = Millis(900);
+  for (size_t attempt = 1; attempt <= 12; ++attempt) {
+    // Bit-equal, not approximately equal: resumed runs must wait exactly as
+    // long as uninterrupted ones would have.
+    EXPECT_EQ(a.BackoffFor(attempt), b.BackoffFor(attempt)) << "attempt " << attempt;
+  }
+}
+
+TEST(RetryPolicyTest, AttemptZeroBehavesLikeAttemptOne) {
+  RetryPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(0), policy.BackoffFor(1));
+}
 
 }  // namespace
 }  // namespace mfc

@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Validate a write-ahead experiment journal emitted by the MFC tools.
+
+Checks (stdlib only, no third-party deps):
+  * every line is a well-formed frame {"crc":"<16 hex>","body":{...}} whose
+    checksum equals FNV-1a 64 of the exact body bytes;
+  * the first record is a header with magic "mfc-journal" and version 1;
+  * cohort records carry strictly sequential ordinals;
+  * site records are consistent with their cohort declaration (index within
+    the server count, seed == cohort seed * 1000 + index, pid == pid_base +
+    index, matching stage) and never duplicated;
+  * every site record embeds a structurally complete ExperimentResult.
+
+Usage:
+  check_journal.py <journal.jsonl>
+  check_journal.py --profile-bin <mfc_profile> [--workdir <dir>]
+
+The second form runs a small fixed-seed journaled survey through
+mfc_profile, validates the journal, resumes it (complete and after a
+simulated torn tail write) and requires byte-identical trace/metrics
+outputs, and finally checks that config mismatches and a missing --resume
+are hard errors. Exit status 0 = valid, 1 = validation failure,
+2 = usage/setup error.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FRAME_PREFIX = b'{"crc":"'
+FRAME_MID = b'","body":'
+
+
+def fail(msg):
+    print("check_journal: FAIL: %s" % msg, file=sys.stderr)
+    return 1
+
+
+def fnv1a64(data):
+    h = 0xCBF29CE484222325
+    for b in data:
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def parse_records(path):
+    """Returns (records, error): the decoded bodies, or an error string."""
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError as exc:
+        return None, "%s: %s" % (path, exc)
+    if not data:
+        return None, "%s: empty journal" % path
+    if not data.endswith(b"\n"):
+        return None, "%s: missing trailing newline (torn final write?)" % path
+    records = []
+    for i, line in enumerate(data.split(b"\n")[:-1]):
+        if (
+            not line.startswith(FRAME_PREFIX)
+            or line[24:33] != FRAME_MID
+            or not line.endswith(b"}")
+        ):
+            return None, "record %d: malformed frame" % i
+        crc = line[8:24].decode("ascii", errors="replace")
+        body = line[33:-1]
+        if "%016x" % fnv1a64(body) != crc:
+            return None, "record %d: checksum mismatch" % i
+        try:
+            records.append(json.loads(body))
+        except ValueError as exc:
+            return None, "record %d: body is not valid JSON: %s" % (i, exc)
+    return records, None
+
+
+def check_result(result, where):
+    if not isinstance(result, dict):
+        return "%s: result is not an object" % where
+    for key in ("aborted", "registered_clients", "stages"):
+        if key not in result:
+            return "%s: result missing %r" % (where, key)
+    if not isinstance(result["stages"], list):
+        return "%s: result stages is not a list" % where
+    for s, stage in enumerate(result["stages"]):
+        for key in ("kind", "stopped", "max_tested", "end_reason", "epochs"):
+            if key not in stage:
+                return "%s: stage %d missing %r" % (where, s, key)
+    return None
+
+
+def check_journal(path):
+    records, error = parse_records(path)
+    if error is not None:
+        return fail(error)
+
+    header = records[0]
+    if header.get("type") != "header":
+        return fail("record 0 is %r, expected the header" % header.get("type"))
+    if header.get("magic") != "mfc-journal":
+        return fail("bad magic %r" % header.get("magic"))
+    if header.get("version") != 1:
+        return fail("unsupported version %r" % header.get("version"))
+    for key in ("tool", "fingerprint"):
+        if not isinstance(header.get(key), str) or not header[key]:
+            return fail("header missing %s" % key)
+
+    cohorts = []
+    sites = set()
+    for i, rec in enumerate(records[1:], start=1):
+        rtype = rec.get("type")
+        if rtype == "header":
+            return fail("record %d: duplicate header" % i)
+        if rtype == "cohort":
+            if rec.get("ordinal") != len(cohorts):
+                return fail(
+                    "record %d: cohort ordinal %r, expected %d"
+                    % (i, rec.get("ordinal"), len(cohorts))
+                )
+            for key in ("cohort", "stage", "servers", "max_crowd", "seed", "pid_base"):
+                if key not in rec:
+                    return fail("record %d: cohort record missing %r" % (i, key))
+            cohorts.append(rec)
+        elif rtype == "site":
+            for key in ("cohort", "index", "seed", "stage", "pid", "result"):
+                if key not in rec:
+                    return fail("record %d: site record missing %r" % (i, key))
+            ordinal, index = rec["cohort"], rec["index"]
+            if ordinal < len(cohorts):
+                cohort = cohorts[ordinal]
+                if index >= cohort["servers"]:
+                    return fail(
+                        "record %d: site index %d >= cohort servers %d"
+                        % (i, index, cohort["servers"])
+                    )
+                if rec["seed"] != cohort["seed"] * 1000 + index:
+                    return fail("record %d: site seed inconsistent with cohort" % i)
+                if rec["pid"] != cohort["pid_base"] + index:
+                    return fail("record %d: site pid inconsistent with cohort" % i)
+                if rec["stage"] != cohort["stage"]:
+                    return fail("record %d: site stage inconsistent with cohort" % i)
+            if (ordinal, index) in sites:
+                return fail("record %d: duplicate site (%d, %d)" % (i, ordinal, index))
+            sites.add((ordinal, index))
+            error = check_result(rec["result"], "record %d" % i)
+            if error is not None:
+                return fail(error)
+        else:
+            return fail("record %d: unknown type %r" % (i, rtype))
+
+    print(
+        "check_journal: OK: %d record(s): header + %d cohort(s) + %d site(s)"
+        % (len(records), len(cohorts), len(sites))
+    )
+    return 0
+
+
+def run(cmd):
+    return subprocess.run(cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def run_profile(profile_bin, workdir):
+    journal = os.path.join(workdir, "journal.jsonl")
+
+    def survey_cmd(seed, trace, metrics, resume):
+        cmd = [
+            profile_bin,
+            "--cohort=startup",
+            "--survey=4",
+            "--seed=%d" % seed,
+            "--max-crowd=20",
+            "--jobs=2",
+            "--quiet",
+            "--journal=" + journal,
+            "--trace=" + os.path.join(workdir, trace),
+            "--metrics=" + os.path.join(workdir, metrics),
+        ]
+        if resume:
+            cmd.append("--resume")
+        return cmd
+
+    def slurp(name):
+        with open(os.path.join(workdir, name), "rb") as f:
+            return f.read()
+
+    # 1. A full journaled run must succeed and leave a valid journal.
+    proc = run(survey_cmd(5, "t1.json", "m1.csv", resume=False))
+    if proc.returncode != 0:
+        print(proc.stderr.decode(errors="replace"), file=sys.stderr)
+        print("check_journal: SETUP FAIL: journaled run exited %d" % proc.returncode,
+              file=sys.stderr)
+        return 2
+    rc = check_journal(journal)
+    if rc != 0:
+        return rc
+
+    # 2. Resuming the complete journal replays everything and reproduces the
+    #    trace/metrics outputs byte for byte.
+    proc = run(survey_cmd(5, "t2.json", "m2.csv", resume=True))
+    if proc.returncode != 0:
+        print(proc.stderr.decode(errors="replace"), file=sys.stderr)
+        return fail("resume of a complete journal exited %d" % proc.returncode)
+    if b"4 site(s) replayed, 0 executed" not in proc.stdout:
+        return fail("complete-journal resume did not replay all 4 sites: %r" % proc.stdout)
+    if slurp("t1.json") != slurp("t2.json"):
+        return fail("trace differs after complete-journal resume")
+    if slurp("m1.csv") != slurp("m2.csv"):
+        return fail("metrics differ after complete-journal resume")
+    print("check_journal: OK: complete-journal resume is byte-identical")
+
+    # 3. Simulate a crash mid-append: chop the tail off the last record. The
+    #    resume must warn, drop the torn record, re-execute that site, and
+    #    still reproduce identical outputs.
+    with open(journal, "rb") as f:
+        contents = f.read()
+    with open(journal, "wb") as f:
+        f.write(contents[:-40])
+    proc = run(survey_cmd(5, "t3.json", "m3.csv", resume=True))
+    if proc.returncode != 0:
+        print(proc.stderr.decode(errors="replace"), file=sys.stderr)
+        return fail("resume of a torn journal exited %d" % proc.returncode)
+    if b"journal warning" not in proc.stderr:
+        return fail("torn-tail resume emitted no corruption warning")
+    if b"3 site(s) replayed, 1 executed" not in proc.stdout:
+        return fail("torn-tail resume had unexpected replay counts: %r" % proc.stdout)
+    if slurp("t1.json") != slurp("t3.json"):
+        return fail("trace differs after torn-tail resume")
+    if slurp("m1.csv") != slurp("m3.csv"):
+        return fail("metrics differ after torn-tail resume")
+    rc = check_journal(journal)
+    if rc != 0:
+        return rc
+    print("check_journal: OK: torn-tail resume recovered and is byte-identical")
+
+    # 4. A different seed changes the config fingerprint: hard error.
+    proc = run(survey_cmd(6, "t4.json", "m4.csv", resume=True))
+    if proc.returncode != 2 or b"journal error" not in proc.stderr:
+        return fail(
+            "config-mismatch resume should exit 2 with a journal error, got %d: %r"
+            % (proc.returncode, proc.stderr)
+        )
+
+    # 5. Reusing a populated journal without --resume: hard error.
+    proc = run(survey_cmd(5, "t5.json", "m5.csv", resume=False))
+    if proc.returncode != 2 or b"--resume" not in proc.stderr:
+        return fail(
+            "populated journal without --resume should exit 2, got %d: %r"
+            % (proc.returncode, proc.stderr)
+        )
+    print("check_journal: OK: config mismatch and missing --resume are hard errors")
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 3 and argv[1] == "--profile-bin":
+        profile_bin = argv[2]
+        workdir = None
+        if len(argv) >= 5 and argv[3] == "--workdir":
+            workdir = argv[4]
+        if workdir:
+            os.makedirs(workdir, exist_ok=True)
+            return run_profile(profile_bin, workdir)
+        with tempfile.TemporaryDirectory() as tmp:
+            return run_profile(profile_bin, tmp)
+    if len(argv) == 2:
+        return check_journal(argv[1])
+    print(__doc__, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

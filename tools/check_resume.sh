@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Kill/resume determinism harness for the write-ahead experiment journal.
+#
+# Runs a journaled survey bench, kills it mid-flight (SIGINT, i.e. the
+# graceful-drain path), resumes with a different --jobs count, and requires
+# the resumed outputs to be byte-identical to an uninterrupted baseline:
+# --trace and --metrics files compared with cmp, the --json record compared
+# after stripping the volatile audit fields (wall_seconds, jobs,
+# resumed_sites, executed_sites, interrupted, resume_hint). Covers an
+# immediate kill (nothing journaled yet), a mid-run kill, and a kill that
+# may land after completion — every kill point must resume to the same
+# bytes.
+#
+#   tools/check_resume.sh [path/to/survey/bench]
+#
+# Default bench: build/bench/fig7_survey_base. Exits non-zero on the first
+# mismatch. check_sanitize.sh runs this against the ASan build so the
+# signal/drain/fsync path is exercised under the sanitizer.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN="${1:-build/bench/fig7_survey_base}"
+if [ ! -x "${BIN}" ]; then
+  echo "check_resume: bench binary '${BIN}' not found (build it first)" >&2
+  exit 2
+fi
+
+SERVERS=12
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+# The volatile fields: timing, worker fan-out, and the journal audit block —
+# everything else in the --json record must be bit-identical.
+strip_volatile() {
+  grep -v -E '"(wall_seconds|jobs|resumed_sites|executed_sites|interrupted|resume_hint)"' "$1"
+}
+
+echo "=== baseline (uninterrupted, --jobs=3) ==="
+"${BIN}" "${SERVERS}" --jobs=3 \
+  --json="${WORK}/base.json" --trace="${WORK}/base.trace" \
+  --metrics="${WORK}/base.csv" >/dev/null
+
+kill_resume_case() {
+  local delay="$1" resume_jobs="$2" tag="$3"
+  echo "=== kill after ${delay}s, resume with --jobs=${resume_jobs} ==="
+  local journal="${WORK}/journal.${tag}"
+  rm -f "${journal}"
+
+  "${BIN}" "${SERVERS}" --jobs=2 --journal="${journal}" \
+    --json="${WORK}/${tag}.part.json" --trace="${WORK}/${tag}.part.trace" \
+    --metrics="${WORK}/${tag}.part.csv" >/dev/null 2>"${WORK}/${tag}.part.err" &
+  local pid=$!
+  sleep "${delay}"
+  kill -INT "${pid}" 2>/dev/null || true
+  local rc=0
+  wait "${pid}" || rc=$?
+  # 130 = drained after the signal; 0 = the run beat the signal. Both are
+  # legitimate kill points — the resume below must converge either way.
+  if [ "${rc}" -ne 130 ] && [ "${rc}" -ne 0 ]; then
+    echo "check_resume: FAIL(${tag}): interrupted run exited ${rc}" >&2
+    cat "${WORK}/${tag}.part.err" >&2
+    exit 1
+  fi
+  if [ "${rc}" -eq 130 ]; then
+    grep -q '"interrupted": true' "${WORK}/${tag}.part.json" || {
+      echo "check_resume: FAIL(${tag}): partial --json not marked interrupted" >&2
+      exit 1
+    }
+    grep -q -- '--resume' "${WORK}/${tag}.part.err" || {
+      echo "check_resume: FAIL(${tag}): no resume hint on stderr" >&2
+      exit 1
+    }
+  fi
+
+  "${BIN}" "${SERVERS}" --jobs="${resume_jobs}" --journal="${journal}" --resume \
+    --json="${WORK}/${tag}.json" --trace="${WORK}/${tag}.trace" \
+    --metrics="${WORK}/${tag}.csv" >/dev/null
+
+  cmp "${WORK}/base.trace" "${WORK}/${tag}.trace" || {
+    echo "check_resume: FAIL(${tag}): trace differs from baseline" >&2
+    exit 1
+  }
+  cmp "${WORK}/base.csv" "${WORK}/${tag}.csv" || {
+    echo "check_resume: FAIL(${tag}): metrics differ from baseline" >&2
+    exit 1
+  }
+  if ! diff <(strip_volatile "${WORK}/base.json") <(strip_volatile "${WORK}/${tag}.json"); then
+    echo "check_resume: FAIL(${tag}): json differs from baseline" >&2
+    exit 1
+  fi
+  echo "check_resume: OK(${tag}): rc=${rc}, outputs byte-identical after resume"
+}
+
+kill_resume_case 0    5 k0   # kill before anything is journaled
+kill_resume_case 0.2  5 k1   # mid-run kill, resume wider
+kill_resume_case 0.6  1 k2   # late kill (may finish first), resume sequential
+
+echo "check_resume: all kill/resume cases byte-identical"

@@ -33,6 +33,14 @@ run_one() {
   # sanitizer's slowdown turns those deadlines into flakes, so parallelism
   # follows the core count instead of a fixed fan-out.
   ctest --preset "${preset}" -R "${FILTER}" --timeout "${TIMEOUT}" -j "$(nproc)"
+  if [ "${preset}" = "asan" ]; then
+    # The journal's signal/drain/fsync path only shows its lifetime bugs
+    # under a real SIGINT; run the kill/resume harness against the ASan
+    # bench so leaks or use-after-free in the drain path fail the gate.
+    echo "=== [${preset}] kill/resume harness ==="
+    cmake --build --preset "${preset}" -j --target fig7_survey_base >/dev/null
+    tools/check_resume.sh "build-asan/bench/fig7_survey_base"
+  fi
 }
 
 presets=("${@}")

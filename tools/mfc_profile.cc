@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "src/core/experiment_runner.h"
 #include "src/core/export.h"
 #include "src/core/inference.h"
+#include "src/core/journal/journal.h"
+#include "src/core/journal/shutdown.h"
 #include "src/core/parallel_runner.h"
 #include "src/core/survey.h"
 
@@ -48,6 +51,8 @@ struct Options {
   std::string json_path;        // write the full result as JSON here
   std::string trace_path;       // write a Chrome trace_event JSON here
   std::string metrics_path;     // write the merged metrics CSV here
+  std::string journal_path;     // write-ahead experiment journal (crash-safe)
+  bool resume = false;          // replay journaled experiments from --journal
   std::vector<StageKind> stages = {StageKind::kBase, StageKind::kSmallQuery,
                                    StageKind::kLargeObject};
 };
@@ -72,6 +77,9 @@ void Usage() {
       "  --json=<path>         write the result as JSON\n"
       "  --trace=<path>        write request/coordinator spans as Chrome trace JSON\n"
       "  --metrics=<path>      write the (merged) metrics registry as CSV\n"
+      "  --journal=<path>      write-ahead journal: completed experiments are appended\n"
+      "                        + fsynced; surveys drain gracefully on SIGINT/SIGTERM\n"
+      "  --resume              replay already-journaled experiments from --journal\n"
       "  --seed=<N>            RNG seed\n"
       "  --quiet               suppress per-epoch output\n");
 }
@@ -121,6 +129,10 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       options.trace_path = *v;
     } else if (auto v = value_of("--metrics=")) {
       options.metrics_path = *v;
+    } else if (auto v = value_of("--journal=")) {
+      options.journal_path = *v;
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else if (arg == "--crawl") {
       options.crawl = true;
     } else if (arg == "--quiet") {
@@ -152,6 +164,10 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return std::nullopt;
     }
+  }
+  if (options.resume && options.journal_path.empty()) {
+    fprintf(stderr, "--resume requires --journal=<path>\n");
+    return std::nullopt;
   }
   return options;
 }
@@ -193,16 +209,41 @@ std::optional<SiteInstance> ResolveSite(const Options& options) {
   return SampleSite(rng, *cohort);
 }
 
+// Atomic (temp file + rename): an aborted run never leaves a truncated
+// export behind.
 bool WriteFile(const std::string& path, const std::string& contents) {
-  FILE* f = fopen(path.c_str(), "w");
-  if (f == nullptr) {
+  if (!WriteFileAtomic(path, contents)) {
     fprintf(stderr, "cannot write %s\n", path.c_str());
     return false;
   }
-  fwrite(contents.data(), 1, contents.size(), f);
-  fclose(f);
   printf("wrote %s\n", path.c_str());
   return true;
+}
+
+// Opens the journal for either mode, printing errors/warnings. The
+// fingerprint must pin everything that shapes the experiment — never --jobs
+// or output paths.
+std::unique_ptr<SurveyJournal> OpenJournal(const Options& options, const std::string& tool,
+                                           const std::string& fingerprint) {
+  std::string error;
+  std::unique_ptr<SurveyJournal> journal =
+      SurveyJournal::Open(options.journal_path, tool, fingerprint, options.resume, &error);
+  if (journal == nullptr) {
+    fprintf(stderr, "journal error: %s\n", error.c_str());
+    return nullptr;
+  }
+  if (!journal->Warning().empty()) {
+    fprintf(stderr, "journal warning: %s\n", journal->Warning().c_str());
+  }
+  return journal;
+}
+
+std::string StagesToken(const std::vector<StageKind>& stages) {
+  std::string token;
+  for (StageKind kind : stages) {
+    token += std::to_string(static_cast<int>(kind));
+  }
+  return token;
 }
 
 // --survey=N: profile N cohort sites across the worker pool and print the
@@ -226,9 +267,31 @@ int RunSurvey(const Options& options) {
   telemetry.collect_trace = !options.trace_path.empty();
   telemetry.collect_metrics = !options.metrics_path.empty();
   telemetry.progress = telemetry.Enabled();
+  std::unique_ptr<SurveyJournal> journal;
+  if (!options.journal_path.empty()) {
+    char fingerprint[160];
+    snprintf(fingerprint, sizeof(fingerprint),
+             "cohort=%s;stage=%d;servers=%zu;max=%zu;seed=%llu;trace=%d;metrics=%d",
+             std::string(CohortName(*cohort)).c_str(), static_cast<int>(stage), options.survey,
+             options.max_crowd, static_cast<unsigned long long>(options.seed),
+             telemetry.collect_trace ? 1 : 0, telemetry.collect_metrics ? 1 : 0);
+    journal = OpenJournal(options, "mfc_profile:survey", fingerprint);
+    if (journal == nullptr) {
+      return 2;
+    }
+    std::string error;
+    if (!journal->BeginCohort(*cohort, stage, options.survey, options.max_crowd, options.seed,
+                              0, &error)) {
+      fprintf(stderr, "journal error: %s\n", error.c_str());
+      return 2;
+    }
+    ClearShutdownRequest();
+    InstallShutdownHandlers();
+  }
   SurveyBreakdown b = RunSurveyCohortParallel(*cohort, stage, options.survey,
                                               options.max_crowd, options.seed, jobs,
-                                              nullptr, telemetry.Enabled() ? &telemetry : nullptr);
+                                              nullptr, telemetry.Enabled() ? &telemetry : nullptr,
+                                              journal.get());
   auto pct = [&](size_t n) {
     return b.servers == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
                                       static_cast<double>(b.servers);
@@ -243,6 +306,16 @@ int RunSurvey(const Options& options) {
   if (!options.metrics_path.empty()) {
     WriteFile(options.metrics_path, ExportMetricsCsv(telemetry.metrics));
   }
+  if (journal != nullptr) {
+    journal->Sync();
+    printf("journal: %zu site(s) replayed, %zu executed\n",
+           journal->resumed_sites.load(), journal->executed_sites.load());
+    if (journal->interrupted.load()) {
+      fprintf(stderr, "interrupted: resume with --journal=%s --resume\n",
+              journal->Path().c_str());
+      return 130;
+    }
+  }
   return 0;
 }
 
@@ -254,28 +327,6 @@ int Run(const Options& options) {
   if (!site.has_value()) {
     return 2;
   }
-  DeploymentOptions deployment_options;
-  deployment_options.seed = options.seed;
-  deployment_options.fleet_size = options.fleet;
-  deployment_options.background_rps = options.background_rps;
-  Deployment deployment(*site, deployment_options);
-  deployment.StartBackground();
-
-  // Telemetry sink; wired only when a --trace / --metrics output was asked
-  // for, so plain runs keep the uninstrumented code path.
-  Tracer tracer;
-  MetricsRegistry metrics;
-  Telemetry telemetry;
-  if (!options.trace_path.empty()) {
-    telemetry.tracer = &tracer;
-  }
-  if (!options.metrics_path.empty()) {
-    telemetry.metrics = &metrics;
-  }
-  telemetry.progress = telemetry.Enabled();
-  if (telemetry.Enabled()) {
-    deployment.SetTelemetry(&telemetry);
-  }
 
   ExperimentConfig config;
   config.threshold = Millis(options.theta_ms);
@@ -285,19 +336,94 @@ int Run(const Options& options) {
   config.requests_per_client = options.mr;
   config.stagger_spacing = Millis(options.stagger_ms);
 
-  StageObjects objects =
-      options.crawl ? deployment.ProfileByCrawl() : deployment.ObjectsFromContent();
-
-  printf("target: %s  fleet=%zu  theta=%.0fms  step=%zu  max=%zu  mr=%zu%s\n\n",
-         site->server.name.c_str(), options.fleet, options.theta_ms, options.step,
-         options.max_crowd, options.mr, options.crawl ? "  (crawl-profiled)" : "");
-
-  Coordinator coordinator(deployment.Testbed(), config, options.seed + 1);
-  if (telemetry.Enabled()) {
-    coordinator.SetTelemetry(&telemetry);
+  const bool want_trace = !options.trace_path.empty();
+  const bool want_metrics = !options.metrics_path.empty();
+  std::unique_ptr<SurveyJournal> journal;
+  if (!options.journal_path.empty()) {
+    char fingerprint[256];
+    snprintf(fingerprint, sizeof(fingerprint),
+             "profile=%s;cohort=%s;theta=%g;step=%zu;max=%zu;fleet=%zu;mr=%zu;stagger=%g;"
+             "bg=%g;seed=%llu;stages=%s;crawl=%d;trace=%d;metrics=%d",
+             options.profile.c_str(), options.cohort.c_str(), options.theta_ms, options.step,
+             options.max_crowd, options.fleet, options.mr, options.stagger_ms,
+             options.background_rps, static_cast<unsigned long long>(options.seed),
+             StagesToken(options.stages).c_str(), options.crawl ? 1 : 0, want_trace ? 1 : 0,
+             want_metrics ? 1 : 0);
+    journal = OpenJournal(options, "mfc_profile:single", fingerprint);
+    if (journal == nullptr) {
+      return 2;
+    }
   }
-  ExperimentResult result = coordinator.Run(objects, options.stages);
-  deployment.StopBackground();
+
+  Tracer tracer;
+  MetricsRegistry metrics;
+  ExperimentResult result;
+  // Single experiments journal as site (0, 0) with no cohort record; a
+  // completed run replays without even deploying the site.
+  const JournalSiteRecord* replay = journal != nullptr ? journal->SiteAt(0, 0) : nullptr;
+  if (replay != nullptr) {
+    printf("target: %s  fleet=%zu  theta=%.0fms  step=%zu  max=%zu  mr=%zu  "
+           "(replayed from journal)\n\n",
+           site->server.name.c_str(), options.fleet, options.theta_ms, options.step,
+           options.max_crowd, options.mr);
+    result = replay->result;
+    for (const TraceSpan& span : replay->trace_spans) {
+      tracer.RestoreSpan(span);
+    }
+    metrics = replay->metrics;
+    journal->resumed_sites.fetch_add(1);
+  } else {
+    DeploymentOptions deployment_options;
+    deployment_options.seed = options.seed;
+    deployment_options.fleet_size = options.fleet;
+    deployment_options.background_rps = options.background_rps;
+    Deployment deployment(*site, deployment_options);
+    deployment.StartBackground();
+
+    // Telemetry sink; wired only when a --trace / --metrics output was asked
+    // for, so plain runs keep the uninstrumented code path.
+    Telemetry telemetry;
+    if (want_trace) {
+      telemetry.tracer = &tracer;
+    }
+    if (want_metrics) {
+      telemetry.metrics = &metrics;
+    }
+    telemetry.progress = telemetry.Enabled();
+    if (telemetry.Enabled()) {
+      deployment.SetTelemetry(&telemetry);
+    }
+
+    StageObjects objects =
+        options.crawl ? deployment.ProfileByCrawl() : deployment.ObjectsFromContent();
+
+    printf("target: %s  fleet=%zu  theta=%.0fms  step=%zu  max=%zu  mr=%zu%s\n\n",
+           site->server.name.c_str(), options.fleet, options.theta_ms, options.step,
+           options.max_crowd, options.mr, options.crawl ? "  (crawl-profiled)" : "");
+
+    Coordinator coordinator(deployment.Testbed(), config, options.seed + 1);
+    if (telemetry.Enabled()) {
+      coordinator.SetTelemetry(&telemetry);
+    }
+    result = coordinator.Run(objects, options.stages);
+    deployment.StopBackground();
+
+    if (journal != nullptr) {
+      JournalSiteRecord record;
+      record.seed = options.seed;
+      record.stage = options.stages.empty() ? StageKind::kBase : options.stages[0];
+      record.result = result;
+      if (want_trace) {
+        record.has_trace = true;
+        record.trace_spans = tracer.Spans();
+      }
+      if (want_metrics) {
+        record.has_metrics = true;
+        record.metrics = metrics;
+      }
+      journal->AppendSite(record);
+    }
+  }
 
   if (result.aborted) {
     printf("ABORTED: %s\n", result.abort_reason.c_str());
