@@ -1,0 +1,172 @@
+// Perf microbench for the fluid-flow network allocator: high-churn
+// concurrent downloads over shared and component-disjoint bottlenecks, the
+// slow-start doubling storm, and abort churn. Emits BENCH_flow_network.json
+// (events/sec + allocator recompute counters) so the incremental-allocator
+// speedup stays auditable across PRs.
+//
+// The headline scenario (churn_components) is many disjoint bottleneck
+// groups — the shape a multi-site survey shard produces — where incremental
+// reallocation only touches the changed component. churn_shared is the
+// honest worst case: one bottleneck, every flow in one component.
+//
+//   perf_flow_network [--repeats=N] [--scale=X] [--out=PATH]
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench/perf_util.h"
+#include "src/net/flow_network.h"
+#include "src/sim/event_loop.h"
+
+namespace {
+
+struct ChurnSpec {
+  size_t groups = 1;             // disjoint bottleneck components
+  size_t clients_per_group = 8;  // one access link each
+  size_t downloads = 4;          // sequential downloads per client
+  double bytes_base = 50e3;
+  bool slow_start = false;
+  bool aborts = false;  // abort every odd download mid-flight
+};
+
+struct ChurnResult {
+  uint64_t events = 0;
+  mfc::FlowNetworkStats stats;
+};
+
+// One client's download chain: start -> complete -> think -> next download.
+struct Client {
+  mfc::EventLoop* loop;
+  mfc::FlowNetwork* net;
+  std::vector<mfc::LinkId> path;
+  double bytes;
+  double rtt;
+  size_t left;
+  bool slow_start;
+  std::function<void()> start_next;  // stable address for rescheduling
+};
+
+ChurnResult RunChurn(const ChurnSpec& spec) {
+  mfc::EventLoop loop;
+  mfc::FlowNetwork net(loop);
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(spec.groups * spec.clients_per_group);
+  size_t idx = 0;
+  for (size_t g = 0; g < spec.groups; ++g) {
+    // 10 Mbps server access link per group, 2 Mbps client links: the server
+    // link is the bottleneck once ~5 downloads overlap, as in the paper's
+    // Large Object stage.
+    mfc::LinkId server = net.AddLink(1.25e6);
+    for (size_t c = 0; c < spec.clients_per_group; ++c, ++idx) {
+      mfc::LinkId access = net.AddLink(2.5e5);
+      auto client = std::make_unique<Client>();
+      client->loop = &loop;
+      client->net = &net;
+      client->path = {server, access};
+      client->bytes = spec.bytes_base * (1.0 + 0.25 * static_cast<double>(idx % 5));
+      client->rtt = 0.02 + 0.002 * static_cast<double>(idx % 7);
+      client->left = spec.downloads;
+      client->slow_start = spec.slow_start;
+      Client* p = client.get();
+      if (spec.aborts) {
+        // Kill-timer pattern: independent downloads at fixed instants, every
+        // odd one aborted mid-flight (chaining would double-advance when a
+        // flow completes before its abort timer fires).
+        double t0 = 0.01 * static_cast<double>(idx % 101);
+        for (size_t k = 0; k < spec.downloads; ++k) {
+          bool abort_it = k % 2 == 1;
+          loop.ScheduleAt(t0 + 0.4 * static_cast<double>(k), [p, abort_it] {
+            mfc::TcpParams tcp;
+            tcp.slow_start = p->slow_start;
+            mfc::FlowId id = p->net->StartFlow(p->path, p->bytes, p->rtt, tcp, [] {});
+            if (abort_it) {
+              mfc::FlowNetwork* net = p->net;
+              p->loop->ScheduleAfter(0.08, [net, id] { net->AbortFlow(id); });
+            }
+          });
+        }
+      } else {
+        client->start_next = [p] {
+          if (p->left == 0) {
+            return;
+          }
+          --p->left;
+          mfc::TcpParams tcp;
+          tcp.slow_start = p->slow_start;
+          p->net->StartFlow(p->path, p->bytes, p->rtt, tcp,
+                            [p] { p->loop->ScheduleAfter(0.005, p->start_next); });
+        };
+        // Staggered arrivals keep the flow set churning instead of phased.
+        loop.ScheduleAfter(0.01 * static_cast<double>(idx % 101), p->start_next);
+      }
+      clients.push_back(std::move(client));
+    }
+  }
+  loop.RunUntilIdle();
+  ChurnResult r;
+  r.events = loop.ExecutedCount();
+  r.stats = net.Stats();
+  return r;
+}
+
+mfc::PerfScenario Measure(const char* name, size_t repeats, const ChurnSpec& spec) {
+  mfc::PerfScenario s;
+  s.name = name;
+  ChurnResult r;
+  for (size_t rep = 0; rep < repeats; ++rep) {
+    mfc::PerfTimer timer;
+    r = RunChurn(spec);
+    s.wall_seconds.push_back(timer.Seconds());
+    assert(rep == 0 || r.events == s.items);
+    s.items = r.events;
+  }
+  s.extras.emplace_back("reallocs", static_cast<double>(r.stats.reallocs));
+  s.extras.emplace_back("full_reallocs", static_cast<double>(r.stats.full_reallocs));
+  s.extras.emplace_back("flows_touched", static_cast<double>(r.stats.flows_touched));
+  s.extras.emplace_back("links_touched", static_cast<double>(r.stats.links_touched));
+  s.extras.emplace_back("no_progress", static_cast<double>(r.stats.no_progress));
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mfc::PerfArgs args = mfc::ParsePerfArgs(argc, argv, "BENCH_flow_network.json");
+  if (!args.ok) {
+    return 2;
+  }
+  auto scaled = [&args](size_t n) {
+    return std::max<size_t>(1, static_cast<size_t>(static_cast<double>(n) * args.scale));
+  };
+  mfc::PerfReport report("flow_network", 1);
+
+  ChurnSpec components;
+  components.groups = scaled(24);
+  components.clients_per_group = 40;
+  components.downloads = 10;
+  report.Add(Measure("churn_components", args.repeats, components));
+
+  ChurnSpec shared;
+  shared.groups = 1;
+  shared.clients_per_group = scaled(256);
+  shared.downloads = 8;
+  report.Add(Measure("churn_shared", args.repeats, shared));
+
+  ChurnSpec slow_start;
+  slow_start.groups = scaled(8);
+  slow_start.clients_per_group = 48;
+  slow_start.downloads = 3;
+  slow_start.bytes_base = 400e3;
+  slow_start.slow_start = true;
+  report.Add(Measure("slow_start_crowd", args.repeats, slow_start));
+
+  ChurnSpec aborts;
+  aborts.groups = scaled(12);
+  aborts.clients_per_group = 24;
+  aborts.downloads = 6;
+  aborts.aborts = true;
+  report.Add(Measure("abort_churn", args.repeats, aborts));
+
+  return report.Finish(args.out_path);
+}

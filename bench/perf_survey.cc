@@ -1,0 +1,62 @@
+// Perf macrobench: fig9-shaped Large Object survey (the allocator-heaviest
+// stage — every crowd client holds a concurrent flow on the server access
+// link) across the four Quantcast rank bands. Emits BENCH_survey.json with
+// sites/sec plus the full breakdown counts, so a run doubles as a result-
+// identity check across allocator rewrites: same commit-to-commit counts or
+// the speedup is measuring different work.
+//
+//   perf_survey [--repeats=N] [--sites=N] [--jobs=N] [--out=PATH]
+#include <cstdint>
+
+#include "bench/perf_util.h"
+#include "src/core/survey.h"
+
+int main(int argc, char** argv) {
+  mfc::PerfArgs args = mfc::ParsePerfArgs(argc, argv, "BENCH_survey.json");
+  if (!args.ok) {
+    return 2;
+  }
+  size_t sites_per_band = args.sites > 0 ? args.sites : 24;
+  // Default jobs=1: sites/sec then measures the hot path, not the core count,
+  // and numbers stay comparable across differently-sized machines.
+  size_t jobs = args.jobs > 0 ? args.jobs : 1;
+
+  const mfc::Cohort kBands[] = {mfc::Cohort::kRank1To1K, mfc::Cohort::kRank1KTo10K,
+                                mfc::Cohort::kRank10KTo100K, mfc::Cohort::kRank100KTo1M};
+  const char* kBandNames[] = {"rank1", "rank2", "rank3", "rank4"};
+
+  mfc::PerfReport report("survey", jobs);
+  mfc::PerfScenario all;
+  all.name = "fig9_large_object";
+  all.items_unit = "sites";
+  all.items = 4 * sites_per_band;
+  mfc::SurveyBreakdown breakdowns[4];
+  for (size_t rep = 0; rep < args.repeats; ++rep) {
+    mfc::PerfTimer timer;
+    uint64_t seed = 900;
+    for (int band = 0; band < 4; ++band) {
+      mfc::SurveyBreakdown b = mfc::RunSurveyCohortParallel(
+          kBands[band], mfc::StageKind::kLargeObject, sites_per_band, 85, seed++, jobs);
+      if (rep == 0) {
+        breakdowns[band] = b;
+      } else if (!(b == breakdowns[band])) {
+        fprintf(stderr, "non-deterministic breakdown in band %s\n", kBandNames[band]);
+        return 1;
+      }
+    }
+    all.wall_seconds.push_back(timer.Seconds());
+  }
+  // Breakdown counts double as a cross-allocator result fingerprint.
+  for (int band = 0; band < 4; ++band) {
+    const mfc::SurveyBreakdown& b = breakdowns[band];
+    size_t stopped = b.servers - b.nostop;
+    all.extras.emplace_back(std::string(kBandNames[band]) + "_stopped",
+                            static_cast<double>(stopped));
+    all.extras.emplace_back(std::string(kBandNames[band]) + "_le10",
+                            static_cast<double>(b.b10));
+    all.extras.emplace_back(std::string(kBandNames[band]) + "_nostop",
+                            static_cast<double>(b.nostop));
+  }
+  report.Add(std::move(all));
+  return report.Finish(args.out_path);
+}

@@ -206,6 +206,12 @@ class SurveyRecorder {
                 journal_->Path().c_str());
       }
     }
+    double stalls =
+        telemetry_.collect_metrics ? telemetry_.metrics.Counter("flow_network.no_progress") : 0.0;
+    if (stalls > 0.0) {
+      fprintf(stderr, "warning: flow_network.no_progress = %.0f (water-filling stalls)\n",
+              stalls);
+    }
     int rc = 0;
     if (!trace_path_.empty() && !WriteBenchFile(trace_path_, ExportTraceJson(telemetry_.trace))) {
       rc = 1;
@@ -286,7 +292,13 @@ class SurveyRecorder {
         json += line;
         first = false;
       }
-      json += "\n  }\n";
+      json += "\n  },\n";
+      // Allocator health: water-filling passes that made no progress. Always
+      // 0 in a healthy run; a nonzero value means some flows were left
+      // pinned at rate 0 (see FlowNetworkStats::no_progress).
+      snprintf(line, sizeof(line), "  \"flow_network\": {\"no_progress\": %.0f}\n",
+               telemetry_.metrics.Counter("flow_network.no_progress"));
+      json += line;
     }
     json += "}\n";
     return json;

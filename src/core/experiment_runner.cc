@@ -153,6 +153,7 @@ uint64_t Deployment::BackgroundRequests() const {
 }
 
 void Deployment::SetTelemetry(Telemetry* telemetry) {
+  testbed_->Wan().Flows().SetMetrics(telemetry != nullptr ? telemetry->metrics : nullptr);
   if (server_ != nullptr) {
     server_->SetTelemetry(telemetry);
   }

@@ -35,6 +35,28 @@ EventId EventLoop::ScheduleAt(SimTime t, Callback cb) {
   return PackId(slot, s.generation);
 }
 
+EventId EventLoop::Reschedule(EventId id, SimTime t) {
+  uint32_t raw = static_cast<uint32_t>(id & 0xffffffffu);
+  if (raw == 0) {
+    return 0;
+  }
+  uint32_t slot = raw - 1;
+  uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].generation != generation ||
+      slots_[slot].cb == nullptr) {
+    return 0;
+  }
+  if (t < now_) {
+    t = now_;
+  }
+  Slot& s = slots_[slot];
+  // Mirrors Cancel + ScheduleAt on the same slot: one generation bump (which
+  // strands the old heap entry), one fresh sequence number, live_ unchanged.
+  ++s.generation;
+  queue_.push(Entry{t, next_seq_++, slot, s.generation});
+  return PackId(slot, s.generation);
+}
+
 bool EventLoop::Cancel(EventId id) {
   uint32_t raw = static_cast<uint32_t>(id & 0xffffffffu);
   if (raw == 0) {

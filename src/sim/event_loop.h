@@ -47,6 +47,13 @@ class EventLoop {
   // was already cancelled, or never existed.
   bool Cancel(EventId id);
 
+  // Moves a pending event to time |t|, reusing its stored callback: exactly
+  // equivalent to Cancel(id) + ScheduleAt(t, same-callback) — one sequence
+  // number is consumed, the slot's generation advances once, and the old heap
+  // entry goes stale — but without destroying and rebuilding the callback.
+  // Returns the new id, or 0 if |id| was stale (caller must ScheduleAt).
+  EventId Reschedule(EventId id, SimTime t);
+
   // Runs a single event if one is pending. Returns false when idle.
   bool RunOne();
 

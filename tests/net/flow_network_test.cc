@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -21,8 +22,8 @@ TEST(FlowNetworkTest, SingleFlowUsesFullCapacity) {
   FlowNetwork net(loop);
   LinkId link = net.AddLink(1000.0);  // 1000 B/s
   bool done = false;
-  net.StartFlow({link}, 500.0, 0.01, NoSlowStart(), [&] { done = true; });
-  EXPECT_DOUBLE_EQ(net.FlowRate(1), 1000.0);
+  FlowId f = net.StartFlow({link}, 500.0, 0.01, NoSlowStart(), [&] { done = true; });
+  EXPECT_DOUBLE_EQ(net.FlowRate(f), 1000.0);
   loop.RunUntilIdle();
   EXPECT_TRUE(done);
   EXPECT_NEAR(loop.Now(), 0.5, 1e-9);
@@ -160,6 +161,78 @@ TEST(FlowNetworkTest, NoLivelockAtLargeClockValues) {
   }
   EXPECT_TRUE(done);
   EXPECT_EQ(net.ActiveFlowCount(), 0u);
+}
+
+TEST(FlowNetworkTest, StaleHandlesAreSafeNoOps) {
+  EventLoop loop;
+  FlowNetwork net(loop);
+  LinkId link = net.AddLink(100.0);
+  bool done = false;
+  FlowId f = net.StartFlow({link}, 200.0, 0.01, NoSlowStart(), [&] { done = true; });
+  net.AbortFlow(f);
+  net.AbortFlow(f);  // second abort: id is stale, must not touch a reused slot
+  EXPECT_EQ(net.FlowRate(f), 0.0);
+  // The freed slot is reused; the old id must not alias the new flow.
+  FlowId g = net.StartFlow({link}, 200.0, 0.01, NoSlowStart(), [] {});
+  net.AbortFlow(f);
+  EXPECT_GT(net.FlowRate(g), 0.0);
+  net.AbortFlow(0);  // id 0 is never issued
+  loop.RunUntilIdle();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(net.ActiveFlowCount(), 0u);
+}
+
+TEST(FlowNetworkTest, StatsCountAllocatorWork) {
+  EventLoop loop;
+  FlowNetwork net(loop);
+  LinkId link = net.AddLink(100.0);
+  EXPECT_EQ(net.Stats().reallocs, 0u);
+  net.StartFlow({link}, 100.0, 0.01, NoSlowStart(), [] {});
+  net.StartFlow({link}, 250.0, 0.01, NoSlowStart(), [] {});
+  FlowNetworkStats after_start = net.Stats();  // copy: Stats() is a live view
+  EXPECT_EQ(after_start.reallocs, 2u);
+  EXPECT_GE(after_start.flows_touched, 3u);  // 1 on first pass + 2 on second
+  EXPECT_GE(after_start.links_touched, 2u);
+  loop.RunUntilIdle();
+  const FlowNetworkStats& done = net.Stats();
+  EXPECT_GE(done.reallocs, after_start.reallocs + 2);  // two completions
+  EXPECT_LE(done.full_reallocs, done.reallocs);
+  EXPECT_EQ(done.no_progress, 0u);
+}
+
+TEST(FlowNetworkTest, LinkRateAggregateStaysExactThroughChurn) {
+  EventLoop loop;
+  FlowNetwork net(loop);
+  LinkId shared = net.AddLink(100.0);
+  LinkId side = net.AddLink(40.0);
+  Rng rng(0xc0ffee);
+  std::vector<FlowId> live;
+  for (int round = 0; round < 200; ++round) {
+    if (!live.empty() && rng.Chance(0.4)) {
+      size_t pick = rng.NextBelow(live.size());
+      net.AbortFlow(live[pick]);
+      live.erase(live.begin() + static_cast<long>(pick));
+    } else {
+      std::vector<LinkId> path{shared};
+      if (rng.Chance(0.5)) {
+        path.push_back(side);
+      }
+      live.push_back(net.StartFlow(path, rng.Uniform(1e3, 1e6), 0.02,
+                                   rng.Chance(0.5) ? TcpParams{} : NoSlowStart(), [] {}));
+    }
+    // O(1) aggregate must equal the sum over live flows crossing the link
+    // (debug builds also assert this inside LinkRate).
+    double sum_shared = 0.0;
+    for (FlowId f : live) {
+      sum_shared += net.FlowRate(f);
+    }
+    EXPECT_NEAR(net.LinkRate(shared), sum_shared, 1e-6 * std::max(1.0, sum_shared));
+    EXPECT_LE(net.LinkRate(side), net.LinkCapacity(side) + 1e-6);
+  }
+  loop.RunUntilIdle();
+  EXPECT_EQ(net.ActiveFlowCount(), 0u);
+  EXPECT_EQ(net.LinkRate(shared), 0.0);
+  EXPECT_EQ(net.LinkRate(side), 0.0);
 }
 
 // Property sweep: random flow sets never violate capacity, and max-min is

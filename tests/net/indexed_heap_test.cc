@@ -1,0 +1,197 @@
+#include "src/net/indexed_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace mfc {
+namespace {
+
+TEST(IndexedHeapTest, PopsInKeyOrder) {
+  IndexedMinHeap heap;
+  heap.Update(0, 3.0, 0);
+  heap.Update(1, 1.0, 1);
+  heap.Update(2, 2.0, 2);
+  EXPECT_EQ(heap.TopItem(), 1u);
+  heap.Pop();
+  EXPECT_EQ(heap.TopItem(), 2u);
+  heap.Pop();
+  EXPECT_EQ(heap.TopItem(), 0u);
+  heap.Pop();
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(IndexedHeapTest, EqualKeysBreakTiesBySeq) {
+  IndexedMinHeap heap;
+  heap.Update(7, 5.0, 30);
+  heap.Update(3, 5.0, 10);
+  heap.Update(5, 5.0, 20);
+  EXPECT_EQ(heap.TopItem(), 3u);
+  heap.Pop();
+  EXPECT_EQ(heap.TopItem(), 5u);
+  heap.Pop();
+  EXPECT_EQ(heap.TopItem(), 7u);
+}
+
+TEST(IndexedHeapTest, UpdateReprioritizesBothDirections) {
+  IndexedMinHeap heap;
+  heap.Update(0, 1.0, 0);
+  heap.Update(1, 2.0, 1);
+  heap.Update(2, 3.0, 2);
+  heap.Update(0, 9.0, 0);  // sink the old minimum
+  EXPECT_EQ(heap.TopItem(), 1u);
+  heap.Update(2, 0.5, 2);  // raise the tail to the top
+  EXPECT_EQ(heap.TopItem(), 2u);
+  EXPECT_DOUBLE_EQ(heap.KeyOf(0), 9.0);
+  EXPECT_EQ(heap.Size(), 3u);
+}
+
+TEST(IndexedHeapTest, RemoveMiddleKeepsOrder) {
+  IndexedMinHeap heap;
+  for (uint32_t i = 0; i < 10; ++i) {
+    heap.Update(i, static_cast<double>(i), i);
+  }
+  heap.Remove(4);
+  heap.Remove(0);
+  heap.Remove(9);
+  EXPECT_FALSE(heap.Contains(4));
+  std::vector<uint32_t> popped;
+  while (!heap.Empty()) {
+    popped.push_back(heap.TopItem());
+    heap.Pop();
+  }
+  EXPECT_EQ(popped, (std::vector<uint32_t>{1, 2, 3, 5, 6, 7, 8}));
+}
+
+TEST(IndexedHeapTest, RemoveAbsentIsNoOp) {
+  IndexedMinHeap heap;
+  heap.Update(1, 1.0, 0);
+  heap.Remove(2);
+  heap.Remove(100);  // beyond the position index
+  EXPECT_EQ(heap.Size(), 1u);
+  EXPECT_EQ(heap.TopItem(), 1u);
+}
+
+TEST(IndexedHeapTest, ClearEmptiesAndAllowsReuse) {
+  IndexedMinHeap heap;
+  heap.Update(0, 1.0, 0);
+  heap.Update(1, 2.0, 1);
+  heap.Clear();
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_FALSE(heap.Contains(0));
+  heap.Update(1, 7.0, 9);
+  EXPECT_EQ(heap.TopItem(), 1u);
+  EXPECT_DOUBLE_EQ(heap.TopKey(), 7.0);
+}
+
+TEST(IndexedHeapTest, AssignMatchesSiftedUpdates) {
+  Rng rng(0x1dbeef);
+  std::vector<IndexedMinHeap::Entry> entries;
+  for (uint32_t i = 0; i < 200; ++i) {
+    entries.push_back({rng.Uniform(0.0, 100.0), i % 7, i});
+  }
+  IndexedMinHeap bulk;
+  bulk.Assign(entries);
+  IndexedMinHeap sifted;
+  for (const auto& e : entries) {
+    sifted.Update(e.item, e.key, e.seq);
+  }
+  ASSERT_EQ(bulk.Size(), sifted.Size());
+  while (!bulk.Empty()) {
+    EXPECT_EQ(bulk.TopItem(), sifted.TopItem());
+    EXPECT_DOUBLE_EQ(bulk.TopKey(), sifted.TopKey());
+    bulk.Pop();
+    sifted.Pop();
+  }
+}
+
+TEST(IndexedHeapTest, AssignReplacesPriorContents) {
+  IndexedMinHeap heap;
+  heap.Update(0, 1.0, 0);
+  heap.Update(5, 2.0, 1);
+  heap.Assign({{4.0, 0, 2}, {3.0, 1, 3}});
+  EXPECT_EQ(heap.Size(), 2u);
+  EXPECT_FALSE(heap.Contains(0));
+  EXPECT_FALSE(heap.Contains(5));
+  EXPECT_EQ(heap.TopItem(), 3u);
+  heap.Pop();
+  EXPECT_EQ(heap.TopItem(), 2u);
+}
+
+TEST(IndexedHeapTest, AssignEmptyClears) {
+  IndexedMinHeap heap;
+  heap.Update(3, 1.0, 0);
+  heap.Assign({});
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_FALSE(heap.Contains(3));
+}
+
+// Random interleaving of every operation against a multiset oracle.
+TEST(IndexedHeapTest, RandomOpsMatchOracle) {
+  Rng rng(0xfeed5eed);
+  IndexedMinHeap heap;
+  // (key, seq, item) with the heap's exact comparison order.
+  std::set<std::tuple<double, uint64_t, uint32_t>> oracle;
+  std::vector<bool> present(64, false);
+  uint64_t seq = 0;
+  auto key_of = [&](uint32_t item) {
+    for (const auto& t : oracle) {
+      if (std::get<2>(t) == item) {
+        return std::make_pair(std::get<0>(t), std::get<1>(t));
+      }
+    }
+    ADD_FAILURE() << "item " << item << " missing from oracle";
+    return std::make_pair(0.0, uint64_t{0});
+  };
+  for (int op = 0; op < 5000; ++op) {
+    uint32_t item = static_cast<uint32_t>(rng.NextU64() % present.size());
+    switch (rng.NextU64() % 4) {
+      case 0:
+      case 1: {  // insert or reprioritize
+        double key = rng.Uniform(0.0, 10.0);
+        if (present[item]) {
+          auto old = key_of(item);
+          oracle.erase({old.first, old.second, item});
+        }
+        heap.Update(item, key, seq);
+        oracle.insert({key, seq, item});
+        present[item] = true;
+        ++seq;
+        break;
+      }
+      case 2: {  // remove
+        heap.Remove(item);
+        if (present[item]) {
+          auto old = key_of(item);
+          oracle.erase({old.first, old.second, item});
+          present[item] = false;
+        }
+        break;
+      }
+      case 3: {  // pop
+        if (!oracle.empty()) {
+          auto top = *oracle.begin();
+          ASSERT_EQ(heap.TopItem(), std::get<2>(top));
+          ASSERT_DOUBLE_EQ(heap.TopKey(), std::get<0>(top));
+          heap.Pop();
+          oracle.erase(oracle.begin());
+          present[std::get<2>(top)] = false;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(heap.Size(), oracle.size());
+    if (!oracle.empty()) {
+      ASSERT_EQ(heap.TopItem(), std::get<2>(*oracle.begin()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mfc

@@ -265,5 +265,88 @@ TEST(EventLoopTest, StressManyEventsStayOrdered) {
   }
 }
 
+TEST(EventLoopTest, RescheduleMovesEventToNewTime) {
+  EventLoop loop;
+  std::vector<double> fired;
+  EventId id = loop.ScheduleAt(5.0, [&] { fired.push_back(loop.Now()); });
+  EventId moved = loop.Reschedule(id, 2.0);
+  ASSERT_NE(moved, 0u);
+  loop.RunUntilIdle();
+  EXPECT_EQ(fired, (std::vector<double>{2.0}));
+  EXPECT_DOUBLE_EQ(loop.Now(), 2.0);
+}
+
+TEST(EventLoopTest, RescheduleInvalidatesOldId) {
+  EventLoop loop;
+  bool ran = false;
+  EventId id = loop.ScheduleAt(5.0, [&] { ran = true; });
+  EventId moved = loop.Reschedule(id, 2.0);
+  ASSERT_NE(moved, 0u);
+  EXPECT_FALSE(loop.Cancel(id));     // the original handle is stale
+  EXPECT_TRUE(loop.Cancel(moved));   // only the new one controls the event
+  loop.RunUntilIdle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoopTest, RescheduleStaleIdReturnsZero) {
+  EventLoop loop;
+  EventId id = loop.ScheduleAt(1.0, [] {});
+  loop.RunUntilIdle();
+  EXPECT_EQ(loop.Reschedule(id, 2.0), 0u);
+  EXPECT_EQ(loop.Reschedule(0, 2.0), 0u);
+  EventId cancelled = loop.ScheduleAt(3.0, [] {});
+  loop.Cancel(cancelled);
+  EXPECT_EQ(loop.Reschedule(cancelled, 4.0), 0u);
+}
+
+TEST(EventLoopTest, RescheduleToThePastClampsToNow) {
+  EventLoop loop;
+  loop.ScheduleAt(10.0, [] {});
+  loop.RunUntilIdle();
+  SimTime seen = -1.0;
+  EventId id = loop.ScheduleAt(20.0, [&] { seen = loop.Now(); });
+  ASSERT_NE(loop.Reschedule(id, 1.0), 0u);
+  loop.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(seen, 10.0);
+}
+
+TEST(EventLoopTest, RescheduleMatchesCancelPlusSchedule) {
+  // Same observable behaviour as Cancel + ScheduleAt: firing order, timing,
+  // and pending counts.
+  EventLoop a;
+  EventLoop b;
+  std::vector<double> fired_a;
+  std::vector<double> fired_b;
+  EventId ia = a.ScheduleAt(7.0, [&] { fired_a.push_back(a.Now()); });
+  a.ScheduleAt(4.0, [&] { fired_a.push_back(a.Now()); });
+  a.Reschedule(ia, 3.0);
+
+  EventId ib = b.ScheduleAt(7.0, [&] { fired_b.push_back(b.Now()); });
+  b.ScheduleAt(4.0, [&] { fired_b.push_back(b.Now()); });
+  b.Cancel(ib);
+  b.ScheduleAt(3.0, [&] { fired_b.push_back(b.Now()); });
+
+  EXPECT_EQ(a.PendingCount(), b.PendingCount());
+  a.RunUntilIdle();
+  b.RunUntilIdle();
+  EXPECT_EQ(fired_a, fired_b);
+  EXPECT_EQ(fired_a, (std::vector<double>{3.0, 4.0}));
+  EXPECT_EQ(a.PendingCount(), 0u);
+}
+
+TEST(EventLoopTest, RescheduleRepeatedlyFiresOnce) {
+  EventLoop loop;
+  int runs = 0;
+  EventId id = loop.ScheduleAt(1.0, [&] { ++runs; });
+  for (int i = 0; i < 50; ++i) {
+    id = loop.Reschedule(id, 1.0 + static_cast<double>(i));
+    ASSERT_NE(id, 0u);
+  }
+  loop.RunUntilIdle();
+  EXPECT_EQ(runs, 1);
+  EXPECT_DOUBLE_EQ(loop.Now(), 50.0);
+  EXPECT_EQ(loop.PendingCount(), 0u);
+}
+
 }  // namespace
 }  // namespace mfc

@@ -300,6 +300,15 @@ int RunSurvey(const Options& options) {
          "40-50: %.0f%%  >50: %.0f%%  NoStop: %.0f%%\n",
          b.servers, pct(b.b10), pct(b.b20), pct(b.b30), pct(b.b40), pct(b.b50),
          pct(b.b50plus), pct(b.nostop));
+  if (telemetry.collect_metrics) {
+    // A non-zero stall count means some allocation pass left flows pinned at
+    // rate 0 (see FlowNetworkStats::no_progress) — results are suspect.
+    double stalls = telemetry.metrics.Counter("flow_network.no_progress");
+    if (stalls > 0.0) {
+      fprintf(stderr, "warning: flow_network.no_progress = %.0f (water-filling stalls)\n",
+              stalls);
+    }
+  }
   if (!options.trace_path.empty()) {
     WriteFile(options.trace_path, ExportTraceJson(telemetry.trace));
   }
