@@ -14,6 +14,10 @@
 //                     sites and exit 130 with a resume hint
 //   --resume          replay already-journaled sites from --journal and run
 //                     only the remainder (bit-identical output, any --jobs)
+//   --stats-stream=<path>  stream runtime health snapshots as JSONL
+//                     ('-' = stdout); --stats-interval=<S> sets the cadence
+//   --progress        verbose per-site stderr lines (default: a rate-limited
+//                     single progress line, terminal only)
 #ifndef MFC_BENCH_SURVEY_COMMON_H_
 #define MFC_BENCH_SURVEY_COMMON_H_
 
@@ -30,6 +34,7 @@
 #include "src/core/journal/shutdown.h"
 #include "src/core/parallel_runner.h"
 #include "src/core/survey.h"
+#include "src/telemetry/stats_stream.h"
 
 namespace mfc {
 
@@ -41,6 +46,9 @@ struct SurveyArgs {
   std::string metrics_path;     // empty = metrics off
   std::string journal_path;     // empty = no journal (default crash behavior)
   bool resume = false;
+  std::string stats_stream_path;  // empty = no JSONL health feed
+  double stats_interval = 1.0;    // wall-clock seconds between snapshots
+  bool progress = false;          // verbose per-site stderr lines
   bool ok = true;
 };
 
@@ -66,12 +74,19 @@ inline SurveyArgs ParseSurveyArgs(int argc, char** argv) {
       args.journal_path = argv[++i];
     } else if (arg == "--resume") {
       args.resume = true;
+    } else if (arg.rfind("--stats-stream=", 0) == 0) {
+      args.stats_stream_path = arg.substr(strlen("--stats-stream="));
+    } else if (arg.rfind("--stats-interval=", 0) == 0) {
+      args.stats_interval = atof(arg.c_str() + strlen("--stats-interval="));
+    } else if (arg == "--progress") {
+      args.progress = true;
     } else if (!arg.empty() && arg[0] != '-') {
       args.servers_override = static_cast<size_t>(atoi(arg.c_str()));
     } else {
       fprintf(stderr,
               "unknown flag '%s' (supported: <servers> --jobs=N --json=<path> "
-              "--trace=<path> --metrics=<path> --journal=<path> --resume)\n",
+              "--trace=<path> --metrics=<path> --journal=<path> --resume "
+              "--stats-stream=<path> --stats-interval=<S> --progress)\n",
               arg.c_str());
       args.ok = false;
     }
@@ -136,7 +151,23 @@ class SurveyRecorder {
         start_(std::chrono::steady_clock::now()) {
     telemetry_.collect_trace = !trace_path_.empty();
     telemetry_.collect_metrics = !metrics_path_.empty();
-    telemetry_.progress = telemetry_.Enabled();
+    telemetry_.progress = args.progress;
+    // Health plane: the verbose per-site lines are opt-in (--progress);
+    // by default a rate-limited terminal line and/or the --stats-stream
+    // JSONL feed report progress instead.
+    if (!args.stats_stream_path.empty()) {
+      std::string error;
+      stats_ = StatsStream::Open(args.stats_stream_path, &error);
+      if (stats_ == nullptr) {
+        fprintf(stderr, "%s\n", error.c_str());
+        exit(2);
+      }
+      telemetry_.stats = stats_.get();
+    }
+    if (!args.progress && progress_line_.Enabled()) {
+      telemetry_.progress_line = &progress_line_;
+    }
+    telemetry_.stats_interval = args.stats_interval;
     if (!args.journal_path.empty()) {
       // The fingerprint pins everything that shapes the work partition —
       // but never --jobs or output paths, which a resume may change freely.
@@ -180,10 +211,12 @@ class SurveyRecorder {
         exit(2);
       }
     }
+    telemetry_.stats_label = std::string(CohortName(cohort));
+    SurveyTelemetry* telemetry_arg =
+        telemetry_.Enabled() || telemetry_.progress || telemetry_.HealthAttached() ? &telemetry_
+                                                                                   : nullptr;
     SurveyBreakdown b = RunSurveyCohortParallel(cohort, stage, servers, max_crowd, seed, jobs_,
-                                                nullptr,
-                                                telemetry_.Enabled() ? &telemetry_ : nullptr,
-                                                journal_.get());
+                                                nullptr, telemetry_arg, journal_.get());
     if (journal_ != nullptr && journal_->interrupted.load(std::memory_order_relaxed)) {
       interrupted_ = true;
     }
@@ -312,6 +345,8 @@ class SurveyRecorder {
   std::chrono::steady_clock::time_point start_;
   std::vector<SurveyBreakdown> breakdowns_;
   SurveyTelemetry telemetry_;
+  std::unique_ptr<StatsStream> stats_;
+  ProgressLine progress_line_{1.0};
   std::unique_ptr<SurveyJournal> journal_;
   bool interrupted_ = false;
 };

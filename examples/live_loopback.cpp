@@ -9,20 +9,33 @@
 // the simulation's control_loss_rate — the run should reach the same verdict
 // with the knobs on, only with retries doing the work:
 //
+// The run's health plane (DESIGN.md §11) is opt-in: --stats-stream streams
+// per-agent health rows (last-seen age, probe miss streak, control RTT EWMA,
+// loss estimate, piggybacked agent counters) as JSONL, --metrics exports the
+// live.* control-plane counters as CSV, and --unhealthy-after hands the
+// coordinator's eviction logic a transport-level verdict.
+//
 //   $ ./live_loopback [fleet_size] [knee] [--drop=P] [--dup=P] [--delay=P]
 //                     [--connect-fail=P] [--fault-seed=N]
+//                     [--stats-stream=FILE|-] [--stats-interval=S]
+//                     [--metrics=FILE] [--unhealthy-after=N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
+#include <string>
 
 #include "src/content/site_generator.h"
 #include "src/core/coordinator.h"
+#include "src/core/export.h"
 #include "src/core/inference.h"
 #include "src/rt/client_agent.h"
 #include "src/rt/fault_injector.h"
 #include "src/rt/live_harness.h"
 #include "src/rt/live_http_server.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/stats_stream.h"
 
 namespace {
 
@@ -35,6 +48,15 @@ bool ParseRateFlag(const char* arg, const char* name, double* out) {
   return true;
 }
 
+bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = strlen(name);
+  if (strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *out = arg + len + 1;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -42,6 +64,10 @@ int main(int argc, char** argv) {
   size_t knee = 8;
   mfc::FaultConfig faults;
   double fault_seed = 11;
+  std::string stats_path;
+  std::string metrics_path;
+  double stats_interval = 0.5;
+  double unhealthy_after = 0;
   size_t positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -49,7 +75,11 @@ int main(int argc, char** argv) {
         ParseRateFlag(arg, "--dup", &faults.duplicate_rate) ||
         ParseRateFlag(arg, "--delay", &faults.delay_rate) ||
         ParseRateFlag(arg, "--connect-fail", &faults.connect_failure_rate) ||
-        ParseRateFlag(arg, "--fault-seed", &fault_seed)) {
+        ParseRateFlag(arg, "--fault-seed", &fault_seed) ||
+        ParseRateFlag(arg, "--stats-interval", &stats_interval) ||
+        ParseRateFlag(arg, "--unhealthy-after", &unhealthy_after) ||
+        ParseStringFlag(arg, "--stats-stream", &stats_path) ||
+        ParseStringFlag(arg, "--metrics", &metrics_path)) {
       continue;
     }
     if (positional == 0) {
@@ -88,6 +118,47 @@ int main(int argc, char** argv) {
   mfc::LiveHarness harness(reactor, server.Port());
   harness.set_request_timeout(2.0);
   harness.set_retry_policy(retry);
+  mfc::MetricsRegistry metrics;
+  harness.SetMetrics(&metrics);
+  if (unhealthy_after > 0) {
+    harness.set_unhealthy_after_misses(static_cast<size_t>(unhealthy_after));
+  }
+
+  // Health plane: a self-rearming reactor timer samples the per-agent health
+  // table (plus live.* counter deltas) while the experiment runs. Read-only
+  // against the harness, so attaching it cannot change the verdict.
+  std::unique_ptr<mfc::StatsStream> stats;
+  if (!stats_path.empty()) {
+    std::string error;
+    stats = mfc::StatsStream::Open(stats_path, &error);
+    if (stats == nullptr) {
+      fprintf(stderr, "--stats-stream: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  mfc::MetricsDeltaTracker deltas;
+  auto emit_health = [&] {
+    mfc::StatsSnapshot snapshot;
+    snapshot.t = reactor.Now();
+    snapshot.clock = "wall";
+    snapshot.source = "live";
+    snapshot.agents = harness.SnapshotAgents();
+    deltas.Collect(metrics, &snapshot.counter_deltas);
+    stats->Emit(std::move(snapshot));
+  };
+  bool sampling = stats != nullptr;
+  std::function<void()> arm_sampler = [&] {
+    reactor.ScheduleAfter(stats_interval, [&] {
+      if (!sampling) {
+        return;  // run finished; let the leftover timer die quietly
+      }
+      emit_health();
+      arm_sampler();
+    });
+  };
+  if (stats != nullptr) {
+    arm_sampler();
+  }
   std::vector<std::unique_ptr<mfc::FaultInjector>> injectors;
   std::vector<std::unique_ptr<mfc::ClientAgent>> agents;
   for (size_t i = 0; i < fleet_size; ++i) {
@@ -136,6 +207,11 @@ int main(int argc, char** argv) {
   objects.base_page = *mfc::ParseUrl("http://127.0.0.1/");
   mfc::Coordinator coordinator(harness, config, 5);
   mfc::ExperimentResult result = coordinator.Run(objects, {mfc::StageKind::kBase});
+  if (stats != nullptr) {
+    sampling = false;
+    emit_health();  // final row: every feed ends with the post-run table
+    stats->Flush();
+  }
 
   for (const mfc::EpochResult& epoch : result.Stage(mfc::StageKind::kBase)->epochs) {
     printf("  epoch crowd=%-3zu samples=%-3zu median normalized=%.1f ms%s%s\n",
@@ -168,6 +244,21 @@ int main(int argc, char** argv) {
            static_cast<unsigned long long>(cp.measure_retries),
            static_cast<unsigned long long>(cp.fire_retries),
            static_cast<unsigned long long>(cp.duplicate_samples));
+  }
+  if (stats != nullptr) {
+    printf("health plane: %llu snapshots -> %s\n",
+           static_cast<unsigned long long>(stats->Emitted()), stats->Path().c_str());
+  }
+  if (!metrics_path.empty()) {
+    FILE* out = fopen(metrics_path.c_str(), "w");
+    if (out == nullptr) {
+      fprintf(stderr, "--metrics: cannot write %s\n", metrics_path.c_str());
+      return 2;
+    }
+    std::string csv = mfc::ExportMetricsCsv(metrics);
+    fwrite(csv.data(), 1, csv.size(), out);
+    fclose(out);
+    printf("live.* metrics -> %s\n", metrics_path.c_str());
   }
   return 0;
 }

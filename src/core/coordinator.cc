@@ -211,15 +211,26 @@ EpochResult Coordinator::RunEpoch(StageKind kind, const StageObjects& objects,
     } else {
       c.consecutive_misses = 0;
     }
-    if (config_.evict_after_misses > 0 && c.healthy &&
-        c.consecutive_misses >= config_.evict_after_misses) {
+    if (config_.evict_after_misses == 0 || !c.healthy) {
+      continue;
+    }
+    // Two eviction triggers, both gated on the same knob: the coordinator's
+    // own per-epoch miss count, and the transport's health verdict (for the
+    // live harness: consecutive unanswered control probes). The default
+    // ClientHealthy is always-true, so simulation behavior is unchanged.
+    bool transport_unhealthy = !harness_.ClientHealthy(c.id);
+    if (c.consecutive_misses >= config_.evict_after_misses || transport_unhealthy) {
       c.healthy = false;
       if (telemetry_ != nullptr && telemetry_->metrics != nullptr) {
         telemetry_->metrics->Add("coord.clients_evicted");
       }
       if (telemetry_ != nullptr && telemetry_->progress) {
-        fprintf(stderr, "[mfc] client %zu evicted after %zu consecutive misses\n", c.id,
-                c.consecutive_misses);
+        if (transport_unhealthy && c.consecutive_misses < config_.evict_after_misses) {
+          fprintf(stderr, "[mfc] client %zu evicted: control plane unhealthy\n", c.id);
+        } else {
+          fprintf(stderr, "[mfc] client %zu evicted after %zu consecutive misses\n", c.id,
+                  c.consecutive_misses);
+        }
       }
     }
   }

@@ -52,6 +52,17 @@ class ClientHarness {
 
   // Idles until |t| (epoch separation).
   virtual void WaitUntil(SimTime t) = 0;
+
+  // Transport-level health verdict for one client, consulted by the
+  // coordinator's eviction logic in addition to its own per-epoch miss
+  // accounting. The default says "always healthy", which keeps harnesses
+  // without a health table (the simulation testbed) byte-identical to the
+  // pre-health-plane behavior; LiveHarness overrides it with its per-agent
+  // probe-miss-streak verdict.
+  virtual bool ClientHealthy(size_t client) const {
+    (void)client;
+    return true;
+  }
 };
 
 }  // namespace mfc

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "src/telemetry/stats_stream.h"
+
 namespace mfc {
 
 size_t ResolveJobs(size_t requested) {
@@ -22,31 +24,44 @@ size_t ResolveJobs(size_t requested) {
 
 ParallelRunner::ParallelRunner(size_t jobs) : jobs_(ResolveJobs(jobs)) {}
 
-void ParallelRunner::RunIndexed(size_t count, const std::function<void(size_t)>& fn) const {
+void ParallelRunner::RunIndexed(size_t count, const std::function<void(size_t)>& fn,
+                                ParallelProgress* progress) const {
   if (count == 0) {
     return;
   }
   size_t workers = jobs_ < count ? jobs_ : count;
   if (workers <= 1) {
     for (size_t i = 0; i < count; ++i) {
+      if (progress != nullptr) {
+        progress->OnClaim(0, i);
+      }
       fn(i);
+      if (progress != nullptr) {
+        progress->OnDone(0);
+      }
     }
     return;
   }
   std::atomic<size_t> next{0};
-  auto worker = [&] {
+  auto worker = [&](size_t w) {
     for (;;) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) {
         return;
       }
+      if (progress != nullptr) {
+        progress->OnClaim(w, i);
+      }
       fn(i);
+      if (progress != nullptr) {
+        progress->OnDone(w);
+      }
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (size_t w = 0; w < workers; ++w) {
-    pool.emplace_back(worker);
+    pool.emplace_back(worker, w);
   }
   for (std::thread& t : pool) {
     t.join();
@@ -54,7 +69,8 @@ void ParallelRunner::RunIndexed(size_t count, const std::function<void(size_t)>&
 }
 
 size_t ParallelRunner::RunIndexed(size_t count, const std::function<void(size_t)>& fn,
-                                  const std::function<bool()>& cancel) const {
+                                  const std::function<bool()>& cancel,
+                                  ParallelProgress* progress) const {
   if (count == 0) {
     return 0;
   }
@@ -65,14 +81,20 @@ size_t ParallelRunner::RunIndexed(size_t count, const std::function<void(size_t)
       if (cancel && cancel()) {
         break;
       }
+      if (progress != nullptr) {
+        progress->OnClaim(0, i);
+      }
       fn(i);
+      if (progress != nullptr) {
+        progress->OnDone(0);
+      }
       ++ran;
     }
     return ran;
   }
   std::atomic<size_t> next{0};
   std::atomic<size_t> ran{0};
-  auto worker = [&] {
+  auto worker = [&](size_t w) {
     for (;;) {
       if (cancel && cancel()) {
         return;
@@ -81,14 +103,20 @@ size_t ParallelRunner::RunIndexed(size_t count, const std::function<void(size_t)
       if (i >= count) {
         return;
       }
+      if (progress != nullptr) {
+        progress->OnClaim(w, i);
+      }
       fn(i);
+      if (progress != nullptr) {
+        progress->OnDone(w);
+      }
       ran.fetch_add(1, std::memory_order_relaxed);
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (size_t w = 0; w < workers; ++w) {
-    pool.emplace_back(worker);
+    pool.emplace_back(worker, w);
   }
   for (std::thread& t : pool) {
     t.join();

@@ -16,6 +16,8 @@
 
 namespace mfc {
 
+class ParallelProgress;  // telemetry/stats_stream.h
+
 // Resolves a worker count: |requested| if non-zero, else the MFC_JOBS
 // environment variable if set and positive, else hardware concurrency
 // (minimum 1).
@@ -32,7 +34,13 @@ class ParallelRunner {
   // With Jobs() == 1 the tasks run inline on the calling thread in index
   // order, reproducing sequential behavior exactly; otherwise min(Jobs(),
   // count) workers pull indices from a shared atomic cursor.
-  void RunIndexed(size_t count, const std::function<void(size_t)>& fn) const;
+  //
+  // |progress|, when non-null, receives OnClaim/OnDone for every task (by
+  // worker id; the inline path reports as worker 0) so an external sampler
+  // can observe per-worker state. It must be sized for at least Jobs()
+  // workers and never alters scheduling.
+  void RunIndexed(size_t count, const std::function<void(size_t)>& fn,
+                  ParallelProgress* progress = nullptr) const;
 
   // Cancelable variant: |cancel| is polled before claiming each index; once
   // it returns true no new indices start, but tasks already claimed run to
@@ -40,7 +48,8 @@ class ParallelRunner {
   // that ran. Which indices ran is scheduling-dependent under cancellation —
   // callers must track completion per index, not assume a prefix.
   size_t RunIndexed(size_t count, const std::function<void(size_t)>& fn,
-                    const std::function<bool()>& cancel) const;
+                    const std::function<bool()>& cancel,
+                    ParallelProgress* progress = nullptr) const;
 
   // Convenience: materializes make(i) for every index into an index-ordered
   // vector. T must be default-constructible and movable.

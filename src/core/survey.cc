@@ -7,6 +7,7 @@
 #include "src/core/journal/journal.h"
 #include "src/core/journal/shutdown.h"
 #include "src/core/parallel_runner.h"
+#include "src/telemetry/stats_stream.h"
 
 namespace mfc {
 
@@ -140,18 +141,43 @@ SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t s
   };
 
   ParallelRunner runner(jobs);
+
+  // Health-plane sampler (DESIGN.md §11): reads only the atomics the run
+  // already maintains, so attaching it cannot change results or scheduling.
+  std::unique_ptr<ParallelProgress> worker_progress;
+  std::unique_ptr<SurveyStatsSampler> sampler;
+  if (telemetry != nullptr && telemetry->HealthAttached()) {
+    worker_progress = std::make_unique<ParallelProgress>(runner.Jobs());
+    SurveySamplerSource source;
+    source.label = telemetry->stats_label;
+    source.processed = &processed;
+    source.total = servers;
+    if (journal != nullptr) {
+      source.journal_executed = &journal->executed_sites;
+      source.journal_resumed = &journal->resumed_sites;
+    }
+    source.workers = worker_progress.get();
+    sampler = std::make_unique<SurveyStatsSampler>(telemetry->stats, telemetry->progress_line,
+                                                   telemetry->stats_interval, source);
+    sampler->Start();
+  }
+
   std::vector<ExperimentResult> results(servers);
   if (journal != nullptr) {
     // Journaled runs are cancelable: a shutdown signal drains in-flight
     // sites (which still reach the journal) and skips the rest.
     runner.RunIndexed(
         servers, [&](size_t i) { results[i] = run_site(i); },
-        [] { return ShutdownRequested(); });
+        [] { return ShutdownRequested(); }, worker_progress.get());
     if (processed.load(std::memory_order_relaxed) < servers) {
       journal->interrupted.store(true, std::memory_order_relaxed);
     }
   } else {
-    runner.RunIndexed(servers, [&](size_t i) { results[i] = run_site(i); });
+    runner.RunIndexed(
+        servers, [&](size_t i) { results[i] = run_site(i); }, worker_progress.get());
+  }
+  if (sampler != nullptr) {
+    sampler->Stop();  // emits the final done/total snapshot
   }
 
   if (observe) {

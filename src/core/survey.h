@@ -20,6 +20,8 @@
 
 namespace mfc {
 
+class ProgressLine;
+class StatsStream;
 class SurveyJournal;
 
 // Optional observability for a survey run. Each site experiment gets its own
@@ -31,15 +33,28 @@ class SurveyJournal;
 struct SurveyTelemetry {
   bool collect_trace = false;
   bool collect_metrics = false;
-  // Live "site k/N ..." lines on stderr as workers finish (unordered under
-  // --jobs > 1; purely informational).
+  // Verbose per-site "site k/N ..." lines on stderr as workers finish
+  // (unordered under --jobs > 1; purely informational). Off by default —
+  // tools expose it as --progress; without it long surveys report through
+  // the rate-limited |progress_line| / |stats| below instead.
   bool progress = false;
+
+  // Runtime health plane (DESIGN.md §11): while the cohort runs, a sampler
+  // thread periodically captures done/total, sites/sec, ETA, journal lag and
+  // per-worker state, feeding the JSONL |stats| stream and/or the single
+  // redrawn terminal |progress_line|. Both null = sampler never starts and
+  // the run is exactly the pre-health-plane code path.
+  StatsStream* stats = nullptr;
+  ProgressLine* progress_line = nullptr;
+  double stats_interval = 1.0;  // wall-clock seconds between samples
+  std::string stats_label;      // snapshot label (cohort/run name)
 
   MetricsRegistry metrics;  // merged, deterministic
   Tracer trace;             // merged, deterministic
   uint64_t next_pid = 0;    // first pid the next survey call will assign
 
   bool Enabled() const { return collect_trace || collect_metrics; }
+  bool HealthAttached() const { return stats != nullptr || progress_line != nullptr; }
 };
 
 struct SurveyBreakdown {

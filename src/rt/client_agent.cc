@@ -77,7 +77,9 @@ void ClientAgent::OnDatagram(std::string_view payload, const sockaddr_in&) {
     return;  // garbage on the control port: drop, as any UDP service must
   }
   if (const auto* ping = std::get_if<MsgPing>(&*message)) {
-    Send(MsgPong{ping->seq});
+    // Piggyback the health payload on the pong the coordinator is owed
+    // anyway — the fleet's telemetry rides the existing probe cadence.
+    Send(MsgPong{ping->seq, CurrentStats()});
   } else if (const auto* ack = std::get_if<MsgRegisterAck>(&*message)) {
     if (ack->client_id == client_id_) {
       registered_ = true;
@@ -130,6 +132,8 @@ void ClientAgent::HandleRttProbe(const MsgRttProbe& message) {
         }
         double rtt = reactor_.Now() - start;
         if (ok) {
+          // TCP-style smoothing: 7/8 history, 1/8 new measurement.
+          rtt_ewma_ = rtt_ewma_ < 0 ? rtt : 0.875 * rtt_ewma_ + 0.125 * rtt;
           Send(MsgRtt{token, static_cast<uint64_t>(std::llround(rtt * 1e6))});
         } else {
           Send(MsgRttFail{token});
@@ -154,6 +158,7 @@ void ClientAgent::HandleMeasure(const MsgMeasure& message) {
   bool duplicate = SeenCommand(message.token);
   Send(MsgCmdAck{message.token});  // ack duplicates too: the first ack was lost
   if (duplicate) {
+    ++dedup_hits_;
     return;
   }
   // Solo measurements tolerate connect retries — there is no crowd to stay
@@ -166,6 +171,7 @@ void ClientAgent::HandleFire(const MsgFire& message) {
   bool duplicate = SeenCommand(message.token);
   Send(MsgCmdAck{message.token});
   if (duplicate) {
+    ++dedup_hits_;
     return;
   }
   // Hold fire until the commanded instant: every client joins the burst
@@ -207,6 +213,9 @@ void ClientAgent::LaunchFetch(uint64_t token, const std::string& method, uint16_
       reactor_, port, request, request_timeout_,
       [this, token, fetch_id, method, port, target, attempt,
        retry_connect](const FetchResult& result) {
+        if (result.connect_failed || result.timed_out) {
+          ++fetch_errors_;
+        }
         if (result.connect_failed && retry_connect && attempt < retry_.max_attempts) {
           reactor_.ScheduleAfter(
               retry_.BackoffFor(attempt),
@@ -224,11 +233,27 @@ void ClientAgent::LaunchFetch(uint64_t token, const std::string& method, uint16_
         sample.bytes = result.bytes;
         sample.rt_microseconds = static_cast<uint64_t>(std::llround(result.elapsed * 1e6));
         sample.timed_out = result.timed_out;
+        sample.stats = CurrentStats();
         SendSampleReliably(sample);
         fetches_.erase(fetch_id);
       },
       fault_);
   fetches_[fetch_id] = std::move(fetch);
+}
+
+AgentStats ClientAgent::CurrentStats() const {
+  AgentStats stats;
+  stats.inflight = fetches_.size();
+  stats.fetch_errors = fetch_errors_;
+  if (rtt_ewma_ >= 0) {
+    stats.rtt_ewma_us = static_cast<uint64_t>(std::llround(rtt_ewma_ * 1e6));
+  }
+  stats.dedup_hits = dedup_hits_;
+  if (fault_ != nullptr) {
+    stats.fault_drops = fault_->stats().dropped;
+  }
+  stats.requests_fired = requests_fired_;
+  return stats;
 }
 
 void ClientAgent::SendSampleReliably(MsgSample sample) {

@@ -47,6 +47,10 @@ class ClientAgent {
 
   uint64_t RequestsFired() const { return requests_fired_; }
 
+  // Health payload piggybacked on every PONG and SAMPLE (wire.h [stats]):
+  // instantaneous inflight count plus the agent's cumulative counters.
+  AgentStats CurrentStats() const;
+
  private:
   struct PendingSample {
     MsgSample sample;
@@ -80,6 +84,9 @@ class ClientAgent {
   RetryPolicy retry_;
   FaultInjector* fault_ = nullptr;
   uint64_t requests_fired_ = 0;
+  uint64_t fetch_errors_ = 0;  // failed connects + kill-timer expiries
+  uint64_t dedup_hits_ = 0;    // duplicate MEASURE/FIRE commands discarded
+  double rtt_ewma_ = -1.0;     // target-RTT EWMA from RTTPROBE successes, seconds
   uint64_t next_fetch_id_ = 1;
   uint64_t next_sample_id_ = 1;
   bool registered_ = false;

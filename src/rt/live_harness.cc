@@ -24,8 +24,61 @@ void LiveHarness::Bump(uint64_t& counter, const char* metric, uint64_t delta) {
 }
 
 size_t LiveHarness::PendingControlEntries() const {
-  return pending_pongs_.size() + completed_pongs_.size() + pending_rtt_probes_.size() +
-         completed_rtts_.size() + acked_commands_.size();
+  return pending_pongs_.size() + completed_pongs_.size() + pong_owner_.size() +
+         pending_rtt_probes_.size() + completed_rtts_.size() + acked_commands_.size();
+}
+
+void LiveHarness::TouchAgent(size_t client, const AgentStats* stats) {
+  AgentHealth& health = health_[client];
+  health.last_seen = reactor_.Now();
+  if (stats != nullptr) {
+    health.has_agent_stats = true;
+    health.agent = *stats;
+  }
+}
+
+bool LiveHarness::ClientHealthy(size_t client) const {
+  if (unhealthy_after_misses_ == 0) {
+    return true;
+  }
+  auto it = health_.find(client);
+  return it == health_.end() || it->second.miss_streak < unhealthy_after_misses_;
+}
+
+std::vector<AgentHealthSnapshot> LiveHarness::SnapshotAgents() const {
+  std::vector<AgentHealthSnapshot> rows;
+  rows.reserve(clients_.size());
+  double now = reactor_.Now();
+  for (const auto& [id, addr] : clients_) {
+    AgentHealthSnapshot row;
+    row.agent_id = id;
+    auto it = health_.find(id);
+    if (it != health_.end()) {
+      const AgentHealth& h = it->second;
+      if (h.last_seen >= 0) {
+        row.last_seen_age = now - h.last_seen;
+      }
+      row.miss_streak = h.miss_streak;
+      if (h.rtt_ewma >= 0) {
+        row.rtt_ewma = h.rtt_ewma;
+      }
+      if (h.pings_sent > 0) {
+        double loss = 1.0 - static_cast<double>(h.pongs_received) /
+                                static_cast<double>(h.pings_sent);
+        row.loss_estimate = loss < 0 ? 0.0 : loss;
+      }
+      if (h.has_agent_stats) {
+        row.inflight = h.agent.inflight;
+        row.fetch_errors = h.agent.fetch_errors;
+        row.dedup_hits = h.agent.dedup_hits;
+        row.fault_drops = h.agent.fault_drops;
+        row.requests_fired = h.agent.requests_fired;
+      }
+    }
+    row.healthy = ClientHealthy(id);
+    rows.push_back(row);
+  }
+  return rows;
 }
 
 void LiveHarness::OnDatagram(std::string_view payload, const sockaddr_in& from) {
@@ -37,12 +90,23 @@ void LiveHarness::OnDatagram(std::string_view payload, const sockaddr_in& from) 
     // Re-registrations refresh the address; the ack is idempotent, so a
     // client whose REGACK was lost simply re-sends and gets acked again.
     clients_[static_cast<size_t>(reg->client_id)] = from;
+    TouchAgent(static_cast<size_t>(reg->client_id), nullptr);
     socket_.SendTo(EncodeMessage(MsgRegisterAck{reg->client_id}), from);
   } else if (const auto* pong = std::get_if<MsgPong>(&*message)) {
     auto it = pending_pongs_.find(pong->seq);
     if (it != pending_pongs_.end()) {
-      completed_pongs_[pong->seq] = reactor_.Now() - it->second;
+      double rtt = reactor_.Now() - it->second;
+      completed_pongs_[pong->seq] = rtt;
       pending_pongs_.erase(it);
+      // Fold the answer into the sender's health row: liveness, control-RTT
+      // EWMA, and the agent's piggybacked payload when present.
+      auto owner = pong_owner_.find(pong->seq);
+      if (owner != pong_owner_.end()) {
+        AgentHealth& health = health_[owner->second];
+        ++health.pongs_received;
+        health.rtt_ewma = health.rtt_ewma < 0 ? rtt : 0.875 * health.rtt_ewma + 0.125 * rtt;
+        TouchAgent(owner->second, pong->stats.has_value() ? &*pong->stats : nullptr);
+      }
     }
   } else if (const auto* rtt = std::get_if<MsgRtt>(&*message)) {
     // Only solicited replies are recorded; late duplicates from earlier
@@ -72,6 +136,9 @@ void LiveHarness::OnDatagram(std::string_view payload, const sockaddr_in& from) 
     if (it == crowd_->token_to_client.end()) {
       return;
     }
+    // Any attributable sample — duplicate or not — proves the agent alive
+    // and carries its freshest stats payload.
+    TouchAgent(it->second, sample->stats.has_value() ? &*sample->stats : nullptr);
     if (!crowd_->seen.insert({sample->token, sample->sample_id}).second) {
       Bump(stats_.duplicate_samples, "live.duplicate_samples");
       return;
@@ -121,6 +188,8 @@ std::vector<size_t> LiveHarness::ProbeClients(SimDuration timeout) {
       uint64_t seq = next_token_++;
       pending_pongs_[seq] = reactor_.Now();
       seq_to_client[seq] = id;
+      pong_owner_[seq] = id;
+      ++health_[id].pings_sent;
       SendTo(id, MsgPing{seq});
     }
     if (missing == 0) {
@@ -147,6 +216,17 @@ std::vector<size_t> LiveHarness::ProbeClients(SimDuration timeout) {
     }
     pending_pongs_.erase(seq);
     completed_pongs_.erase(seq);
+    pong_owner_.erase(seq);
+  }
+  // Miss-streak accounting: one probe round answered resets the streak; a
+  // silent round extends it. ClientHealthy turns the streak into a verdict
+  // once set_unhealthy_after_misses arms it.
+  for (const auto& [id, addr] : clients_) {
+    if (answered.count(id) != 0) {
+      health_[id].miss_streak = 0;
+    } else {
+      ++health_[id].miss_streak;
+    }
   }
   return std::vector<size_t>(answered.begin(), answered.end());
 }
@@ -162,6 +242,8 @@ SimDuration LiveHarness::MeasureCoordRtt(size_t client) {
     uint64_t seq = next_token_++;
     pending_pongs_[seq] = reactor_.Now();
     seqs.push_back(seq);
+    pong_owner_[seq] = client;
+    ++health_[client].pings_sent;
     if (attempt > 1) {
       Bump(stats_.ping_retries, "live.ping_retries");
     }
@@ -189,6 +271,7 @@ SimDuration LiveHarness::MeasureCoordRtt(size_t client) {
   for (uint64_t s : seqs) {
     pending_pongs_.erase(s);
     completed_pongs_.erase(s);
+    pong_owner_.erase(s);
   }
   return rtt;
 }

@@ -23,6 +23,7 @@
 #include "src/core/harness.h"
 #include "src/rt/sockets.h"
 #include "src/rt/wire.h"
+#include "src/telemetry/snapshot.h"
 
 namespace mfc {
 
@@ -66,6 +67,17 @@ class LiveHarness : public ClientHarness {
   // this stays bounded across stages (no token-map leaks).
   size_t PendingControlEntries() const;
 
+  // Per-agent health table (DESIGN.md §11): last-seen age, probe miss
+  // streak, control RTT EWMA, loss estimate, and the agent's own
+  // piggybacked [stats] payload. One row per registered client, id order.
+  std::vector<AgentHealthSnapshot> SnapshotAgents() const;
+
+  // After this many consecutive unanswered ProbeClients rounds the agent is
+  // reported unhealthy through ClientHealthy (and the coordinator's eviction
+  // logic, when enabled, drops it). 0 = never (the default: health is
+  // observed but has no effect).
+  void set_unhealthy_after_misses(size_t misses) { unhealthy_after_misses_ = misses; }
+
   // ClientHarness:
   size_t ClientCount() const override { return clients_.size(); }
   std::vector<size_t> ProbeClients(SimDuration timeout) override;
@@ -76,8 +88,24 @@ class LiveHarness : public ClientHarness {
                                           SimTime poll_time) override;
   SimTime Now() const override { return reactor_.Now(); }
   void WaitUntil(SimTime t) override;
+  bool ClientHealthy(size_t client) const override;
 
  private:
+  // One agent's running health record, folded from every datagram we can
+  // attribute to it (registrations, solicited pongs, crowd samples).
+  struct AgentHealth {
+    double last_seen = -1.0;     // reactor time of the last attributed datagram
+    uint64_t miss_streak = 0;    // consecutive ProbeClients rounds unanswered
+    double rtt_ewma = -1.0;      // coordinator-side control RTT EWMA, seconds
+    uint64_t pings_sent = 0;     // PINGs addressed to this agent
+    uint64_t pongs_received = 0; // solicited PONGs attributed back
+    bool has_agent_stats = false;
+    AgentStats agent;            // last piggybacked [stats] payload
+  };
+
+  // Records a datagram attributed to |client| and merges an optional
+  // piggybacked payload.
+  void TouchAgent(size_t client, const AgentStats* stats);
   void OnDatagram(std::string_view payload, const sockaddr_in& from);
   void SendTo(size_t client, const ControlMessage& message);
   void Bump(uint64_t& counter, const char* metric, uint64_t delta = 1);
@@ -94,6 +122,8 @@ class LiveHarness : public ClientHarness {
   ControlPlaneStats stats_;
   MetricsRegistry* metrics_ = nullptr;
   std::map<size_t, sockaddr_in> clients_;  // registered agents by id
+  std::map<size_t, AgentHealth> health_;   // health rows by client id
+  size_t unhealthy_after_misses_ = 0;      // 0 = ClientHealthy always true
 
   // In-flight expectations, keyed by token / seq. Every wait cleans up the
   // tokens it minted — from the completed maps too — so late or unsolicited
@@ -101,6 +131,7 @@ class LiveHarness : public ClientHarness {
   uint64_t next_token_ = 1;
   std::map<uint64_t, double> pending_pongs_;    // seq -> send time
   std::map<uint64_t, double> completed_pongs_;  // seq -> rtt
+  std::map<uint64_t, size_t> pong_owner_;       // seq -> client, for attribution
   std::set<uint64_t> pending_rtt_probes_;       // tokens with an outstanding probe
   std::map<uint64_t, double> completed_rtts_;   // token -> seconds (-1 = failed)
   std::set<uint64_t> acked_commands_;           // MEASURE/FIRE tokens CMDACKed

@@ -33,6 +33,21 @@ bool ParseNumber(std::string_view word, T& out) {
 
 bool ValidMethod(std::string_view method) { return method == "GET" || method == "HEAD"; }
 
+// The optional 6-word [stats] tail shared by PONG and SAMPLE.
+std::string EncodeStats(const AgentStats& s) {
+  return " " + std::to_string(s.inflight) + " " + std::to_string(s.fetch_errors) + " " +
+         std::to_string(s.rtt_ewma_us) + " " + std::to_string(s.dedup_hits) + " " +
+         std::to_string(s.fault_drops) + " " + std::to_string(s.requests_fired);
+}
+
+bool ParseStats(const std::vector<std::string_view>& words, size_t at, AgentStats& out) {
+  return ParseNumber(words[at], out.inflight) && ParseNumber(words[at + 1], out.fetch_errors) &&
+         ParseNumber(words[at + 2], out.rtt_ewma_us) &&
+         ParseNumber(words[at + 3], out.dedup_hits) &&
+         ParseNumber(words[at + 4], out.fault_drops) &&
+         ParseNumber(words[at + 5], out.requests_fired);
+}
+
 }  // namespace
 
 std::string EncodeMessage(const ControlMessage& message) {
@@ -41,7 +56,13 @@ std::string EncodeMessage(const ControlMessage& message) {
       return "REGISTER " + std::to_string(m.client_id);
     }
     std::string operator()(const MsgPing& m) const { return "PING " + std::to_string(m.seq); }
-    std::string operator()(const MsgPong& m) const { return "PONG " + std::to_string(m.seq); }
+    std::string operator()(const MsgPong& m) const {
+      std::string line = "PONG " + std::to_string(m.seq);
+      if (m.stats.has_value()) {
+        line += EncodeStats(*m.stats);
+      }
+      return line;
+    }
     std::string operator()(const MsgRttProbe& m) const {
       return "RTTPROBE " + std::to_string(m.token) + " " + std::to_string(m.tcp_port);
     }
@@ -58,9 +79,14 @@ std::string EncodeMessage(const ControlMessage& message) {
              std::to_string(m.fire_at_micros);
     }
     std::string operator()(const MsgSample& m) const {
-      return "SAMPLE " + std::to_string(m.token) + " " + std::to_string(m.http_code) + " " +
-             std::to_string(m.bytes) + " " + std::to_string(m.rt_microseconds) + " " +
-             (m.timed_out ? "1" : "0") + " " + std::to_string(m.sample_id);
+      std::string line = "SAMPLE " + std::to_string(m.token) + " " +
+                         std::to_string(m.http_code) + " " + std::to_string(m.bytes) + " " +
+                         std::to_string(m.rt_microseconds) + " " + (m.timed_out ? "1" : "0") +
+                         " " + std::to_string(m.sample_id);
+      if (m.stats.has_value()) {
+        line += EncodeStats(*m.stats);
+      }
+      return line;
     }
     std::string operator()(const MsgRegisterAck& m) const {
       return "REGACK " + std::to_string(m.client_id);
@@ -94,10 +120,18 @@ std::optional<ControlMessage> DecodeMessage(std::string_view line) {
     if (ParseNumber(words[1], m.seq)) {
       return m;
     }
-  } else if (verb == "PONG" && words.size() == 2) {
+  } else if (verb == "PONG" && (words.size() == 2 || words.size() == 8)) {
+    // The 6-word stats tail is optional so bare legacy pongs still parse.
     MsgPong m;
     if (ParseNumber(words[1], m.seq)) {
-      return m;
+      if (words.size() == 2) {
+        return m;
+      }
+      AgentStats stats;
+      if (ParseStats(words, 2, stats)) {
+        m.stats = stats;
+        return m;
+      }
     }
   } else if (verb == "RTTPROBE" && words.size() == 3) {
     MsgRttProbe m;
@@ -128,14 +162,22 @@ std::optional<ControlMessage> DecodeMessage(std::string_view line) {
         m.target[0] == '/' && (words.size() == 6 || ParseNumber(words[6], m.fire_at_micros))) {
       return m;
     }
-  } else if (verb == "SAMPLE" && words.size() == 7) {
+  } else if (verb == "SAMPLE" && (words.size() == 7 || words.size() == 13)) {
+    // As with PONG, the stats tail is optional.
     MsgSample m;
     int timed_out = 0;
     if (ParseNumber(words[1], m.token) && ParseNumber(words[2], m.http_code) &&
         ParseNumber(words[3], m.bytes) && ParseNumber(words[4], m.rt_microseconds) &&
         ParseNumber(words[5], timed_out) && ParseNumber(words[6], m.sample_id)) {
       m.timed_out = timed_out != 0;
-      return m;
+      if (words.size() == 7) {
+        return m;
+      }
+      AgentStats stats;
+      if (ParseStats(words, 7, stats)) {
+        m.stats = stats;
+        return m;
+      }
     }
   } else if (verb == "REGACK" && words.size() == 2) {
     MsgRegisterAck m;

@@ -8,15 +8,25 @@
 //   client -> coordinator   REGISTER <client_id>
 //   coordinator -> client   REGACK <client_id>
 //   coordinator -> client   PING <seq>
-//   client -> coordinator   PONG <seq>
+//   client -> coordinator   PONG <seq> [stats]
 //   coordinator -> client   RTTPROBE <token> <tcp_port>
 //   client -> coordinator   RTT <token> <microseconds>
 //   client -> coordinator   RTTFAIL <token>            (probe connect failed)
 //   coordinator -> client   MEASURE <token> <method> <tcp_port> <target>
 //   coordinator -> client   FIRE <token> <connections> <method> <tcp_port> <target>
 //   client -> coordinator   CMDACK <token>             (MEASURE/FIRE received)
-//   client -> coordinator   SAMPLE <token> <http_code> <bytes> <rt_us> <timed_out> <sample_id>
+//   client -> coordinator   SAMPLE <token> <http_code> <bytes> <rt_us> <timed_out> <sample_id> [stats]
 //   coordinator -> client   SAMPLEACK <sample_id>
+//
+// [stats] is an optional 6-word agent health payload piggybacked on replies
+// the client already owes the coordinator (no extra datagrams, no extra
+// loss exposure):
+//
+//   <inflight> <fetch_errors> <rtt_ewma_us> <dedup_hits> <fault_drops> <requests_fired>
+//
+// Receivers accept both the bare legacy form and the stats form, so mixed
+// fleets interoperate; encoders emit the tail only when a payload is
+// attached, keeping the legacy bytes unchanged.
 #ifndef MFC_SRC_RT_WIRE_H_
 #define MFC_SRC_RT_WIRE_H_
 
@@ -37,8 +47,22 @@ struct MsgRegisterAck {
 struct MsgPing {
   uint64_t seq = 0;
 };
+// Compact agent-side health payload piggybacked on PONG and SAMPLE replies
+// (see the [stats] grammar above). All counters are cumulative since agent
+// start except |inflight|, an instantaneous level.
+struct AgentStats {
+  uint64_t inflight = 0;        // fetches currently open
+  uint64_t fetch_errors = 0;    // failed connects + kill-timer expiries
+  uint64_t rtt_ewma_us = 0;     // agent's own target-RTT EWMA, microseconds (0 = none yet)
+  uint64_t dedup_hits = 0;      // duplicate commands/probes discarded
+  uint64_t fault_drops = 0;     // datagrams the agent's fault injector dropped
+  uint64_t requests_fired = 0;  // HTTP requests launched
+
+  bool operator==(const AgentStats&) const = default;
+};
 struct MsgPong {
   uint64_t seq = 0;
+  std::optional<AgentStats> stats;  // absent in legacy/bare form
 };
 struct MsgRttProbe {
   uint64_t token = 0;
@@ -85,6 +109,7 @@ struct MsgSample {
   // Unique per client; (token, sample_id) identifies one sample so
   // retransmitted or duplicated reports are counted once.
   uint64_t sample_id = 0;
+  std::optional<AgentStats> stats;  // absent in legacy/bare form
 };
 struct MsgSampleAck {
   uint64_t sample_id = 0;

@@ -1,0 +1,35 @@
+#include "src/telemetry/snapshot.h"
+
+#include <cassert>
+
+namespace mfc {
+
+SnapshotRing::SnapshotRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  slots_.resize(capacity_);
+}
+
+void SnapshotRing::Push(StatsSnapshot snapshot) {
+  slots_[head_] = std::move(snapshot);
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) {
+    ++size_;
+  }
+  ++pushed_;
+}
+
+const StatsSnapshot& SnapshotRing::At(size_t i) const {
+  assert(i < size_);
+  // When the ring is full, head_ points at the oldest slot; before that the
+  // oldest is slot 0.
+  size_t oldest = size_ < capacity_ ? 0 : head_;
+  return slots_[(oldest + i) % capacity_];
+}
+
+const StatsSnapshot* SnapshotRing::Latest() const {
+  if (size_ == 0) {
+    return nullptr;
+  }
+  return &slots_[(head_ + capacity_ - 1) % capacity_];
+}
+
+}  // namespace mfc

@@ -24,6 +24,9 @@ class MockHarness : public ClientHarness {
   // modelling a lossy control plane or a dead client. epoch_index counts
   // ExecuteCrowd calls.
   std::function<bool(size_t, size_t)> deliver = [](size_t, size_t) { return true; };
+  // healthy(client_id) -> transport-level verdict surfaced via ClientHealthy,
+  // modelling the live harness's probe-miss tracking.
+  std::function<bool(size_t)> healthy = [](size_t) { return true; };
 
   std::vector<size_t> crowd_history;            // epoch crowd sizes, in order
   std::vector<std::vector<CrowdRequestPlan>> plan_history;
@@ -37,6 +40,8 @@ class MockHarness : public ClientHarness {
     }
     return ids;
   }
+
+  bool ClientHealthy(size_t client) const override { return healthy(client); }
 
   SimDuration MeasureCoordRtt(size_t) override { return 0.020; }
   SimDuration MeasureTargetRtt(size_t) override { return 0.060; }
@@ -352,6 +357,50 @@ TEST(CoordinatorTest, EvictsSilentClientAndBackfillsFromSpares) {
   }
   EXPECT_GE(participations, config.evict_after_misses);
   EXPECT_FALSE(seen_after_eviction);
+}
+
+TEST(CoordinatorTest, TransportUnhealthyVerdictEvictsDeliveringClient) {
+  MockHarness harness;
+  // Client 0 delivers every sample, but the transport reports its control
+  // plane dead (the live harness's probe-miss verdict). The coordinator must
+  // evict on that verdict alone, without waiting for sample misses.
+  harness.healthy = [](size_t client) { return client != 0; };
+  ExperimentConfig config = SmallConfig();
+  config.evict_after_misses = 2;
+  MetricsRegistry metrics;
+  Telemetry telemetry;
+  telemetry.metrics = &metrics;
+  Coordinator coordinator(harness, config);
+  coordinator.SetTelemetry(&telemetry);
+  ExperimentResult result = coordinator.Run(AllObjects(), {StageKind::kBase});
+
+  EXPECT_EQ(metrics.Counter("coord.clients_evicted"), 1.0);
+  // Evicted after its first epoch despite a perfect sample record.
+  size_t participations = 0;
+  for (const auto& plans : harness.plan_history) {
+    for (const auto& plan : plans) {
+      participations += plan.client_id == 0 ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(participations, 1u);
+  // Spares backfill, so the schedule never runs short.
+  for (const EpochResult& epoch : result.stages[0].epochs) {
+    EXPECT_EQ(epoch.samples_expected, epoch.crowd_size);
+  }
+}
+
+TEST(CoordinatorTest, EvictionKnobAtZeroIgnoresTransportVerdict) {
+  MockHarness harness;
+  harness.healthy = [](size_t) { return false; };  // everyone looks dead
+  MetricsRegistry metrics;
+  Telemetry telemetry;
+  telemetry.metrics = &metrics;
+  // SmallConfig leaves evict_after_misses at 0: eviction disabled entirely.
+  Coordinator coordinator(harness, SmallConfig());
+  coordinator.SetTelemetry(&telemetry);
+  ExperimentResult result = coordinator.Run(AllObjects(), {StageKind::kBase});
+  EXPECT_EQ(metrics.Counter("coord.clients_evicted"), 0.0);
+  EXPECT_FALSE(result.aborted);
 }
 
 TEST(CoordinatorTest, BelowQuorumEpochIsRerunOnceAndRecovers) {

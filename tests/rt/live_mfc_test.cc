@@ -193,6 +193,53 @@ TEST_F(LiveFleetTest, ExecuteCrowdCollectsAllSamples) {
   EXPECT_EQ(server_.RequestsServed(), kFleet * 2);
 }
 
+TEST_F(LiveFleetTest, HealthTableTracksProbedFleet) {
+  auto responsive = harness_->ProbeClients(1.0);
+  ASSERT_EQ(responsive.size(), kFleet);
+  auto table = harness_->SnapshotAgents();
+  ASSERT_EQ(table.size(), kFleet);
+  for (size_t i = 0; i < table.size(); ++i) {
+    const AgentHealthSnapshot& row = table[i];
+    EXPECT_EQ(row.agent_id, i);
+    EXPECT_TRUE(row.healthy);
+    EXPECT_EQ(row.miss_streak, 0u);
+    EXPECT_GE(row.last_seen_age, 0.0);   // everyone just answered
+    EXPECT_GT(row.rtt_ewma, 0.0);        // a real loopback RTT was folded in
+    EXPECT_LT(row.rtt_ewma, 0.5);
+    EXPECT_DOUBLE_EQ(row.loss_estimate, 0.0);
+  }
+  // Probe bookkeeping must not leak: pending/completed maps drain each round.
+  EXPECT_EQ(harness_->PendingControlEntries(), 0u);
+}
+
+TEST_F(LiveFleetTest, UnansweredProbesTripTheUnhealthyVerdict) {
+  harness_->set_unhealthy_after_misses(2);
+  EXPECT_TRUE(harness_->ClientHealthy(0));
+  agents_[0].reset();  // agent 0 goes dark but stays registered
+  for (int round = 0; round < 2; ++round) {
+    auto responsive = harness_->ProbeClients(0.3);
+    EXPECT_EQ(responsive.size(), kFleet - 1);
+  }
+  EXPECT_FALSE(harness_->ClientHealthy(0));
+  EXPECT_TRUE(harness_->ClientHealthy(1));
+
+  auto table = harness_->SnapshotAgents();
+  ASSERT_EQ(table.size(), kFleet);
+  EXPECT_EQ(table[0].agent_id, 0u);
+  EXPECT_FALSE(table[0].healthy);
+  EXPECT_GE(table[0].miss_streak, 2u);
+  EXPECT_GT(table[0].loss_estimate, 0.0);
+  for (size_t i = 1; i < table.size(); ++i) {
+    EXPECT_TRUE(table[i].healthy);
+    EXPECT_EQ(table[i].miss_streak, 0u);
+  }
+
+  // With the knob at 0 the same miss streak carries no verdict: the default
+  // keeps simulation and legacy behavior untouched.
+  harness_->set_unhealthy_after_misses(0);
+  EXPECT_TRUE(harness_->ClientHealthy(0));
+}
+
 TEST_F(LiveFleetTest, UnmodifiedCoordinatorFindsALiveKnee) {
   // The target degrades sharply beyond 6 concurrent requests.
   server_.SetServiceDelay([](size_t concurrent) {

@@ -121,12 +121,12 @@ TEST(WireTest, EncodeDecodeRoundTrip) {
   std::vector<ControlMessage> messages = {
       MsgRegister{42},
       MsgPing{7},
-      MsgPong{7},
+      MsgPong{7, {}},
       MsgRttProbe{9, 8080},
       MsgRtt{9, 1234},
       MsgMeasure{11, "HEAD", 8080, "/index.html"},
       MsgFire{12, 5, "GET", 8080, "/cgi/q.php?mfc=3"},
-      MsgSample{12, 200, 102400, 83211, false},
+      MsgSample{12, 200, 102400, 83211, false, 0, {}},
   };
   for (const ControlMessage& message : messages) {
     std::string wire = EncodeMessage(message);
@@ -147,6 +147,68 @@ TEST(WireTest, DecodeRejectsMalformed) {
       "MEASURE 1 GET 80 noslash",   // target must start with '/'
       "FIRE 1 2 GET notaport /x",
       "SAMPLE 1 200 5",             // missing fields
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(DecodeMessage(line).has_value()) << line;
+  }
+}
+
+TEST(WireTest, PongStatsTailRoundTrips) {
+  AgentStats stats;
+  stats.inflight = 2;
+  stats.fetch_errors = 1;
+  stats.rtt_ewma_us = 1500;
+  stats.dedup_hits = 3;
+  stats.fault_drops = 4;
+  stats.requests_fired = 9;
+
+  std::string wire = EncodeMessage(MsgPong{7, stats});
+  EXPECT_EQ(wire, "PONG 7 2 1 1500 3 4 9");
+  auto decoded = DecodeMessage(wire);
+  ASSERT_TRUE(decoded.has_value());
+  const auto& pong = std::get<MsgPong>(*decoded);
+  EXPECT_EQ(pong.seq, 7u);
+  ASSERT_TRUE(pong.stats.has_value());
+  EXPECT_EQ(*pong.stats, stats);
+}
+
+TEST(WireTest, SampleStatsTailRoundTrips) {
+  AgentStats stats;
+  stats.inflight = 5;
+  stats.requests_fired = 6;
+  MsgSample sample{12, 200, 102400, 83211, false, 31, stats};
+  std::string wire = EncodeMessage(sample);
+  auto decoded = DecodeMessage(wire);
+  ASSERT_TRUE(decoded.has_value());
+  const auto& got = std::get<MsgSample>(*decoded);
+  EXPECT_EQ(got.token, 12u);
+  EXPECT_EQ(got.sample_id, 31u);
+  ASSERT_TRUE(got.stats.has_value());
+  EXPECT_EQ(*got.stats, stats);
+  EXPECT_EQ(EncodeMessage(got), wire);
+}
+
+// A mixed fleet interoperates: the bare legacy encodings are byte-stable and
+// decode with no stats payload attached.
+TEST(WireTest, LegacyBareFormsUnchanged) {
+  EXPECT_EQ(EncodeMessage(MsgPong{7, {}}), "PONG 7");
+  auto pong = DecodeMessage("PONG 7");
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_FALSE(std::get<MsgPong>(*pong).stats.has_value());
+
+  MsgSample bare{12, 200, 102400, 83211, false, 31, {}};
+  auto sample = DecodeMessage(EncodeMessage(bare));
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_FALSE(std::get<MsgSample>(*sample).stats.has_value());
+}
+
+// A truncated or oversized stats tail is malformed, not silently accepted.
+TEST(WireTest, PartialStatsTailRejected) {
+  const char* bad[] = {
+      "PONG 7 1",               // 1 of 6 stats words
+      "PONG 7 1 2 3 4 5",       // 5 of 6
+      "PONG 7 1 2 3 4 5 6 7",   // 7 of 6
+      "PONG 7 1 2 3 4 5 x",     // non-numeric stats word
   };
   for (const char* line : bad) {
     EXPECT_FALSE(DecodeMessage(line).has_value()) << line;

@@ -190,6 +190,50 @@ TEST(RunningStatsTest, MergeWithEmptySides) {
   EXPECT_EQ(c.Count(), 0u);
 }
 
+// Merging an accumulator into itself must behave exactly like merging an
+// identical copy: the count doubles, the moments stay consistent, and no
+// field is read after the aliased write corrupts it.
+TEST(RunningStatsTest, SelfMergeEqualsMergingACopy) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 5.0, 9.0}) {
+    rs.Add(x);
+  }
+  RunningStats copy = rs;
+  RunningStats expected = rs;
+  expected.Merge(copy);
+
+  rs.Merge(rs);  // aliased operand
+  EXPECT_TRUE(rs == expected);
+  EXPECT_EQ(rs.Count(), 10u);
+  EXPECT_NEAR(rs.Mean(), copy.Mean(), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.MinValue(), copy.MinValue());
+  EXPECT_DOUBLE_EQ(rs.MaxValue(), copy.MaxValue());
+  // Same data twice: variance shrinks (n-1 denominator) but m2 doubles.
+  EXPECT_NEAR(rs.M2(), 2.0 * copy.M2(), 1e-12);
+
+  // Self-merging an empty accumulator stays empty.
+  RunningStats empty;
+  empty.Merge(empty);
+  EXPECT_EQ(empty.Count(), 0u);
+}
+
+// A zero-count operand must never disturb min/max: an empty shard's
+// default-constructed min_ = 0 would otherwise leak into an all-positive
+// or all-negative merged summary.
+TEST(RunningStatsTest, ZeroCountOperandDoesNotPolluteExtrema) {
+  RunningStats positives;
+  positives.Add(5.0);
+  positives.Add(7.0);
+  positives.Merge(RunningStats{});
+  EXPECT_DOUBLE_EQ(positives.MinValue(), 5.0);  // not 0 from the empty operand
+
+  RunningStats negatives;
+  negatives.Add(-7.0);
+  negatives.Add(-5.0);
+  negatives.Merge(RunningStats{});
+  EXPECT_DOUBLE_EQ(negatives.MaxValue(), -5.0);
+}
+
 TEST(RunningStatsTest, MergeManyShardsAssociativity) {
   // Fold order over several shards must not change the combined moments.
   std::vector<RunningStats> shards(5);
@@ -227,6 +271,39 @@ TEST(HistogramTest, MergeAddsBucketCounts) {
   EXPECT_EQ(a.BucketValue(1), 2u);
   EXPECT_EQ(a.BucketValue(2), 1u);
   EXPECT_EQ(a.Edges(), (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(HistogramTest, MergeZeroCountOperandIsNoOp) {
+  Histogram filled({10.0, 20.0});
+  filled.Add(5.0);
+  filled.Add(15.0);
+  Histogram before = filled;
+  filled.Merge(Histogram({10.0, 20.0}));  // zero-count operand
+  EXPECT_TRUE(filled == before);
+}
+
+TEST(HistogramTest, MergeIntoEmptyAdoptsCounts) {
+  Histogram filled({10.0, 20.0});
+  filled.Add(5.0);
+  filled.Add(15.0);
+  filled.Add(25.0);
+  Histogram empty({10.0, 20.0});
+  empty.Merge(filled);
+  EXPECT_TRUE(empty == filled);
+  EXPECT_EQ(empty.Total(), 3u);
+}
+
+TEST(HistogramTest, SelfMergeDoublesEveryBucket) {
+  Histogram h({10.0, 20.0});
+  h.Add(5.0);
+  h.Add(15.0);
+  h.Add(15.0);
+  h.Add(25.0);
+  h.Merge(h);  // aliased operand
+  EXPECT_EQ(h.Total(), 8u);
+  EXPECT_EQ(h.BucketValue(0), 2u);
+  EXPECT_EQ(h.BucketValue(1), 4u);
+  EXPECT_EQ(h.BucketValue(2), 2u);
 }
 
 TEST(HistogramTest, BucketsAndFractions) {

@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 
 # Reactor polls and socket waits make these tests timing-sensitive; the
 # sanitizer slowdown is real, so give ctest headroom instead of flaking.
-FILTER='Fault|LiveHttp|LiveFleet|Reactor|UdpSocket|Tcp|Wire|ClientAgent|Robustness|FlowNetwork|IndexedHeap|EventLoop'
+FILTER='Fault|LiveHttp|LiveFleet|Reactor|UdpSocket|Tcp|Wire|ClientAgent|Robustness|FlowNetwork|IndexedHeap|EventLoop|Snapshot|StatsStream|SimStatsSampler|ParallelProgress|MetricsDelta|BuildSurveyProgress|RunningStats|Histogram'
 TIMEOUT=600
 # Only the binaries the filter can hit — building every bench/example under
 # two sanitizers would dominate the wall clock for no extra coverage.
@@ -23,7 +23,10 @@ TIMEOUT=600
 # mfc_net_tests/mfc_sim_tests cover the incremental flow allocator and its
 # slot/generation handle reuse — exactly the pointer-lifetime surface the
 # hot-path rework touches, including the 10k-op differential test.
-TARGETS=(mfc_rt_tests mfc_core_tests mfc_net_tests mfc_sim_tests)
+# mfc_telemetry_tests covers the health-plane snapshot/stream machinery —
+# its background writer thread and the shared progress cells the survey
+# workers update are precisely what TSan should see.
+TARGETS=(mfc_rt_tests mfc_core_tests mfc_net_tests mfc_sim_tests mfc_telemetry_tests)
 
 run_one() {
   local preset="$1"

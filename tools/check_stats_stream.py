@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Validates --stats-stream JSONL health feeds (DESIGN.md §11 schema).
+
+Usage:
+    check_stats_stream.py FILE [FILE ...]
+    check_stats_stream.py --require-source=survey --expect-complete FILE
+    check_stats_stream.py --require-source=live --expect-agents=20 FILE
+
+Every line must be a standalone JSON object carrying the snapshot header
+(t, seq, clock, source) with seq consecutive from 0; optional blocks are
+checked per-kind: 'survey' progress (done <= total, journal_lag arithmetic,
+worker cells), 'sim' event-loop/flow-network counters (events_executed
+monotone), per-'agents' health rows (ids strictly increasing, loss estimate
+in [0, 1], piggybacked counters non-negative), and counter 'deltas'.
+
+Flags let ctest assert run-shaped properties: --require-source demands at
+least one snapshot from that source, --expect-agents pins the fleet size
+seen in the last agent-bearing snapshot, --min-lines a minimum feed length,
+and --expect-complete that a survey feed ends with done == total.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+CLOCKS = {"wall", "sim"}
+
+
+def is_num(v):
+    return not isinstance(v, bool) and isinstance(v, (int, float))
+
+
+def is_count(v):
+    return not isinstance(v, bool) and isinstance(v, int) and v >= 0
+
+
+def check_survey(errors, where, s):
+    for key in ("label", "done", "total", "sites_per_sec"):
+        if key not in s:
+            errors.append(f"{where}: survey missing key '{key}'")
+            return
+    if not isinstance(s["label"], str):
+        errors.append(f"{where}: survey.label must be a string")
+    if not is_count(s["done"]) or not is_count(s["total"]):
+        errors.append(f"{where}: survey.done/total must be non-negative integers")
+        return
+    if s["done"] > s["total"]:
+        errors.append(f"{where}: survey.done {s['done']} > total {s['total']}")
+    if not is_num(s["sites_per_sec"]) or s["sites_per_sec"] < 0:
+        errors.append(f"{where}: survey.sites_per_sec must be >= 0")
+    if "eta_seconds" in s and (not is_num(s["eta_seconds"]) or s["eta_seconds"] < 0):
+        errors.append(f"{where}: survey.eta_seconds must be >= 0")
+    if "journaled" in s:
+        if not is_count(s["journaled"]):
+            errors.append(f"{where}: survey.journaled must be a non-negative integer")
+        elif "journal_lag" not in s:
+            errors.append(f"{where}: survey.journaled without journal_lag")
+        else:
+            expect = max(0, s["done"] - s["journaled"])
+            if s["journal_lag"] != expect:
+                errors.append(f"{where}: survey.journal_lag {s['journal_lag']} != "
+                              f"done - journaled = {expect}")
+    for i, w in enumerate(s.get("workers", [])):
+        wwhere = f"{where}: workers[{i}]"
+        if not is_count(w.get("worker", -1)) or w.get("worker") != i:
+            errors.append(f"{wwhere} must carry worker == {i}")
+        if not isinstance(w.get("busy"), bool):
+            errors.append(f"{wwhere} missing boolean 'busy'")
+        if w.get("busy") and not is_count(w.get("current_index", -1)):
+            errors.append(f"{wwhere} busy but no valid current_index")
+        if not is_count(w.get("tasks_done", -1)):
+            errors.append(f"{wwhere} tasks_done must be a non-negative integer")
+
+
+def check_sim(errors, where, s, last_executed):
+    for key in ("event_loop_depth", "events_executed", "flows_active", "reallocs",
+                "links_touched", "no_progress"):
+        if not is_count(s.get(key, -1)):
+            errors.append(f"{where}: sim.{key} must be a non-negative integer")
+            return last_executed
+    if last_executed is not None and s["events_executed"] < last_executed:
+        errors.append(f"{where}: sim.events_executed went backwards "
+                      f"({last_executed} -> {s['events_executed']})")
+    return s["events_executed"]
+
+
+def check_agents(errors, where, agents):
+    last_id = -1
+    for i, a in enumerate(agents):
+        awhere = f"{where}: agents[{i}]"
+        if not is_count(a.get("id", -1)):
+            errors.append(f"{awhere} missing integer id")
+            continue
+        if a["id"] <= last_id:
+            errors.append(f"{awhere} ids not strictly increasing "
+                          f"({last_id} then {a['id']})")
+        last_id = a["id"]
+        if not isinstance(a.get("healthy"), bool):
+            errors.append(f"{awhere} missing boolean 'healthy'")
+        loss = a.get("loss_estimate")
+        if not is_num(loss) or not (0.0 <= loss <= 1.0):
+            errors.append(f"{awhere} loss_estimate must be in [0, 1], got {loss!r}")
+        for key in ("miss_streak", "inflight", "fetch_errors", "dedup_hits",
+                    "fault_drops", "requests_fired"):
+            if not is_count(a.get(key, -1)):
+                errors.append(f"{awhere} {key} must be a non-negative integer")
+        for key in ("last_seen_age", "rtt_ewma"):
+            if key in a and (not is_num(a[key]) or a[key] < 0 or not math.isfinite(a[key])):
+                errors.append(f"{awhere} {key} must be a finite number >= 0")
+
+
+def check_file(errors, path, args):
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        errors.append(f"{path}: cannot read: {e}")
+        return
+    lines = [line for line in lines if line.strip()]
+    if len(lines) < args.min_lines:
+        errors.append(f"{path}: only {len(lines)} snapshot(s), expected >= {args.min_lines}")
+    sources = set()
+    last_survey = None
+    last_agent_count = None
+    last_executed = None
+    for n, line in enumerate(lines):
+        where = f"{path}:{n + 1}"
+        try:
+            snap = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"{where}: invalid JSON: {e}")
+            continue
+        if not isinstance(snap, dict):
+            errors.append(f"{where}: snapshot must be a JSON object")
+            continue
+        for key in ("t", "seq", "clock", "source"):
+            if key not in snap:
+                errors.append(f"{where}: missing header key '{key}'")
+        if not is_num(snap.get("t", None)) or not math.isfinite(snap.get("t", math.inf)):
+            errors.append(f"{where}: 't' must be a finite number")
+        if snap.get("seq") != n:
+            errors.append(f"{where}: seq {snap.get('seq')!r} != line index {n}")
+        if snap.get("clock") not in CLOCKS:
+            errors.append(f"{where}: clock {snap.get('clock')!r} not in {sorted(CLOCKS)}")
+        if not isinstance(snap.get("source"), str) or not snap.get("source"):
+            errors.append(f"{where}: 'source' must be a non-empty string")
+        else:
+            sources.add(snap["source"])
+        if "survey" in snap:
+            check_survey(errors, where, snap["survey"])
+            last_survey = snap["survey"]
+        if "sim" in snap:
+            last_executed = check_sim(errors, where, snap["sim"], last_executed)
+        if "agents" in snap:
+            check_agents(errors, where, snap["agents"])
+            last_agent_count = len(snap["agents"])
+        for name, delta in snap.get("deltas", {}).items():
+            if not name or not is_num(delta) or not math.isfinite(delta):
+                errors.append(f"{where}: deltas['{name}'] must be a finite number")
+    if args.require_source and args.require_source not in sources:
+        errors.append(f"{path}: no snapshot from source '{args.require_source}' "
+                      f"(saw {sorted(sources) or 'none'})")
+    if args.expect_complete:
+        if last_survey is None:
+            errors.append(f"{path}: --expect-complete but no survey snapshots")
+        elif last_survey.get("done") != last_survey.get("total"):
+            errors.append(f"{path}: final survey snapshot incomplete "
+                          f"({last_survey.get('done')}/{last_survey.get('total')})")
+    if args.expect_agents is not None:
+        if last_agent_count is None:
+            errors.append(f"{path}: --expect-agents but no agent-bearing snapshots")
+        elif last_agent_count != args.expect_agents:
+            errors.append(f"{path}: last snapshot carries {last_agent_count} agent "
+                          f"row(s), expected {args.expect_agents}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="JSONL stats feeds to validate")
+    parser.add_argument("--require-source", metavar="NAME",
+                        help="fail unless a snapshot from this source appears")
+    parser.add_argument("--expect-agents", type=int, metavar="N",
+                        help="fail unless the last agent-bearing snapshot has N rows")
+    parser.add_argument("--min-lines", type=int, default=1, metavar="N",
+                        help="minimum snapshot count per feed (default 1)")
+    parser.add_argument("--expect-complete", action="store_true",
+                        help="fail unless the final survey snapshot has done == total")
+    args = parser.parse_args()
+
+    errors = []
+    for path in args.files:
+        check_file(errors, path, args)
+    if errors:
+        for error in errors:
+            print(f"check_stats_stream: {error}", file=sys.stderr)
+        print(f"check_stats_stream: FAIL ({len(errors)} error(s) across "
+              f"{len(args.files)} feed(s))", file=sys.stderr)
+        return 1
+    print(f"check_stats_stream: OK ({len(args.files)} feed(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@
 #include "src/core/journal/shutdown.h"
 #include "src/core/parallel_runner.h"
 #include "src/core/survey.h"
+#include "src/telemetry/stats_stream.h"
 
 namespace mfc {
 namespace {
@@ -53,6 +54,9 @@ struct Options {
   std::string metrics_path;     // write the merged metrics CSV here
   std::string journal_path;     // write-ahead experiment journal (crash-safe)
   bool resume = false;          // replay journaled experiments from --journal
+  std::string stats_stream_path;  // JSONL health snapshots ("-" = stdout)
+  double stats_interval = 1.0;    // snapshot cadence (wall s for surveys, sim s otherwise)
+  bool progress = false;          // verbose per-site survey lines on stderr
   std::vector<StageKind> stages = {StageKind::kBase, StageKind::kSmallQuery,
                                    StageKind::kLargeObject};
 };
@@ -80,6 +84,11 @@ void Usage() {
       "  --journal=<path>      write-ahead journal: completed experiments are appended\n"
       "                        + fsynced; surveys drain gracefully on SIGINT/SIGTERM\n"
       "  --resume              replay already-journaled experiments from --journal\n"
+      "  --stats-stream=<path> stream runtime health snapshots as JSONL ('-' = stdout)\n"
+      "  --stats-interval=<S>  snapshot cadence in seconds (wall-clock for surveys,\n"
+      "                        simulated time for single experiments; default 1)\n"
+      "  --progress            verbose per-site survey lines on stderr (default: a\n"
+      "                        rate-limited progress line, terminal only)\n"
       "  --seed=<N>            RNG seed\n"
       "  --quiet               suppress per-epoch output\n");
 }
@@ -131,6 +140,12 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       options.metrics_path = *v;
     } else if (auto v = value_of("--journal=")) {
       options.journal_path = *v;
+    } else if (auto v = value_of("--stats-stream=")) {
+      options.stats_stream_path = *v;
+    } else if (auto v = value_of("--stats-interval=")) {
+      options.stats_interval = atof(v->c_str());
+    } else if (arg == "--progress") {
+      options.progress = true;
     } else if (arg == "--resume") {
       options.resume = true;
     } else if (arg == "--crawl") {
@@ -266,7 +281,27 @@ int RunSurvey(const Options& options) {
   SurveyTelemetry telemetry;
   telemetry.collect_trace = !options.trace_path.empty();
   telemetry.collect_metrics = !options.metrics_path.empty();
-  telemetry.progress = telemetry.Enabled();
+  telemetry.progress = options.progress;
+
+  // Health plane: JSONL snapshot stream and/or the rate-limited terminal
+  // progress line (which replaces the old unconditional per-site spam; the
+  // verbose lines are now opt-in via --progress).
+  std::unique_ptr<StatsStream> stats;
+  if (!options.stats_stream_path.empty()) {
+    std::string error;
+    stats = StatsStream::Open(options.stats_stream_path, &error);
+    if (stats == nullptr) {
+      fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+  }
+  ProgressLine progress_line(1.0);
+  telemetry.stats = stats.get();
+  if (!options.progress && progress_line.Enabled()) {
+    telemetry.progress_line = &progress_line;
+  }
+  telemetry.stats_interval = options.stats_interval;
+  telemetry.stats_label = std::string(CohortName(*cohort));
   std::unique_ptr<SurveyJournal> journal;
   if (!options.journal_path.empty()) {
     char fingerprint[160];
@@ -288,10 +323,12 @@ int RunSurvey(const Options& options) {
     ClearShutdownRequest();
     InstallShutdownHandlers();
   }
+  SurveyTelemetry* telemetry_arg =
+      telemetry.Enabled() || telemetry.progress || telemetry.HealthAttached() ? &telemetry
+                                                                              : nullptr;
   SurveyBreakdown b = RunSurveyCohortParallel(*cohort, stage, options.survey,
                                               options.max_crowd, options.seed, jobs,
-                                              nullptr, telemetry.Enabled() ? &telemetry : nullptr,
-                                              journal.get());
+                                              nullptr, telemetry_arg, journal.get());
   auto pct = [&](size_t n) {
     return b.servers == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
                                       static_cast<double>(b.servers);
@@ -414,7 +451,38 @@ int Run(const Options& options) {
     if (telemetry.Enabled()) {
       coordinator.SetTelemetry(&telemetry);
     }
+
+    // Health plane for a single experiment: simulated-time snapshots of the
+    // event loop and flow network. The sampler's events are read-only, so
+    // results with it attached are identical to results without.
+    std::unique_ptr<StatsStream> stats;
+    std::unique_ptr<SimStatsSampler> sampler;
+    if (!options.stats_stream_path.empty()) {
+      std::string error;
+      stats = StatsStream::Open(options.stats_stream_path, &error);
+      if (stats == nullptr) {
+        fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+      }
+      auto probe = [&deployment] {
+        SimHealthSnapshot s;
+        const FlowNetwork& net = deployment.Testbed().Wan().Flows();
+        s.flows_active = net.ActiveFlowCount();
+        s.reallocs = net.Stats().reallocs;
+        s.links_touched = net.Stats().links_touched;
+        s.no_progress = net.Stats().no_progress;
+        return s;
+      };
+      sampler = std::make_unique<SimStatsSampler>(deployment.Loop(), *stats,
+                                                  options.stats_interval, probe,
+                                                  want_metrics ? &metrics : nullptr);
+      sampler->Start();
+    }
+
     result = coordinator.Run(objects, options.stages);
+    if (sampler != nullptr) {
+      sampler->Stop();  // cancels the pending tick, emits the final snapshot
+    }
     deployment.StopBackground();
 
     if (journal != nullptr) {
