@@ -5,10 +5,17 @@
 // identity check across allocator rewrites: same commit-to-commit counts or
 // the speedup is measuring different work.
 //
+// Two non-headline scenarios ride along: the rank3 band re-run as a 2-way
+// interleaved shard partition (whose summed breakdown must equal the
+// headline's single-process run — the shard-equivalence contract of
+// DESIGN.md §12, timed), and the streaming long-tail sampler regenerating
+// sites from (seed, cohort, index) with no instances vector.
+//
 //   perf_survey [--repeats=N] [--sites=N] [--jobs=N] [--out=PATH]
 #include <cstdint>
 
 #include "bench/perf_util.h"
+#include "src/core/population.h"
 #include "src/core/survey.h"
 
 int main(int argc, char** argv) {
@@ -58,5 +65,78 @@ int main(int argc, char** argv) {
                             static_cast<double>(b.nostop));
   }
   report.Add(std::move(all));
+
+  // Sharded partition of the headline's rank3 band: shard 0 + shard 1 run
+  // back to back (one process standing in for two), and their summed
+  // breakdown must reproduce the single-process band bucket for bucket.
+  mfc::PerfScenario sharded;
+  sharded.name = "sharded_2way_rank3";
+  sharded.items_unit = "sites";
+  sharded.items = sites_per_band;
+  mfc::SurveyBreakdown combined;
+  for (size_t rep = 0; rep < args.repeats; ++rep) {
+    mfc::PerfTimer timer;
+    mfc::SurveyBreakdown shard_sum;
+    shard_sum.cohort = kBands[2];
+    for (size_t shard = 0; shard < 2; ++shard) {
+      mfc::SurveyRunOptions run;
+      run.shards = 2;
+      run.shard_index = shard;
+      mfc::SurveyBreakdown b = mfc::RunSurveyCohortParallel(
+          kBands[2], mfc::StageKind::kLargeObject, sites_per_band, 85, 902, jobs,
+          nullptr, nullptr, nullptr, run);
+      shard_sum.servers += b.servers;
+      shard_sum.b10 += b.b10;
+      shard_sum.b20 += b.b20;
+      shard_sum.b30 += b.b30;
+      shard_sum.b40 += b.b40;
+      shard_sum.b50 += b.b50;
+      shard_sum.b50plus += b.b50plus;
+      shard_sum.nostop += b.nostop;
+    }
+    if (rep == 0) {
+      combined = shard_sum;
+    }
+    if (!(shard_sum == combined) || !(shard_sum == breakdowns[2])) {
+      fprintf(stderr, "2-way shard partition does not reproduce the rank3 band\n");
+      return 1;
+    }
+    sharded.wall_seconds.push_back(timer.Seconds());
+  }
+  report.Add(std::move(sharded));
+
+  // Streaming long-tail sampling: regenerate sites_per_band * 2500 sites as
+  // pure functions of (seed, cohort, index). The checksum keeps the work
+  // live and doubles as a cross-repeat determinism fingerprint;
+  // materialized stays 0 or the stream is secretly building a vector.
+  mfc::PerfScenario stream;
+  stream.name = "longtail_stream_sample";
+  stream.items_unit = "sites";
+  stream.items = sites_per_band * 2500;
+  uint64_t checksum = 0;
+  size_t materialized = 0;
+  for (size_t rep = 0; rep < args.repeats; ++rep) {
+    mfc::PerfTimer timer;
+    mfc::SiteStream sites(mfc::Cohort::kLongTail, 4242, stream.items,
+                          /*legacy_seeds=*/false);
+    uint64_t sum = 0;
+    for (size_t i = 0; i < stream.items; ++i) {
+      mfc::SiteInstance inst = sites.Site(i);
+      sum += sites.ExperimentSeed(i) ^ static_cast<uint64_t>(inst.base_knee * 1e3) ^
+             static_cast<uint64_t>(inst.background_rps * 1e3);
+    }
+    materialized = sites.MaterializedCount();
+    if (rep == 0) {
+      checksum = sum;
+    }
+    if (sum != checksum || materialized != 0) {
+      fprintf(stderr, "non-deterministic or materializing long-tail stream\n");
+      return 1;
+    }
+    stream.wall_seconds.push_back(timer.Seconds());
+  }
+  stream.extras.emplace_back("checksum_low32", static_cast<double>(checksum & 0xFFFFFFFF));
+  stream.extras.emplace_back("materialized", static_cast<double>(materialized));
+  report.Add(std::move(stream));
   return report.Finish(args.out_path);
 }

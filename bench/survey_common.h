@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/arg_parse.h"
 #include "src/core/export.h"
 #include "src/core/journal/journal.h"
 #include "src/core/journal/shutdown.h"
@@ -41,6 +42,9 @@ namespace mfc {
 struct SurveyArgs {
   size_t servers_override = 0;  // 0 = use each bench's paper counts
   size_t jobs = 0;              // 0 = MFC_JOBS env / hardware default
+  size_t shards = 1;            // split each cohort across K processes
+  size_t shard_index = 0;       // this process's shard in [0, shards)
+  bool legacy_seeds = false;    // pre-PR-8 seed derivation
   std::string json_path;
   std::string trace_path;       // empty = tracing off (the default path)
   std::string metrics_path;     // empty = metrics off
@@ -57,9 +61,16 @@ inline SurveyArgs ParseSurveyArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--jobs=", 0) == 0) {
-      args.jobs = static_cast<size_t>(atoi(arg.c_str() + strlen("--jobs=")));
+      args.ok &= ParseSizeFlag("--jobs", arg.substr(strlen("--jobs=")), &args.jobs);
     } else if (arg == "--jobs" && i + 1 < argc) {
-      args.jobs = static_cast<size_t>(atoi(argv[++i]));
+      args.ok &= ParseSizeFlag("--jobs", argv[++i], &args.jobs);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      args.ok &= ParseSizeFlag("--shards", arg.substr(strlen("--shards=")), &args.shards);
+    } else if (arg.rfind("--shard-index=", 0) == 0) {
+      args.ok &= ParseSizeFlag("--shard-index", arg.substr(strlen("--shard-index=")),
+                               &args.shard_index);
+    } else if (arg == "--legacy-seeds") {
+      args.legacy_seeds = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       args.json_path = arg.substr(strlen("--json="));
     } else if (arg == "--json" && i + 1 < argc) {
@@ -77,14 +88,16 @@ inline SurveyArgs ParseSurveyArgs(int argc, char** argv) {
     } else if (arg.rfind("--stats-stream=", 0) == 0) {
       args.stats_stream_path = arg.substr(strlen("--stats-stream="));
     } else if (arg.rfind("--stats-interval=", 0) == 0) {
-      args.stats_interval = atof(arg.c_str() + strlen("--stats-interval="));
+      args.ok &= ParseDoubleFlag("--stats-interval", arg.substr(strlen("--stats-interval=")),
+                                 &args.stats_interval);
     } else if (arg == "--progress") {
       args.progress = true;
     } else if (!arg.empty() && arg[0] != '-') {
-      args.servers_override = static_cast<size_t>(atoi(arg.c_str()));
+      args.ok &= ParseSizeFlag("<servers>", arg, &args.servers_override);
     } else {
       fprintf(stderr,
-              "unknown flag '%s' (supported: <servers> --jobs=N --json=<path> "
+              "unknown flag '%s' (supported: <servers> --jobs=N --shards=K "
+              "--shard-index=J --legacy-seeds --json=<path> "
               "--trace=<path> --metrics=<path> --journal=<path> --resume "
               "--stats-stream=<path> --stats-interval=<S> --progress)\n",
               arg.c_str());
@@ -93,6 +106,15 @@ inline SurveyArgs ParseSurveyArgs(int argc, char** argv) {
   }
   if (args.resume && args.journal_path.empty()) {
     fprintf(stderr, "--resume requires --journal=<path>\n");
+    args.ok = false;
+  }
+  if (args.shards == 0 || args.shard_index >= args.shards) {
+    fprintf(stderr, "--shard-index=%zu out of range for --shards=%zu\n", args.shard_index,
+            args.shards);
+    args.ok = false;
+  }
+  if (args.shards > 1 && args.journal_path.empty()) {
+    fprintf(stderr, "--shards requires --journal=<path> (shards are merged from journals)\n");
     args.ok = false;
   }
   return args;
@@ -149,6 +171,9 @@ class SurveyRecorder {
         metrics_path_(args.metrics_path),
         jobs_(ResolveJobs(args.jobs)),
         start_(std::chrono::steady_clock::now()) {
+    run_.shards = args.shards;
+    run_.shard_index = args.shard_index;
+    run_.legacy_seeds = args.legacy_seeds;
     telemetry_.collect_trace = !trace_path_.empty();
     telemetry_.collect_metrics = !metrics_path_.empty();
     telemetry_.progress = args.progress;
@@ -206,7 +231,7 @@ class SurveyRecorder {
     if (journal_ != nullptr) {
       std::string error;
       if (!journal_->BeginCohort(cohort, stage, servers, max_crowd, seed, telemetry_.next_pid,
-                                 &error)) {
+                                 &error, run_.shards, run_.shard_index, run_.legacy_seeds)) {
         fprintf(stderr, "journal error: %s\n", error.c_str());
         exit(2);
       }
@@ -216,7 +241,7 @@ class SurveyRecorder {
         telemetry_.Enabled() || telemetry_.progress || telemetry_.HealthAttached() ? &telemetry_
                                                                                    : nullptr;
     SurveyBreakdown b = RunSurveyCohortParallel(cohort, stage, servers, max_crowd, seed, jobs_,
-                                                nullptr, telemetry_arg, journal_.get());
+                                                nullptr, telemetry_arg, journal_.get(), run_);
     if (journal_ != nullptr && journal_->interrupted.load(std::memory_order_relaxed)) {
       interrupted_ = true;
     }
@@ -342,6 +367,7 @@ class SurveyRecorder {
   std::string trace_path_;
   std::string metrics_path_;
   size_t jobs_;
+  SurveyRunOptions run_;
   std::chrono::steady_clock::time_point start_;
   std::vector<SurveyBreakdown> breakdowns_;
   SurveyTelemetry telemetry_;

@@ -170,6 +170,11 @@ ExperimentResult RunSiteExperiment(const SiteInstance& instance, const Experimen
   DeploymentOptions options;
   options.seed = seed;
   options.fleet_size = std::max<size_t>(config.min_clients, 85);
+  // Long-tail instances carry ambient visitor load; classic cohorts leave
+  // this at 0 and the deployment never constructs a background generator, so
+  // their event streams are bit-for-bit what they were before the field
+  // existed.
+  options.background_rps = instance.background_rps;
   Deployment deployment(instance, options);
   if (telemetry != nullptr) {
     deployment.SetTelemetry(telemetry);
@@ -179,7 +184,10 @@ ExperimentResult RunSiteExperiment(const SiteInstance& instance, const Experimen
   if (telemetry != nullptr) {
     coordinator.SetTelemetry(telemetry);
   }
-  return coordinator.Run(objects, stages);
+  deployment.StartBackground();
+  ExperimentResult result = coordinator.Run(objects, stages);
+  deployment.StopBackground();
+  return result;
 }
 
 ExperimentResult RunSurveyExperiment(Rng& rng, Cohort cohort, const ExperimentConfig& config,

@@ -598,14 +598,35 @@ bool DecodeCohortRecord(const JsonValue& body, JournalCohortRecord* out) {
   uint64_t cohort = 0;
   uint64_t stage = 0;
   if (!GetSize(body, "ordinal", &out->ordinal) || !GetU64(body, "cohort", &cohort) ||
-      cohort > 5 || !GetU64(body, "stage", &stage) || stage > 2 ||
-      !GetSize(body, "servers", &out->servers) || !GetSize(body, "max_crowd", &out->max_crowd) ||
-      !GetU64(body, "seed", &out->seed) || !GetU64(body, "pid_base", &out->pid_base)) {
+      cohort > static_cast<uint64_t>(Cohort::kLongTail) || !GetU64(body, "stage", &stage) ||
+      stage > 2 || !GetSize(body, "servers", &out->servers) ||
+      !GetSize(body, "max_crowd", &out->max_crowd) || !GetU64(body, "seed", &out->seed) ||
+      !GetU64(body, "pid_base", &out->pid_base)) {
     return false;
   }
   out->cohort = static_cast<Cohort>(cohort);
   out->stage = static_cast<StageKind>(stage);
+  if (body.Find("shards") != nullptr) {
+    if (!GetSize(body, "shards", &out->shards) || out->shards == 0 ||
+        !GetSize(body, "shard_index", &out->shard_index) || out->shard_index >= out->shards ||
+        !GetBool(body, "legacy_seeds", &out->legacy_seeds)) {
+      return false;
+    }
+  } else {
+    // Pre-PR-8 record: unsharded, seed * 1000 + i era.
+    out->shards = 1;
+    out->shard_index = 0;
+    out->legacy_seeds = true;
+  }
   return true;
+}
+
+// The per-site seed the cohort's declared derivation implies for |index|.
+uint64_t ExpectedSiteSeed(const JournalCohortRecord& cohort, size_t index) {
+  if (cohort.legacy_seeds) {
+    return cohort.seed * 1000 + index;
+  }
+  return SiteExperimentSeed(cohort.seed, cohort.cohort, index);
 }
 
 bool DecodeSiteRecord(const JsonValue& body, JournalSiteRecord* out) {
@@ -663,8 +684,132 @@ std::string EncodeCohortRecord(const JournalCohortRecord& record) {
   AppendKeyU64(body, "seed", record.seed);
   body += ',';
   AppendKeyU64(body, "pid_base", record.pid_base);
+  body += ',';
+  AppendKeyU64(body, "shards", record.shards);
+  body += ',';
+  AppendKeyU64(body, "shard_index", record.shard_index);
+  body += ',';
+  AppendKeyBool(body, "legacy_seeds", record.legacy_seeds);
   body += '}';
   return body;
+}
+
+// One pass over a journal's bytes, shared by SurveyJournal::Open (which then
+// truncates/appends) and the read-only ReadJournalFile. |valid_end| is the
+// offset just past the last fully valid record; |corrupt| names the first
+// recoverable defect (drop the suffix), |hard_error| an unrecoverable one
+// (not a journal at all / wrong version) — the file must then be left alone.
+struct JournalScan {
+  bool saw_header = false;
+  std::string tool;
+  std::string fingerprint;
+  std::vector<JournalCohortRecord> cohorts;
+  std::map<std::pair<size_t, size_t>, JournalSiteRecord> sites;
+  size_t valid_end = 0;
+  std::string corrupt;
+  std::string hard_error;
+};
+
+void ScanJournalContents(const std::string& path, const std::string& contents,
+                         JournalScan* scan) {
+  size_t pos = 0;
+  size_t record_index = 0;
+  while (pos < contents.size() && scan->corrupt.empty()) {
+    size_t newline = contents.find('\n', pos);
+    if (newline == std::string::npos) {
+      scan->corrupt = "truncated tail record (no trailing newline)";
+      break;
+    }
+    std::string_view line(contents.data() + pos, newline - pos);
+    std::string_view body_text;
+    if (!UnframeLine(line, &body_text)) {
+      scan->corrupt = "record " + std::to_string(record_index) + ": bad frame or checksum";
+      break;
+    }
+    JsonValue body;
+    std::string parse_error;
+    if (!ParseJson(body_text, &body, &parse_error)) {
+      scan->corrupt = "record " + std::to_string(record_index) + ": " + parse_error;
+      break;
+    }
+    std::string type;
+    if (!GetString(body, "type", &type)) {
+      scan->corrupt = "record " + std::to_string(record_index) + ": missing type";
+      break;
+    }
+    if (record_index == 0) {
+      // Header mismatches are hard errors, not recoverable corruption: the
+      // file is either not a journal or from an incompatible writer.
+      std::string magic;
+      uint64_t version = 0;
+      if (type != "header" || !GetString(body, "magic", &magic) || magic != kMagic ||
+          !GetU64(body, "version", &version)) {
+        scan->hard_error = path + ": not an mfc journal";
+        return;
+      }
+      if (version != kJournalVersion) {
+        scan->hard_error = path + ": journal version " + std::to_string(version) + " != " +
+                           std::to_string(kJournalVersion);
+        return;
+      }
+      if (!GetString(body, "tool", &scan->tool) ||
+          !GetString(body, "fingerprint", &scan->fingerprint)) {
+        scan->hard_error = path + ": malformed journal header";
+        return;
+      }
+      scan->saw_header = true;
+    } else if (type == "cohort") {
+      JournalCohortRecord record;
+      if (!DecodeCohortRecord(body, &record) || record.ordinal != scan->cohorts.size()) {
+        scan->corrupt = "record " + std::to_string(record_index) + ": malformed cohort record";
+        break;
+      }
+      scan->cohorts.push_back(record);
+    } else if (type == "site") {
+      JournalSiteRecord record;
+      if (!DecodeSiteRecord(body, &record)) {
+        scan->corrupt = "record " + std::to_string(record_index) + ": malformed site record";
+        break;
+      }
+      // Bind the site to its cohort declaration when one exists (survey
+      // journals always write the cohort record first): seed must follow the
+      // cohort's declared derivation and the index must belong to its shard.
+      if (record.cohort_ordinal < scan->cohorts.size()) {
+        const JournalCohortRecord& cohort = scan->cohorts[record.cohort_ordinal];
+        if (record.site_index >= cohort.servers || record.stage != cohort.stage ||
+            record.seed != ExpectedSiteSeed(cohort, record.site_index) ||
+            record.pid != cohort.pid_base + record.site_index ||
+            record.site_index % cohort.shards != cohort.shard_index) {
+          scan->corrupt = "record " + std::to_string(record_index) +
+                          ": site record inconsistent with its cohort";
+          break;
+        }
+      }
+      auto key = std::make_pair(record.cohort_ordinal, record.site_index);
+      if (!scan->sites.emplace(key, std::move(record)).second) {
+        scan->corrupt = "record " + std::to_string(record_index) + ": duplicate site record";
+        break;
+      }
+    } else {
+      scan->corrupt = "record " + std::to_string(record_index) + ": unknown type \"" + type +
+                      "\"";
+      break;
+    }
+    pos = newline + 1;
+    scan->valid_end = pos;
+    ++record_index;
+  }
+}
+
+// Counts the records in the invalid suffix (for the recovery warning).
+size_t CountDroppedRecords(const std::string& contents, size_t valid_end) {
+  size_t dropped = 1;
+  for (size_t i = valid_end; i < contents.size(); ++i) {
+    if (contents[i] == '\n' && i + 1 < contents.size()) {
+      ++dropped;
+    }
+  }
+  return dropped;
 }
 
 }  // namespace
@@ -704,115 +849,30 @@ std::unique_ptr<SurveyJournal> SurveyJournal::Open(const std::string& path,
   journal->path_ = path;
   journal->file_ = file;
 
-  // Scan the record stream. |valid_end| tracks the byte offset just past the
-  // last fully valid record; anything beyond it is a corrupt suffix.
-  size_t valid_end = 0;
-  size_t pos = 0;
-  size_t record_index = 0;
-  bool saw_header = false;
-  std::string corrupt;
-  while (pos < contents.size() && corrupt.empty()) {
-    size_t newline = contents.find('\n', pos);
-    if (newline == std::string::npos) {
-      corrupt = "truncated tail record (no trailing newline)";
-      break;
-    }
-    std::string_view line(contents.data() + pos, newline - pos);
-    std::string_view body_text;
-    if (!UnframeLine(line, &body_text)) {
-      corrupt = "record " + std::to_string(record_index) + ": bad frame or checksum";
-      break;
-    }
-    JsonValue body;
-    std::string parse_error;
-    if (!ParseJson(body_text, &body, &parse_error)) {
-      corrupt = "record " + std::to_string(record_index) + ": " + parse_error;
-      break;
-    }
-    std::string type;
-    if (!GetString(body, "type", &type)) {
-      corrupt = "record " + std::to_string(record_index) + ": missing type";
-      break;
-    }
-    if (record_index == 0) {
-      // Header mismatches are hard errors, not recoverable corruption: the
-      // journal belongs to a different run and must never be reused.
-      std::string magic;
-      std::string header_tool;
-      std::string header_fingerprint;
-      uint64_t version = 0;
-      if (type != "header" || !GetString(body, "magic", &magic) || magic != kMagic ||
-          !GetU64(body, "version", &version)) {
-        return fail(path + ": not an mfc journal");
-      }
-      if (version != kJournalVersion) {
-        return fail(path + ": journal version " + std::to_string(version) + " != " +
-                    std::to_string(kJournalVersion));
-      }
-      if (!GetString(body, "tool", &header_tool) ||
-          !GetString(body, "fingerprint", &header_fingerprint)) {
-        return fail(path + ": malformed journal header");
-      }
-      if (header_tool != tool || header_fingerprint != fingerprint) {
-        return fail(path + ": journal belongs to a different run (tool \"" + header_tool +
-                    "\", fingerprint \"" + header_fingerprint + "\"; this run is tool \"" + tool +
-                    "\", fingerprint \"" + fingerprint + "\")");
-      }
-      saw_header = true;
-    } else if (type == "cohort") {
-      JournalCohortRecord record;
-      if (!DecodeCohortRecord(body, &record) || record.ordinal != journal->cohorts_.size()) {
-        corrupt = "record " + std::to_string(record_index) + ": malformed cohort record";
-        break;
-      }
-      journal->cohorts_.push_back(record);
-    } else if (type == "site") {
-      JournalSiteRecord record;
-      if (!DecodeSiteRecord(body, &record)) {
-        corrupt = "record " + std::to_string(record_index) + ": malformed site record";
-        break;
-      }
-      // Bind the site to its cohort declaration when one exists (survey
-      // journals always write the cohort record first).
-      if (record.cohort_ordinal < journal->cohorts_.size()) {
-        const JournalCohortRecord& cohort = journal->cohorts_[record.cohort_ordinal];
-        if (record.site_index >= cohort.servers || record.stage != cohort.stage ||
-            record.seed != cohort.seed * 1000 + record.site_index ||
-            record.pid != cohort.pid_base + record.site_index) {
-          corrupt = "record " + std::to_string(record_index) +
-                    ": site record inconsistent with its cohort";
-          break;
-        }
-      }
-      auto key = std::make_pair(record.cohort_ordinal, record.site_index);
-      if (!journal->sites_.emplace(key, std::move(record)).second) {
-        corrupt = "record " + std::to_string(record_index) + ": duplicate site record";
-        break;
-      }
-    } else {
-      corrupt = "record " + std::to_string(record_index) + ": unknown type \"" + type + "\"";
-      break;
-    }
-    pos = newline + 1;
-    valid_end = pos;
-    ++record_index;
+  JournalScan scan;
+  ScanJournalContents(path, contents, &scan);
+  if (!scan.hard_error.empty()) {
+    return fail(scan.hard_error);
   }
+  if (scan.saw_header && (scan.tool != tool || scan.fingerprint != fingerprint)) {
+    // The journal belongs to a different run and must never be reused.
+    return fail(path + ": journal belongs to a different run (tool \"" + scan.tool +
+                "\", fingerprint \"" + scan.fingerprint + "\"; this run is tool \"" + tool +
+                "\", fingerprint \"" + fingerprint + "\")");
+  }
+  journal->cohorts_ = std::move(scan.cohorts);
+  journal->sites_ = std::move(scan.sites);
 
-  if (!corrupt.empty()) {
+  if (!scan.corrupt.empty()) {
     // Recover by replaying only the valid prefix: count what we drop, warn,
     // and truncate so appended records continue a clean stream.
-    size_t dropped = 1;
-    for (size_t i = valid_end; i < contents.size(); ++i) {
-      if (contents[i] == '\n' && i + 1 < contents.size()) {
-        ++dropped;
-      }
-    }
-    journal->records_dropped_ = dropped;
-    journal->warning_ = "journal corruption (" + corrupt + "): dropped " +
-                        std::to_string(dropped) + " record(s) after the valid prefix";
+    journal->records_dropped_ = CountDroppedRecords(contents, scan.valid_end);
+    journal->warning_ = "journal corruption (" + scan.corrupt + "): dropped " +
+                        std::to_string(journal->records_dropped_) +
+                        " record(s) after the valid prefix";
   }
 
-  if (!saw_header && !contents.empty()) {
+  if (!scan.saw_header && !contents.empty()) {
     // No valid header record at all: this is some other file, not a corrupt
     // journal — never truncate or overwrite it.
     return fail(path + ": not an mfc journal (no valid header record)");
@@ -823,20 +883,64 @@ std::unique_ptr<SurveyJournal> SurveyJournal::Open(const std::string& path,
                        "them or remove the file to start over");
   }
 
-  if (valid_end < contents.size()) {
-    if (ftruncate(fileno(file), static_cast<off_t>(valid_end)) != 0) {
+  if (scan.valid_end < contents.size()) {
+    if (ftruncate(fileno(file), static_cast<off_t>(scan.valid_end)) != 0) {
       return fail("cannot truncate corrupt journal suffix in " + path);
     }
   }
-  if (fseek(file, static_cast<long>(valid_end), SEEK_SET) != 0) {
+  if (fseek(file, static_cast<long>(scan.valid_end), SEEK_SET) != 0) {
     return fail("cannot seek journal " + path);
   }
 
-  if (!saw_header) {
+  if (!scan.saw_header) {
     // Fresh journal: write the header now.
     journal->AppendFrameLocked(EncodeHeader(tool, fingerprint));
   }
   return journal;
+}
+
+bool ReadJournalFile(const std::string& path, JournalFileData* out, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  FILE* file = fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return fail("cannot open journal " + path);
+  }
+  std::string contents;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), file)) > 0) {
+    contents.append(buf, n);
+  }
+  bool read_error = ferror(file) != 0;
+  fclose(file);
+  if (read_error) {
+    return fail("cannot read journal " + path);
+  }
+
+  JournalScan scan;
+  ScanJournalContents(path, contents, &scan);
+  if (!scan.hard_error.empty()) {
+    return fail(scan.hard_error);
+  }
+  if (!scan.saw_header) {
+    return fail(path + ": not an mfc journal (no valid header record)");
+  }
+  *out = JournalFileData{};
+  out->tool = std::move(scan.tool);
+  out->fingerprint = std::move(scan.fingerprint);
+  out->cohorts = std::move(scan.cohorts);
+  out->sites = std::move(scan.sites);
+  if (!scan.corrupt.empty()) {
+    out->records_dropped = CountDroppedRecords(contents, scan.valid_end);
+    out->warning = "journal corruption (" + scan.corrupt + "): ignored " +
+                   std::to_string(out->records_dropped) + " record(s) after the valid prefix";
+  }
+  return true;
 }
 
 SurveyJournal::~SurveyJournal() {
@@ -855,23 +959,31 @@ void SurveyJournal::AppendFrameLocked(const std::string& body) {
 }
 
 bool SurveyJournal::BeginCohort(Cohort cohort, StageKind stage, size_t servers, size_t max_crowd,
-                                uint64_t seed, uint64_t pid_base, std::string* error) {
+                                uint64_t seed, uint64_t pid_base, std::string* error,
+                                size_t shards, size_t shard_index, bool legacy_seeds) {
   size_t ordinal = begun_cohorts_++;
   current_ordinal_ = ordinal;
   if (ordinal < cohorts_.size()) {
     const JournalCohortRecord& rec = cohorts_[ordinal];
     if (rec.cohort != cohort || rec.stage != stage || rec.servers != servers ||
-        rec.max_crowd != max_crowd || rec.seed != seed || rec.pid_base != pid_base) {
+        rec.max_crowd != max_crowd || rec.seed != seed || rec.pid_base != pid_base ||
+        rec.shards != shards || rec.shard_index != shard_index ||
+        rec.legacy_seeds != legacy_seeds) {
       if (error != nullptr) {
         *error = "cohort " + std::to_string(ordinal) + " config mismatch: journal has " +
                  std::string(CohortName(rec.cohort)) + "/" + std::string(StageName(rec.stage)) +
                  " servers=" + std::to_string(rec.servers) +
                  " max_crowd=" + std::to_string(rec.max_crowd) +
                  " seed=" + std::to_string(rec.seed) +
-                 " pid_base=" + std::to_string(rec.pid_base) + ", this run wants " +
+                 " pid_base=" + std::to_string(rec.pid_base) +
+                 " shards=" + std::to_string(rec.shards) + "/" +
+                 std::to_string(rec.shard_index) +
+                 " legacy_seeds=" + (rec.legacy_seeds ? "1" : "0") + ", this run wants " +
                  std::string(CohortName(cohort)) + "/" + std::string(StageName(stage)) +
                  " servers=" + std::to_string(servers) + " max_crowd=" + std::to_string(max_crowd) +
-                 " seed=" + std::to_string(seed) + " pid_base=" + std::to_string(pid_base);
+                 " seed=" + std::to_string(seed) + " pid_base=" + std::to_string(pid_base) +
+                 " shards=" + std::to_string(shards) + "/" + std::to_string(shard_index) +
+                 " legacy_seeds=" + (legacy_seeds ? "1" : "0");
       }
       return false;
     }
@@ -885,6 +997,9 @@ bool SurveyJournal::BeginCohort(Cohort cohort, StageKind stage, size_t servers, 
   record.max_crowd = max_crowd;
   record.seed = seed;
   record.pid_base = pid_base;
+  record.shards = shards;
+  record.shard_index = shard_index;
+  record.legacy_seeds = legacy_seeds;
   cohorts_.push_back(record);
   std::lock_guard<std::mutex> lock(mu_);
   AppendFrameLocked(EncodeCohortRecord(record));

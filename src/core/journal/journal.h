@@ -12,8 +12,9 @@
 //            caller-supplied config fingerprint (everything that shapes the
 //            work except --jobs and output paths, which must not matter);
 //   cohort — one per RunSurveyCohortParallel call, in call order: cohort,
-//            stage, server count, crowd ceiling, seed, and the pid base the
-//            merged trace assigns this cohort's sites;
+//            stage, server count, crowd ceiling, seed, the pid base the
+//            merged trace assigns this cohort's sites, and the shard
+//            identity + seed-derivation mode (DESIGN.md §12);
 //   site   — one per completed site experiment: cohort ordinal, site index,
 //            seed, stage, merged-trace pid, the full ExperimentResult, and
 //            (when collected) the site's private trace spans and metrics
@@ -56,10 +57,17 @@ struct JournalCohortRecord {
   size_t ordinal = 0;
   Cohort cohort = Cohort::kRank1To1K;
   StageKind stage = StageKind::kBase;
-  size_t servers = 0;
+  size_t servers = 0;  // global site count (all shards together)
   size_t max_crowd = 0;
   uint64_t seed = 0;
   uint64_t pid_base = 0;  // merged-trace pid of this cohort's site 0
+  // Shard identity (DESIGN.md §12): this journal holds global site indices
+  // i with i % shards == shard_index. Pre-PR-8 journals carry no shard keys
+  // and decode as an unsharded legacy-seed run (shards=1, legacy_seeds=true),
+  // so they resume only under --legacy-seeds — never silently reseeded.
+  size_t shards = 1;
+  size_t shard_index = 0;
+  bool legacy_seeds = false;
 };
 
 struct JournalSiteRecord {
@@ -117,9 +125,13 @@ class SurveyJournal {
   // journal already holds a cohort record at this ordinal its parameters
   // must match exactly; otherwise a new record is appended. Returns false
   // and fills |error| on a mismatch — the caller must treat that as a
-  // config error, never run against the journal anyway.
+  // config error, never run against the journal anyway. |shards| /
+  // |shard_index| / |legacy_seeds| bind the journal to one shard of a
+  // (possibly sharded) run; the defaults describe a plain unsharded run
+  // with mixed (collision-free) seeds.
   bool BeginCohort(Cohort cohort, StageKind stage, size_t servers, size_t max_crowd,
-                   uint64_t seed, uint64_t pid_base, std::string* error);
+                   uint64_t seed, uint64_t pid_base, std::string* error, size_t shards = 1,
+                   size_t shard_index = 0, bool legacy_seeds = false);
 
   size_t CurrentOrdinal() const { return current_ordinal_; }
 
@@ -162,6 +174,20 @@ class SurveyJournal {
   size_t current_ordinal_ = 0;
   size_t begun_cohorts_ = 0;
 };
+
+// Read-only parse of one journal file for tools (shard merge, inspectors):
+// never opens for append, never truncates. A corrupt suffix is dropped from
+// the parsed view with a note in |warning|; a missing/invalid header is a
+// hard error.
+struct JournalFileData {
+  std::string tool;
+  std::string fingerprint;
+  std::vector<JournalCohortRecord> cohorts;
+  std::map<std::pair<size_t, size_t>, JournalSiteRecord> sites;
+  std::string warning;
+  size_t records_dropped = 0;
+};
+bool ReadJournalFile(const std::string& path, JournalFileData* out, std::string* error);
 
 }  // namespace mfc
 

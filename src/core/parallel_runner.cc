@@ -1,6 +1,7 @@
 #include "src/core/parallel_runner.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
@@ -13,10 +14,18 @@ size_t ResolveJobs(size_t requested) {
     return requested;
   }
   if (const char* env = std::getenv("MFC_JOBS")) {
-    long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
       return static_cast<size_t>(parsed);
     }
+    // A set-but-broken MFC_JOBS used to fall through silently — the user
+    // believes they pinned the worker count while the run fans out across
+    // every core. Say so, once, then take the hardware default.
+    fprintf(stderr,
+            "warning: MFC_JOBS=\"%s\" is not a positive integer; "
+            "falling back to hardware concurrency\n",
+            env);
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<size_t>(hw) : 1;

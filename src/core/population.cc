@@ -47,6 +47,8 @@ const CohortSpec& SpecFor(Cohort cohort) {
       return kStartup;
     case Cohort::kPhishing:
       return kPhishing;
+    case Cohort::kLongTail:
+      return kRank4;  // rank-independent fallback; SampleLongTailSite overrides
   }
   return kRank4;
 }
@@ -121,11 +123,125 @@ std::string_view CohortName(Cohort cohort) {
       return "Startup";
     case Cohort::kPhishing:
       return "Phishing";
+    case Cohort::kLongTail:
+      return "Long tail";
   }
   return "Unknown";
 }
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+// Chains the triple through three finalizer rounds; |domain| separates
+// otherwise-identical triples used for different purposes.
+uint64_t MixSeedTriple(uint64_t seed, uint64_t cohort, uint64_t index, uint64_t domain) {
+  uint64_t h = SplitMix64(seed ^ domain);
+  h = SplitMix64(h ^ cohort);
+  return SplitMix64(h ^ index);
+}
+
+// ASCII "mfc-expr" / "mfc-samp": stable, greppable domain constants.
+constexpr uint64_t kExperimentDomain = 0x6d66632d65787072ULL;
+constexpr uint64_t kSampleDomain = 0x6d66632d73616d70ULL;
+
+}  // namespace
+
+uint64_t SiteExperimentSeed(uint64_t survey_seed, Cohort cohort, uint64_t index) {
+  return MixSeedTriple(survey_seed, static_cast<uint64_t>(cohort), index, kExperimentDomain);
+}
+
+uint64_t SiteSampleSeed(uint64_t survey_seed, Cohort cohort, uint64_t index) {
+  return MixSeedTriple(survey_seed, static_cast<uint64_t>(cohort), index, kSampleDomain);
+}
+
+SiteInstance SampleSiteAt(uint64_t survey_seed, Cohort cohort, size_t index) {
+  Rng rng(SiteSampleSeed(survey_seed, cohort, index));
+  if (cohort == Cohort::kLongTail) {
+    return SampleLongTailSite(rng, index + 1);
+  }
+  return SampleSite(rng, cohort);
+}
+
+SiteInstance SampleLongTailSite(Rng& rng, size_t rank) {
+  // Place |rank| in the simulated 100K..1M band; depth in [0, 1] is the
+  // log-popularity position within the band (Zipf popularity proxy).
+  double absolute_rank = 1e5 + static_cast<double>(rank);
+  double depth = Clamp((std::log10(std::min(absolute_rank, 1e6)) - 5.0) / (6.0 - 5.0), 0.0, 1.0);
+
+  // Knee medians decay log-linearly from rank-3-grade provisioning at the
+  // band's head to sub-phishing shared hosting at the bottom.
+  auto interpolate = [&](double head, double tail) {
+    return std::exp(std::log(head) + depth * (std::log(tail) - std::log(head)));
+  };
+  KneeDist base{interpolate(96, 28), 1.5};
+  KneeDist query{interpolate(63, 14), 1.6};
+  KneeDist bandwidth{interpolate(76, 32), 1.6};
+
+  SiteInstance instance;
+  instance.base_knee = SampleKnee(rng, base);
+  instance.query_knee = SampleKnee(rng, query);
+  instance.bandwidth_knee = SampleKnee(rng, bandwidth);
+
+  // Content is per-site instead of the fixed survey probe spec: lognormal
+  // page weights with a Pareto upper tail for the occasional media-heavy
+  // site, and only a deep-tail-typical 1-3 dynamic endpoints.
+  SiteSpec& site = instance.site;
+  site.page_count = static_cast<size_t>(rng.UniformInt(4, 16));
+  site.image_count = static_cast<size_t>(rng.UniformInt(6, 30));
+  site.binary_count = static_cast<size_t>(rng.UniformInt(1, 3));
+  double object_kb = LognormalDist::FromMedian(300.0, 0.7).Sample(rng);
+  if (rng.Chance(0.05)) {
+    // Pareto(alpha=1.2) tail grafted above the lognormal body.
+    object_kb = 800.0 * std::pow(1.0 - rng.NextDouble() * 0.999, -1.0 / 1.2);
+  }
+  object_kb = Clamp(object_kb, 64.0, 8192.0);
+  site.binary_size_min = static_cast<uint64_t>(object_kb * 1024.0);
+  site.binary_size_max = site.binary_size_min;
+  site.query_endpoint_count = static_cast<size_t>(rng.UniformInt(1, 3));
+  site.query_response_min = 1 * 1024;
+  site.query_response_max = 16 * 1024;
+  site.queries_unique_per_string = true;
+
+  WebServerConfig& server = instance.server;
+  server.name = "Long tail";
+  server.cpu_cores = depth < 0.5 ? 2 : 1;
+  server.worker_threads = depth < 0.5 ? 256 : 128;
+  server.db.connection_pool = 48;
+  server.db.query_cache_bytes = 16e6;
+  server.ram_bytes = 4e9;
+  server.base_memory_bytes = 0.5e9;
+  server.cgi_model = CgiModel::kFastCgi;
+  server.cgi_process_memory_bytes = 8e6;
+  // Cheap shared hosting becomes the norm, not the exception, with depth.
+  if (rng.Chance(0.05 + 0.25 * depth)) {
+    server.ram_bytes = 768e6;
+    server.base_memory_bytes = 400e6;
+    server.cgi_process_memory_bytes = 24e6;
+  }
+
+  // Organic session load: heavy-tailed visitor rate shrinking with depth —
+  // the probes share the box with its (few) real users.
+  double session_median = 2.0 * std::exp(-3.0 * depth);
+  instance.background_rps = Clamp(LognormalDist::FromMedian(session_median, 1.2).Sample(rng),
+                                  0.0, 40.0);
+
+  ApplyKnees(instance);
+  return instance;
+}
+
 SiteInstance SampleSite(Rng& rng, Cohort cohort) {
+  if (cohort == Cohort::kLongTail) {
+    // No externally-supplied rank (single-site profiles, legacy sampling):
+    // draw one log-uniformly over the simulated band.
+    double log_rank = rng.NextDouble() * std::log(900000.0);
+    return SampleLongTailSite(rng, static_cast<size_t>(std::exp(log_rank)));
+  }
   const CohortSpec& spec = SpecFor(cohort);
   SiteInstance instance;
   instance.site = SurveySiteSpec();
@@ -331,6 +447,33 @@ SiteInstance MakeUniv3Profile() {
   instance.site.queries_unique_per_string = false;
   instance.server_access_bps = 250e6;
   return instance;
+}
+
+SiteStream::SiteStream(Cohort cohort, uint64_t survey_seed, size_t servers, bool legacy_seeds)
+    : cohort_(cohort), seed_(survey_seed), servers_(servers), legacy_(legacy_seeds) {
+  if (legacy_) {
+    // The historical sampler: one shared sequential stream, so site i's draw
+    // depends on every draw before it. Must materialize up front.
+    Rng rng(seed_);
+    legacy_instances_.reserve(servers_);
+    for (size_t i = 0; i < servers_; ++i) {
+      legacy_instances_.push_back(SampleSite(rng, cohort_));
+    }
+  }
+}
+
+SiteInstance SiteStream::Site(size_t index) const {
+  if (legacy_) {
+    return legacy_instances_[index];
+  }
+  return SampleSiteAt(seed_, cohort_, index);
+}
+
+uint64_t SiteStream::ExperimentSeed(size_t index) const {
+  if (legacy_) {
+    return seed_ * 1000 + index;
+  }
+  return SiteExperimentSeed(seed_, cohort_, index);
 }
 
 }  // namespace mfc

@@ -15,6 +15,7 @@
 #define MFC_SRC_CORE_POPULATION_H_
 
 #include <string>
+#include <vector>
 
 #include "src/content/site_generator.h"
 #include "src/net/wide_area.h"
@@ -31,6 +32,7 @@ enum class Cohort {
   kRank100KTo1M,   // 100K-1M
   kStartup,        // recent startups (Section 5.2)
   kPhishing,       // PhishTank-listed hosts (Section 5.3)
+  kLongTail,       // simulated Quantcast deep tail (rank-dependent, see below)
 };
 
 std::string_view CohortName(Cohort cohort);
@@ -41,6 +43,9 @@ struct SiteInstance {
   WebServerConfig server;
   double server_access_bps = 12.5e6;
   size_t replicas = 1;
+  // Steady organic visitor load the probes contend with (req/s). Zero for
+  // the paper cohorts; the long-tail synthesizer draws it per site.
+  double background_rps = 0.0;
   // The intended capacity knees, kept for calibration diagnostics.
   double base_knee = 0.0;
   double query_knee = 0.0;
@@ -49,6 +54,63 @@ struct SiteInstance {
 
 // Draws one site from the cohort's provisioning distribution.
 SiteInstance SampleSite(Rng& rng, Cohort cohort);
+
+// ---- per-index seed derivation (DESIGN.md §12) ---------------------------
+//
+// Survey seeds must be collision-free across (survey_seed, cohort, index):
+// the historical seed * 1000 + i derivation made site 1000 of seed s reuse
+// the exact seed of site 0 of seed s+1, silently correlating surveys once a
+// cohort crosses 1000 sites. These helpers mix the full triple through
+// SplitMix64 instead; sampling and experiment execution use distinct domain
+// constants so a site's provisioning draw can never alias its workload
+// stream. check_journal.py / check_shard_merge.py reimplement the same math
+// in Python — keep them in sync.
+
+// The standard SplitMix64 finalizer (public domain, Steele et al.).
+uint64_t SplitMix64(uint64_t x);
+// Seed for running site |index|'s experiment.
+uint64_t SiteExperimentSeed(uint64_t survey_seed, Cohort cohort, uint64_t index);
+// Seed for drawing site |index|'s provisioning from the cohort distribution.
+uint64_t SiteSampleSeed(uint64_t survey_seed, Cohort cohort, uint64_t index);
+
+// Regenerates site |index| of a survey as a pure function of
+// (survey_seed, cohort, index) — the streaming sampler. For kLongTail the
+// index doubles as the site's tail rank, making provisioning rank-dependent.
+SiteInstance SampleSiteAt(uint64_t survey_seed, Cohort cohort, size_t index);
+
+// Long-tail synthesizer: one site at 100K+|rank| in a simulated top-1M
+// popularity order. Knee medians decay log-linearly with depth (Zipf-style
+// popularity proxy), object sizes are lognormal with a Pareto upper tail,
+// and a heavy-tailed session rate supplies organic background load — the
+// workload-characterization shape (arXiv 2409.12299) rather than the three
+// fixed paper cohorts.
+SiteInstance SampleLongTailSite(Rng& rng, size_t rank);
+
+// Lazily yields a survey's sites. Streaming mode (the default) regenerates
+// site i on demand via SampleSiteAt — O(1) memory, thread-safe, any access
+// order — so a 1M-site survey never materializes its instance vector.
+// Legacy mode reproduces the pre-PR-8 sampler: every site drawn up front
+// from one sequential Rng(seed) stream, experiment seeds seed * 1000 + i
+// (collisions included), for replaying historical journals and goldens.
+class SiteStream {
+ public:
+  SiteStream(Cohort cohort, uint64_t survey_seed, size_t servers, bool legacy_seeds);
+
+  SiteInstance Site(size_t index) const;
+  uint64_t ExperimentSeed(size_t index) const;
+
+  size_t Servers() const { return servers_; }
+  bool Legacy() const { return legacy_; }
+  // How many instances are resident (tests assert streaming keeps this 0).
+  size_t MaterializedCount() const { return legacy_instances_.size(); }
+
+ private:
+  Cohort cohort_;
+  uint64_t seed_;
+  size_t servers_;
+  bool legacy_;
+  std::vector<SiteInstance> legacy_instances_;
+};
 
 // Named profiles for the cooperating-site case studies (Section 4). These
 // are hand-built to match the paper's descriptions, not sampled.

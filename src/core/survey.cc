@@ -37,27 +37,34 @@ void AccumulateBreakdown(SurveyBreakdown& breakdown, const ExperimentResult& res
 SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t servers,
                                         size_t max_crowd, uint64_t seed, size_t jobs,
                                         std::vector<ExperimentResult>* per_site,
-                                        SurveyTelemetry* telemetry, SurveyJournal* journal) {
+                                        SurveyTelemetry* telemetry, SurveyJournal* journal,
+                                        const SurveyRunOptions& run) {
   ExperimentConfig config;
   config.threshold = Millis(100);
   config.crowd_step = 5;
   config.max_crowd = max_crowd;
   config.min_clients = 50;
 
-  // Sample every site up front from the shared stream, in index order — the
-  // same draws the sequential loop made — so parallel scheduling cannot
-  // perturb which sites the survey visits.
-  Rng rng(seed);
-  std::vector<SiteInstance> instances;
-  instances.reserve(servers);
-  for (size_t i = 0; i < servers; ++i) {
-    instances.push_back(SampleSite(rng, cohort));
-  }
+  // Sites stream on demand: instance i is regenerated from its own
+  // SplitMix64-derived seed whenever a worker needs it, so even a 1M-site
+  // survey holds no instances vector (legacy mode materializes, see
+  // SiteStream). This process covers the interleaved shard
+  // { run.shard_index, run.shard_index + shards, ... } of the global index
+  // space; everything observable (seeds, journal records, pids, per_site
+  // slots) is keyed by GLOBAL index so shard outputs merge byte-identically.
+  const size_t shard_count = run.shards == 0 ? 1 : run.shards;
+  const size_t shard_index = run.shard_index % shard_count;
+  SiteStream sites(cohort, seed, servers, run.legacy_seeds);
+  const size_t local_count =
+      servers > shard_index ? (servers - shard_index - 1) / shard_count + 1 : 0;
+  auto global_of = [shard_index, shard_count](size_t local) {
+    return shard_index + local * shard_count;
+  };
 
-  // Per-site observability shards: each task fills only slot i, and the
-  // shards are folded in index order below — merged telemetry is therefore
-  // byte-identical for any jobs count (the same invariant the results vector
-  // itself relies on).
+  // Per-site observability shards: each task fills only its local slot, and
+  // the slots are folded in (global) index order below — merged telemetry is
+  // therefore byte-identical for any jobs count (the same invariant the
+  // results vector itself relies on).
   const bool observe = telemetry != nullptr && telemetry->Enabled();
   struct SiteTelemetry {
     Tracer tracer;
@@ -65,13 +72,14 @@ SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t s
   };
   std::vector<std::unique_ptr<SiteTelemetry>> shards;
   if (observe) {
-    shards.resize(servers);
+    shards.resize(local_count);
   }
   std::atomic<size_t> completed{0};
   std::atomic<size_t> processed{0};
   const uint64_t pid_base = telemetry != nullptr ? telemetry->next_pid : 0;
 
-  auto run_site = [&](size_t i) {
+  auto run_site = [&](size_t local) {
+    const size_t i = global_of(local);
     // Replay from the journal when this site already completed in an
     // earlier (interrupted) run: restore the result and the telemetry shard
     // exactly as the live path would have produced them.
@@ -79,50 +87,50 @@ SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t s
         journal != nullptr ? journal->Replayed(i) : nullptr;
     if (replay != nullptr) {
       if (observe) {
-        shards[i] = std::make_unique<SiteTelemetry>();
+        shards[local] = std::make_unique<SiteTelemetry>();
         for (const TraceSpan& span : replay->trace_spans) {
-          shards[i]->tracer.RestoreSpan(span);
+          shards[local]->tracer.RestoreSpan(span);
         }
-        shards[i]->metrics = replay->metrics;
+        shards[local]->metrics = replay->metrics;
       }
       journal->resumed_sites.fetch_add(1, std::memory_order_relaxed);
       processed.fetch_add(1, std::memory_order_relaxed);
       if (telemetry != nullptr && telemetry->progress) {
         size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
         fprintf(stderr, "[survey] site %zu/%zu (index %zu): replayed from journal\n", done,
-                servers, i);
+                local_count, i);
       }
       return replay->result;
     }
 
     Telemetry site_telemetry;
     if (observe) {
-      shards[i] = std::make_unique<SiteTelemetry>();
+      shards[local] = std::make_unique<SiteTelemetry>();
       if (telemetry->collect_trace) {
-        site_telemetry.tracer = &shards[i]->tracer;
+        site_telemetry.tracer = &shards[local]->tracer;
       }
       if (telemetry->collect_metrics) {
-        site_telemetry.metrics = &shards[i]->metrics;
+        site_telemetry.metrics = &shards[local]->metrics;
       }
     }
     ExperimentResult result =
-        RunSiteExperiment(instances[i], config, {stage}, seed * 1000 + i,
+        RunSiteExperiment(sites.Site(i), config, {stage}, sites.ExperimentSeed(i),
                           observe ? &site_telemetry : nullptr);
     if (journal != nullptr) {
       JournalSiteRecord record;
       record.cohort_ordinal = journal->CurrentOrdinal();
       record.site_index = i;
-      record.seed = seed * 1000 + i;
+      record.seed = sites.ExperimentSeed(i);
       record.stage = stage;
       record.pid = pid_base + i;
       record.result = result;
       if (observe && telemetry->collect_trace) {
         record.has_trace = true;
-        record.trace_spans = shards[i]->tracer.Spans();
+        record.trace_spans = shards[local]->tracer.Spans();
       }
       if (observe && telemetry->collect_metrics) {
         record.has_metrics = true;
-        record.metrics = shards[i]->metrics;
+        record.metrics = shards[local]->metrics;
       }
       journal->AppendSite(record);
     }
@@ -130,7 +138,7 @@ SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t s
     if (telemetry != nullptr && telemetry->progress) {
       size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
       const StageResult* sr = result.stages.empty() ? nullptr : &result.stages[0];
-      fprintf(stderr, "[survey] site %zu/%zu (index %zu): %s\n", done, servers, i,
+      fprintf(stderr, "[survey] site %zu/%zu (index %zu): %s\n", done, local_count, i,
               result.aborted ? "aborted"
               : sr == nullptr ? "no stage"
               : sr->stopped
@@ -151,7 +159,7 @@ SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t s
     SurveySamplerSource source;
     source.label = telemetry->stats_label;
     source.processed = &processed;
-    source.total = servers;
+    source.total = local_count;
     if (journal != nullptr) {
       source.journal_executed = &journal->executed_sites;
       source.journal_resumed = &journal->resumed_sites;
@@ -162,32 +170,35 @@ SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t s
     sampler->Start();
   }
 
-  std::vector<ExperimentResult> results(servers);
+  std::vector<ExperimentResult> results(local_count);
   if (journal != nullptr) {
     // Journaled runs are cancelable: a shutdown signal drains in-flight
     // sites (which still reach the journal) and skips the rest.
     runner.RunIndexed(
-        servers, [&](size_t i) { results[i] = run_site(i); },
+        local_count, [&](size_t local) { results[local] = run_site(local); },
         [] { return ShutdownRequested(); }, worker_progress.get());
-    if (processed.load(std::memory_order_relaxed) < servers) {
+    if (processed.load(std::memory_order_relaxed) < local_count) {
       journal->interrupted.store(true, std::memory_order_relaxed);
     }
   } else {
     runner.RunIndexed(
-        servers, [&](size_t i) { results[i] = run_site(i); }, worker_progress.get());
+        local_count, [&](size_t local) { results[local] = run_site(local); },
+        worker_progress.get());
   }
   if (sampler != nullptr) {
     sampler->Stop();  // emits the final done/total snapshot
   }
 
   if (observe) {
-    for (size_t i = 0; i < shards.size(); ++i) {
-      if (shards[i] == nullptr) {
+    for (size_t local = 0; local < shards.size(); ++local) {
+      if (shards[local] == nullptr) {
         continue;  // skipped under graceful shutdown
       }
-      telemetry->metrics.Merge(shards[i]->metrics);
-      telemetry->trace.MergeFrom(shards[i]->tracer, telemetry->next_pid + i);
+      telemetry->metrics.Merge(shards[local]->metrics);
+      telemetry->trace.MergeFrom(shards[local]->tracer, telemetry->next_pid + global_of(local));
     }
+    // Advance by the GLOBAL site count: successive cohorts get the same pid
+    // layout in every shard, matching the single-process run they merge to.
     telemetry->next_pid += servers;
   }
 
@@ -197,7 +208,11 @@ SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t s
     AccumulateBreakdown(breakdown, result);
   }
   if (per_site != nullptr) {
-    *per_site = std::move(results);
+    per_site->clear();
+    per_site->resize(servers);
+    for (size_t local = 0; local < results.size(); ++local) {
+      (*per_site)[global_of(local)] = std::move(results[local]);
+    }
   }
   return breakdown;
 }

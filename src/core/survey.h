@@ -1,12 +1,16 @@
 // Cohort surveys (Section 5): run one MFC stage against N sites sampled from
 // a cohort and aggregate the paper's stopping-crowd-size breakdown.
 //
-// Determinism contract: sites are sampled sequentially from Rng(seed) in
-// index order (exactly as the historical sequential loop drew them), each
-// site's experiment is seeded seed * 1000 + i, and per-site results land in
-// index-ordered slots before aggregation — so the breakdown is bit-identical
-// for any jobs count, including jobs=1, which reproduces the old sequential
-// runner byte for byte.
+// Determinism contract: site i is a pure function of (seed, cohort, i) —
+// provisioning comes from Rng(SiteSampleSeed(seed, cohort, i)) and the
+// experiment runs under SiteExperimentSeed(seed, cohort, i), both
+// SplitMix64 mixes with no collisions across surveys (DESIGN.md §12) — and
+// per-site results land in index-ordered slots before aggregation, so the
+// breakdown is bit-identical for any jobs count, any shard partition of the
+// index space, and any resume point. SurveyRunOptions::legacy_seeds restores
+// the pre-PR-8 scheme (sequential shared-stream sampling, experiment seeds
+// seed * 1000 + i — which collide once a cohort crosses 1000 sites) for
+// reproducing historical journals and goldens.
 #ifndef MFC_SRC_CORE_SURVEY_H_
 #define MFC_SRC_CORE_SURVEY_H_
 
@@ -70,26 +74,45 @@ struct SurveyBreakdown {
 // object-less stages are skipped, matching the paper's "could not run" rows).
 void AccumulateBreakdown(SurveyBreakdown& breakdown, const ExperimentResult& result);
 
-// Runs |servers| independent site experiments across |jobs| workers
-// (0 = MFC_JOBS env / hardware default; 1 = sequential). When |per_site| is
-// non-null it receives the index-ordered per-site results. |telemetry|, when
-// non-null and enabled, accumulates merged per-site traces/metrics (see
-// SurveyTelemetry).
+// How one RunSurveyCohortParallel call partitions and seeds the survey.
+// Sharding is by interleaved site index: this process runs global sites i
+// with i % shards == shard_index (global index = shard_index + local *
+// shards), so every shard samples the load-heavy head and tail of a cohort
+// evenly. Per-site seeds, journal records, pids and per_site slots all use
+// the GLOBAL index — a k-shard run writes exactly the records a 1-process
+// run would, partitioned — which is what makes shard_merge able to rebuild
+// the single-process output byte for byte.
+struct SurveyRunOptions {
+  size_t shards = 1;       // total shard count (1 = unsharded)
+  size_t shard_index = 0;  // this process's shard in [0, shards)
+  bool legacy_seeds = false;  // pre-PR-8 sampling + seed * 1000 + i seeds
+};
+
+// Runs this shard's slice of |servers| independent site experiments across
+// |jobs| workers (0 = MFC_JOBS env / hardware default; 1 = sequential).
+// Sites stream from SampleSiteAt on demand — no up-front instances vector —
+// except under legacy_seeds, whose shared-stream sampling forces
+// materialization. When |per_site| is non-null it receives |servers|
+// index-ordered slots with this shard's results filled in (other shards'
+// slots stay default). |telemetry|, when non-null and enabled, accumulates
+// merged per-site traces/metrics (see SurveyTelemetry).
 //
 // |journal|, when non-null, makes the run crash-safe: the caller must have
-// called journal->BeginCohort for this cohort first. Sites already present
-// in the journal replay from it (results and, when collected, telemetry
-// shards) instead of executing; every live site is appended + fsynced as it
-// completes. Because shards fold in index order either way, a resumed run is
-// byte-identical to an uninterrupted one for any --jobs. With a journal the
-// run also polls ShutdownRequested(): on a signal, in-flight sites drain,
-// unstarted sites are skipped (their per_site slots stay default — ignored
-// by AccumulateBreakdown), and journal->interrupted is set.
+// called journal->BeginCohort for this cohort first (with matching shard
+// options). Sites already present in the journal replay from it (results
+// and, when collected, telemetry shards) instead of executing; every live
+// site is appended + fsynced as it completes. Because shards fold in index
+// order either way, a resumed run is byte-identical to an uninterrupted one
+// for any --jobs. With a journal the run also polls ShutdownRequested(): on
+// a signal, in-flight sites drain, unstarted sites are skipped (their
+// per_site slots stay default — ignored by AccumulateBreakdown), and
+// journal->interrupted is set.
 SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t servers,
                                         size_t max_crowd, uint64_t seed, size_t jobs,
                                         std::vector<ExperimentResult>* per_site = nullptr,
                                         SurveyTelemetry* telemetry = nullptr,
-                                        SurveyJournal* journal = nullptr);
+                                        SurveyJournal* journal = nullptr,
+                                        const SurveyRunOptions& run = {});
 
 // Sequential wrapper kept for callers that predate the parallel runner.
 inline SurveyBreakdown RunSurveyCohort(Cohort cohort, StageKind stage, size_t servers,

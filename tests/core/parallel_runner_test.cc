@@ -112,13 +112,18 @@ TEST(ParallelRunnerTest, SurveyCohortIsBitIdenticalAcrossJobCounts) {
   }
 }
 
-// The sequential wrapper and the old shared-Rng loop agree: sampling happens
-// in index order from Rng(seed), experiments are seeded seed * 1000 + i.
+// Under --legacy-seeds the survey reproduces the old shared-Rng loop:
+// sampling in index order from Rng(seed), experiments seeded seed * 1000 + i.
+// (The default derivation is SplitMix64-mixed and collision-free; its
+// contract is covered by shard_merge_test.)
 TEST(ParallelRunnerTest, SurveyMatchesLegacySequentialLoop) {
   constexpr size_t kServers = 6;
   constexpr uint64_t kSeed = 777;
+  SurveyRunOptions legacy_run;
+  legacy_run.legacy_seeds = true;
   SurveyBreakdown modern =
-      RunSurveyCohort(Cohort::kStartup, StageKind::kBase, kServers, 30, kSeed);
+      RunSurveyCohortParallel(Cohort::kStartup, StageKind::kBase, kServers, 30, kSeed, 1,
+                              nullptr, nullptr, nullptr, legacy_run);
 
   SurveyBreakdown legacy;
   legacy.cohort = Cohort::kStartup;

@@ -7,8 +7,10 @@ Checks (stdlib only, no third-party deps):
   * the first record is a header with magic "mfc-journal" and version 1;
   * cohort records carry strictly sequential ordinals;
   * site records are consistent with their cohort declaration (index within
-    the server count, seed == cohort seed * 1000 + index, pid == pid_base +
-    index, matching stage) and never duplicated;
+    the server count and this journal's shard, seed derived per the cohort's
+    seed mode — SplitMix64(seed, cohort, index) by default, seed * 1000 +
+    index under legacy_seeds — pid == pid_base + index, matching stage) and
+    never duplicated;
   * every site record embeds a structurally complete ExperimentResult.
 
 Usage:
@@ -44,6 +46,40 @@ def fnv1a64(data):
         h ^= b
         h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
     return h
+
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+# Domain constants from src/core/population.cc ("mfc-expr" as bytes).
+EXPERIMENT_DOMAIN = 0x6D66632D65787072
+
+
+def splitmix64(x):
+    """The SplitMix64 finalizer, mirroring mfc::SplitMix64."""
+    x = (x + 0x9E3779B97F4A7C15) & MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK64
+    return x ^ (x >> 31)
+
+
+def site_experiment_seed(survey_seed, cohort, index):
+    h = splitmix64(survey_seed ^ EXPERIMENT_DOMAIN)
+    h = splitmix64(h ^ cohort)
+    return splitmix64(h ^ index)
+
+
+def cohort_seed_layout(cohort):
+    """(shards, shard_index, legacy_seeds) of a cohort record; pre-PR-8
+    records carry no shard keys and decode as an unsharded legacy run."""
+    if "shards" in cohort:
+        return cohort["shards"], cohort["shard_index"], cohort["legacy_seeds"]
+    return 1, 0, True
+
+
+def expected_site_seed(cohort, index):
+    _, _, legacy = cohort_seed_layout(cohort)
+    if legacy:
+        return cohort["seed"] * 1000 + index
+    return site_experiment_seed(cohort["seed"], cohort["cohort"], index)
 
 
 def parse_records(path):
@@ -135,7 +171,13 @@ def check_journal(path):
                         "record %d: site index %d >= cohort servers %d"
                         % (i, index, cohort["servers"])
                     )
-                if rec["seed"] != cohort["seed"] * 1000 + index:
+                shards, shard_index, _ = cohort_seed_layout(cohort)
+                if index % shards != shard_index:
+                    return fail(
+                        "record %d: site index %d not in shard %d/%d"
+                        % (i, index, shard_index, shards)
+                    )
+                if rec["seed"] != expected_site_seed(cohort, index):
                     return fail("record %d: site seed inconsistent with cohort" % i)
                 if rec["pid"] != cohort["pid_base"] + index:
                     return fail("record %d: site pid inconsistent with cohort" % i)

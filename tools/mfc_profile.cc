@@ -21,12 +21,14 @@
 #include <string>
 #include <vector>
 
+#include "src/core/arg_parse.h"
 #include "src/core/experiment_runner.h"
 #include "src/core/export.h"
 #include "src/core/inference.h"
 #include "src/core/journal/journal.h"
 #include "src/core/journal/shutdown.h"
 #include "src/core/parallel_runner.h"
+#include "src/core/shard_merge.h"
 #include "src/core/survey.h"
 #include "src/telemetry/stats_stream.h"
 
@@ -46,6 +48,11 @@ struct Options {
   uint64_t seed = 1;
   size_t survey = 0;            // when > 0: survey this many cohort sites
   size_t jobs = 0;              // worker threads (0 = MFC_JOBS env / hardware)
+  size_t shards = 1;            // total survey shards (DESIGN.md §12)
+  size_t shard_index = 0;       // this process's shard in [0, shards)
+  bool legacy_seeds = false;    // pre-PR-8 sampling + seed*1000+i seeds
+  std::vector<std::string> merge_paths;  // --merge: shard journals to fold
+  bool sample_only = false;     // stream/sample survey sites, run nothing
   bool crawl = false;           // profile via crawling instead of operator input
   bool verbose_epochs = true;
   std::string csv_path;         // write per-epoch CSV here
@@ -65,7 +72,7 @@ void Usage() {
   printf(
       "usage: mfc_profile [flags]\n"
       "  --profile=<lab|qtnp|qtp|univ1|univ2|univ3>   named case-study deployment\n"
-      "  --cohort=<rank1|rank2|rank3|rank4|startup|phishing>  sample a survey site\n"
+      "  --cohort=<rank1|rank2|rank3|rank4|startup|phishing|longtail>  survey cohort\n"
       "  --theta-ms=<N>        degradation threshold (default 100)\n"
       "  --step=<N>            crowd-size increment (default 5)\n"
       "  --max-crowd=<N>       request ceiling (default 85)\n"
@@ -76,6 +83,14 @@ void Usage() {
       "  --stages=<list>       comma list of base,query,large (default all)\n"
       "  --survey=<N>          run N sampled cohort sites and print the breakdown\n"
       "  --jobs=<N>            survey worker threads (default: MFC_JOBS env, then cores)\n"
+      "  --shards=<K>          split the survey across K cooperating processes; this one\n"
+      "                        runs sites with index %% K == --shard-index (needs --journal)\n"
+      "  --shard-index=<J>     this process's shard (default 0)\n"
+      "  --merge=<p1,p2,...>   fold K shard journals into the single-run report/outputs\n"
+      "  --legacy-seeds        pre-PR-8 seed derivation (sequential sampling, seed*1000+i;\n"
+      "                        collides past 1000 sites) for replaying old journals\n"
+      "  --sample-only         stream-sample the survey sites (no experiments); prints a\n"
+      "                        digest + resident instance count\n"
       "  --crawl               discover probe objects by crawling\n"
       "  --csv=<path>          write per-epoch CSV\n"
       "  --json=<path>         write the result as JSON\n"
@@ -111,25 +126,48 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
     } else if (auto v = value_of("--cohort=")) {
       options.cohort = *v;
     } else if (auto v = value_of("--theta-ms=")) {
-      options.theta_ms = atof(v->c_str());
+      if (!ParseDoubleFlag("--theta-ms", *v, &options.theta_ms)) return std::nullopt;
     } else if (auto v = value_of("--step=")) {
-      options.step = static_cast<size_t>(atoi(v->c_str()));
+      if (!ParseSizeFlag("--step", *v, &options.step)) return std::nullopt;
     } else if (auto v = value_of("--max-crowd=")) {
-      options.max_crowd = static_cast<size_t>(atoi(v->c_str()));
+      if (!ParseSizeFlag("--max-crowd", *v, &options.max_crowd)) return std::nullopt;
     } else if (auto v = value_of("--fleet=")) {
-      options.fleet = static_cast<size_t>(atoi(v->c_str()));
+      if (!ParseSizeFlag("--fleet", *v, &options.fleet)) return std::nullopt;
     } else if (auto v = value_of("--mr=")) {
-      options.mr = static_cast<size_t>(atoi(v->c_str()));
+      if (!ParseSizeFlag("--mr", *v, &options.mr)) return std::nullopt;
     } else if (auto v = value_of("--stagger-ms=")) {
-      options.stagger_ms = atof(v->c_str());
+      if (!ParseDoubleFlag("--stagger-ms", *v, &options.stagger_ms)) return std::nullopt;
     } else if (auto v = value_of("--background-rps=")) {
-      options.background_rps = atof(v->c_str());
+      if (!ParseDoubleFlag("--background-rps", *v, &options.background_rps)) return std::nullopt;
     } else if (auto v = value_of("--seed=")) {
-      options.seed = static_cast<uint64_t>(atoll(v->c_str()));
+      if (!ParseU64Flag("--seed", *v, &options.seed)) return std::nullopt;
     } else if (auto v = value_of("--survey=")) {
-      options.survey = static_cast<size_t>(atoi(v->c_str()));
+      if (!ParseSizeFlag("--survey", *v, &options.survey)) return std::nullopt;
     } else if (auto v = value_of("--jobs=")) {
-      options.jobs = static_cast<size_t>(atoi(v->c_str()));
+      if (!ParseSizeFlag("--jobs", *v, &options.jobs)) return std::nullopt;
+    } else if (auto v = value_of("--shards=")) {
+      if (!ParseSizeFlag("--shards", *v, &options.shards)) return std::nullopt;
+    } else if (auto v = value_of("--shard-index=")) {
+      if (!ParseSizeFlag("--shard-index", *v, &options.shard_index)) return std::nullopt;
+    } else if (auto v = value_of("--merge=")) {
+      std::string list = *v;
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        std::string path = list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                                       : comma - pos);
+        if (!path.empty()) {
+          options.merge_paths.push_back(path);
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        pos = comma + 1;
+      }
+    } else if (arg == "--legacy-seeds") {
+      options.legacy_seeds = true;
+    } else if (arg == "--sample-only") {
+      options.sample_only = true;
     } else if (auto v = value_of("--csv=")) {
       options.csv_path = *v;
     } else if (auto v = value_of("--json=")) {
@@ -143,7 +181,7 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
     } else if (auto v = value_of("--stats-stream=")) {
       options.stats_stream_path = *v;
     } else if (auto v = value_of("--stats-interval=")) {
-      options.stats_interval = atof(v->c_str());
+      if (!ParseDoubleFlag("--stats-interval", *v, &options.stats_interval)) return std::nullopt;
     } else if (arg == "--progress") {
       options.progress = true;
     } else if (arg == "--resume") {
@@ -184,6 +222,37 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
     fprintf(stderr, "--resume requires --journal=<path>\n");
     return std::nullopt;
   }
+  if (options.shards == 0) {
+    fprintf(stderr, "--shards must be >= 1\n");
+    return std::nullopt;
+  }
+  if (options.shard_index >= options.shards) {
+    fprintf(stderr, "--shard-index=%zu out of range for --shards=%zu\n", options.shard_index,
+            options.shards);
+    return std::nullopt;
+  }
+  if (options.shards > 1) {
+    if (options.survey == 0) {
+      fprintf(stderr, "--shards requires --survey=<N>\n");
+      return std::nullopt;
+    }
+    if (options.journal_path.empty() && !options.sample_only) {
+      // Without journals there is nothing to merge — a sharded run's only
+      // durable output is its journal.
+      fprintf(stderr, "--shards requires --journal=<path> (shards are merged from journals)\n");
+      return std::nullopt;
+    }
+    if (!options.json_path.empty()) {
+      fprintf(stderr,
+              "--json with --shards > 1 would be a partial report; use --merge after the "
+              "shards finish\n");
+      return std::nullopt;
+    }
+  }
+  if (options.sample_only && options.survey == 0) {
+    fprintf(stderr, "--sample-only requires --survey=<N>\n");
+    return std::nullopt;
+  }
   return options;
 }
 
@@ -192,6 +261,7 @@ std::optional<Cohort> ResolveCohort(const Options& options) {
       {"rank1", Cohort::kRank1To1K},      {"rank2", Cohort::kRank1KTo10K},
       {"rank3", Cohort::kRank10KTo100K},  {"rank4", Cohort::kRank100KTo1M},
       {"startup", Cohort::kStartup},      {"phishing", Cohort::kPhishing},
+      {"longtail", Cohort::kLongTail},
   };
   std::string cohort = options.cohort.empty() ? "rank3" : options.cohort;
   auto it = kCohorts.find(cohort);
@@ -261,6 +331,46 @@ std::string StagesToken(const std::vector<StageKind>& stages) {
   return token;
 }
 
+void PrintSurveyBreakdownLine(const SurveyBreakdown& b) {
+  auto pct = [&](size_t n) {
+    return b.servers == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
+                                      static_cast<double>(b.servers);
+  };
+  printf("servers=%zu  <=10: %.0f%%  10-20: %.0f%%  20-30: %.0f%%  30-40: %.0f%%  "
+         "40-50: %.0f%%  >50: %.0f%%  NoStop: %.0f%%\n",
+         b.servers, pct(b.b10), pct(b.b20), pct(b.b30), pct(b.b40), pct(b.b50),
+         pct(b.b50plus), pct(b.nostop));
+}
+
+// --sample-only: stream this shard's slice of the survey's site instances —
+// provisioning only, no experiments — and print an order-independent FNV-1a
+// digest plus how many instances ended up resident. check_shard_merge.py
+// drives 100k+ sites through this to pin the O(1)-memory streaming claim.
+int RunSampleOnly(const Options& options, Cohort cohort) {
+  SiteStream sites(cohort, options.seed, options.survey, options.legacy_seeds);
+  uint64_t digest = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  auto fold = [&digest](double v) {
+    uint64_t bits;
+    memcpy(&bits, &v, sizeof(bits));
+    for (int b = 0; b < 64; b += 8) {
+      digest = (digest ^ ((bits >> b) & 0xff)) * 1099511628211ULL;
+    }
+  };
+  for (size_t i = options.shard_index; i < options.survey; i += options.shards) {
+    SiteInstance instance = sites.Site(i);
+    fold(instance.base_knee);
+    fold(instance.query_knee);
+    fold(instance.bandwidth_knee);
+    fold(instance.server_access_bps);
+    fold(instance.background_rps);
+    fold(static_cast<double>(instance.replicas));
+  }
+  printf("sampled cohort=%s servers=%zu shard=%zu/%zu digest=%016llx materialized=%zu\n",
+         std::string(CohortName(cohort)).c_str(), options.survey, options.shard_index,
+         options.shards, static_cast<unsigned long long>(digest), sites.MaterializedCount());
+  return 0;
+}
+
 // --survey=N: profile N cohort sites across the worker pool and print the
 // paper-style stopping breakdown.
 int RunSurvey(const Options& options) {
@@ -272,12 +382,22 @@ int RunSurvey(const Options& options) {
   if (!cohort.has_value()) {
     return 2;
   }
+  if (options.sample_only) {
+    return RunSampleOnly(options, *cohort);
+  }
   StageKind stage = options.stages.empty() ? StageKind::kBase : options.stages[0];
   size_t jobs = ResolveJobs(options.jobs);
-  printf("survey: cohort=%s stage=%s servers=%zu max-crowd=%zu jobs=%zu seed=%llu\n\n",
+  printf("survey: cohort=%s stage=%s servers=%zu max-crowd=%zu jobs=%zu seed=%llu",
          std::string(CohortName(*cohort)).c_str(), std::string(StageName(stage)).c_str(),
          options.survey, options.max_crowd, jobs,
          static_cast<unsigned long long>(options.seed));
+  if (options.shards > 1) {
+    printf(" shard=%zu/%zu", options.shard_index, options.shards);
+  }
+  if (options.legacy_seeds) {
+    printf(" legacy-seeds");
+  }
+  printf("\n\n");
   SurveyTelemetry telemetry;
   telemetry.collect_trace = !options.trace_path.empty();
   telemetry.collect_metrics = !options.metrics_path.empty();
@@ -316,7 +436,8 @@ int RunSurvey(const Options& options) {
     }
     std::string error;
     if (!journal->BeginCohort(*cohort, stage, options.survey, options.max_crowd, options.seed,
-                              0, &error)) {
+                              0, &error, options.shards, options.shard_index,
+                              options.legacy_seeds)) {
       fprintf(stderr, "journal error: %s\n", error.c_str());
       return 2;
     }
@@ -326,17 +447,17 @@ int RunSurvey(const Options& options) {
   SurveyTelemetry* telemetry_arg =
       telemetry.Enabled() || telemetry.progress || telemetry.HealthAttached() ? &telemetry
                                                                               : nullptr;
+  SurveyRunOptions run;
+  run.shards = options.shards;
+  run.shard_index = options.shard_index;
+  run.legacy_seeds = options.legacy_seeds;
+  std::vector<ExperimentResult> per_site;
+  const bool want_report = !options.json_path.empty();
   SurveyBreakdown b = RunSurveyCohortParallel(*cohort, stage, options.survey,
                                               options.max_crowd, options.seed, jobs,
-                                              nullptr, telemetry_arg, journal.get());
-  auto pct = [&](size_t n) {
-    return b.servers == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
-                                      static_cast<double>(b.servers);
-  };
-  printf("servers=%zu  <=10: %.0f%%  10-20: %.0f%%  20-30: %.0f%%  30-40: %.0f%%  "
-         "40-50: %.0f%%  >50: %.0f%%  NoStop: %.0f%%\n",
-         b.servers, pct(b.b10), pct(b.b20), pct(b.b30), pct(b.b40), pct(b.b50),
-         pct(b.b50plus), pct(b.nostop));
+                                              want_report ? &per_site : nullptr, telemetry_arg,
+                                              journal.get(), run);
+  PrintSurveyBreakdownLine(b);
   if (telemetry.collect_metrics) {
     // A non-zero stall count means some allocation pass left flows pinned at
     // rate 0 (see FlowNetworkStats::no_progress) — results are suspect.
@@ -362,10 +483,73 @@ int RunSurvey(const Options& options) {
       return 130;
     }
   }
+  if (want_report) {
+    SurveyReportInput report;
+    report.cohort_name = std::string(CohortName(*cohort));
+    report.stage = static_cast<int>(stage);
+    report.servers = options.survey;
+    report.max_crowd = options.max_crowd;
+    report.seed = options.seed;
+    report.legacy_seeds = options.legacy_seeds;
+    report.breakdown = b;
+    report.per_site = &per_site;
+    WriteFile(options.json_path, BuildSurveyReportJson(report));
+  }
+  return 0;
+}
+
+// --merge=<paths>: fold the shard journals of one sharded survey back into
+// the single-process outputs (report JSON, merged trace/metrics). The report
+// goes through the same builder as an unsharded --survey --json run, so the
+// two are comparable byte for byte.
+int RunMerge(const Options& options) {
+  ShardMergeResult merged;
+  std::string error;
+  if (!MergeShardJournals(options.merge_paths, &merged, &error)) {
+    fprintf(stderr, "merge error: %s\n", error.c_str());
+    return 2;
+  }
+  printf("merged %zu shard journal(s): tool=%s cohorts=%zu\n", options.merge_paths.size(),
+         merged.tool.c_str(), merged.cohorts.size());
+  for (size_t ord = 0; ord < merged.breakdowns.size(); ++ord) {
+    printf("[%s] ", std::string(CohortName(merged.cohorts[ord].cohort)).c_str());
+    PrintSurveyBreakdownLine(merged.breakdowns[ord]);
+  }
+  if (!options.json_path.empty()) {
+    if (merged.cohorts.size() != 1) {
+      fprintf(stderr, "--json merge report requires single-cohort journals (these hold %zu)\n",
+              merged.cohorts.size());
+      return 2;
+    }
+    const JournalCohortRecord& c = merged.cohorts[0];
+    SurveyReportInput report;
+    report.cohort_name = std::string(CohortName(c.cohort));
+    report.stage = static_cast<int>(c.stage);
+    report.servers = c.servers;
+    report.max_crowd = c.max_crowd;
+    report.seed = c.seed;
+    report.legacy_seeds = c.legacy_seeds;
+    report.breakdown = merged.breakdowns[0];
+    report.per_site = &merged.per_site[0];
+    if (!WriteFile(options.json_path, BuildSurveyReportJson(report))) {
+      return 1;
+    }
+  }
+  if (!options.trace_path.empty() &&
+      !WriteFile(options.trace_path, ExportTraceJson(merged.trace))) {
+    return 1;
+  }
+  if (!options.metrics_path.empty() &&
+      !WriteFile(options.metrics_path, ExportMetricsCsv(merged.metrics))) {
+    return 1;
+  }
   return 0;
 }
 
 int Run(const Options& options) {
+  if (!options.merge_paths.empty()) {
+    return RunMerge(options);
+  }
   if (options.survey > 0) {
     return RunSurvey(options);
   }
