@@ -1,21 +1,31 @@
 // Live-runtime demo: the MFC service on real sockets.
 //
 // Boots a real HTTP server (serving a generated site), a fleet of client
-// agents, and the coordinator — all over loopback TCP/UDP on one reactor —
-// then runs the *same* Coordinator state machine used by the simulation
-// against a target whose back end degrades beyond a concurrency knee.
+// agents, and the coordinator — all over loopback on one reactor — then runs
+// the *same* Coordinator state machine used by the simulation against a
+// target whose back end degrades beyond a concurrency knee.
 //
-// The control plane can be stressed with injected faults, the live analog of
-// the simulation's control_loss_rate — the run should reach the same verdict
-// with the knobs on, only with retries doing the work:
+// The control plane rides the session layer (DESIGN.md §13): every command
+// and reply is a reliable session send, so injected faults (--drop, --dup,
+// --delay, --connect-fail — the live analog of the simulation's
+// control_loss_rate) are absorbed by session retransmits and the run reaches
+// the same verdict as a clean one. --transport=memory swaps the UDP sockets
+// for an in-process MemoryHub: no file descriptors per agent, which is what
+// lets the fleet soak run hundreds of agents on one box.
 //
 // The run's health plane (DESIGN.md §11) is opt-in: --stats-stream streams
-// per-agent health rows (last-seen age, probe miss streak, control RTT EWMA,
-// loss estimate, piggybacked agent counters) as JSONL, --metrics exports the
-// live.* control-plane counters as CSV, and --unhealthy-after hands the
+// per-agent health rows as JSONL, --metrics exports the live.* /
+// live.session.* counters as CSV, and --unhealthy-after hands the
 // coordinator's eviction logic a transport-level verdict.
 //
-//   $ ./live_loopback [fleet_size] [knee] [--drop=P] [--dup=P] [--delay=P]
+// The last line of a successful run is machine-readable
+// (tools/check_fleet_soak.py compares it across clean/faulted runs):
+//
+//   RESULT transport=memory fleet=200 registered=200 stopped=1
+//          reason=ConstraintFound crowd=6 max_tested=8
+//
+//   $ ./live_loopback [fleet_size] [knee] [--transport=udp|memory]
+//                     [--crowd-step=N] [--drop=P] [--dup=P] [--delay=P]
 //                     [--connect-fail=P] [--fault-seed=N]
 //                     [--stats-stream=FILE|-] [--stats-interval=S]
 //                     [--metrics=FILE] [--unhealthy-after=N]
@@ -27,6 +37,7 @@
 #include <string>
 
 #include "src/content/site_generator.h"
+#include "src/core/arg_parse.h"
 #include "src/core/coordinator.h"
 #include "src/core/export.h"
 #include "src/core/inference.h"
@@ -34,27 +45,30 @@
 #include "src/rt/fault_injector.h"
 #include "src/rt/live_harness.h"
 #include "src/rt/live_http_server.h"
+#include "src/rt/transport.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/stats_stream.h"
 
 namespace {
 
-bool ParseRateFlag(const char* arg, const char* name, double* out) {
+// True when |arg| is "--name=..." ; the text after '=' lands in |value|.
+bool MatchFlag(const char* arg, const char* name, std::string* value) {
   size_t len = strlen(name);
   if (strncmp(arg, name, len) != 0 || arg[len] != '=') {
     return false;
   }
-  *out = atof(arg + len + 1);
+  *value = arg + len + 1;
   return true;
 }
 
-bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
-  size_t len = strlen(name);
-  if (strncmp(arg, name, len) != 0 || arg[len] != '=') {
-    return false;
-  }
-  *out = arg + len + 1;
-  return true;
+int Usage(const char* argv0) {
+  fprintf(stderr,
+          "usage: %s [fleet_size] [knee] [--transport=udp|memory] [--crowd-step=N]\n"
+          "          [--drop=P] [--dup=P] [--delay=P] [--connect-fail=P] [--fault-seed=N]\n"
+          "          [--stats-stream=FILE|-] [--stats-interval=S] [--metrics=FILE]\n"
+          "          [--unhealthy-after=N]\n",
+          argv0);
+  return 2;
 }
 
 }  // namespace
@@ -62,34 +76,71 @@ bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
 int main(int argc, char** argv) {
   size_t fleet_size = 16;
   size_t knee = 8;
+  size_t crowd_step = 2;
   mfc::FaultConfig faults;
-  double fault_seed = 11;
+  uint64_t fault_seed = 11;
+  std::string transport_kind = "udp";
   std::string stats_path;
   std::string metrics_path;
   double stats_interval = 0.5;
-  double unhealthy_after = 0;
+  size_t unhealthy_after = 0;
   size_t positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (ParseRateFlag(arg, "--drop", &faults.drop_rate) ||
-        ParseRateFlag(arg, "--dup", &faults.duplicate_rate) ||
-        ParseRateFlag(arg, "--delay", &faults.delay_rate) ||
-        ParseRateFlag(arg, "--connect-fail", &faults.connect_failure_rate) ||
-        ParseRateFlag(arg, "--fault-seed", &fault_seed) ||
-        ParseRateFlag(arg, "--stats-interval", &stats_interval) ||
-        ParseRateFlag(arg, "--unhealthy-after", &unhealthy_after) ||
-        ParseStringFlag(arg, "--stats-stream", &stats_path) ||
-        ParseStringFlag(arg, "--metrics", &metrics_path)) {
-      continue;
-    }
-    if (positional == 0) {
-      fleet_size = static_cast<size_t>(atoi(arg));
+    std::string value;
+    bool ok = true;
+    if (MatchFlag(arg, "--drop", &value)) {
+      ok = mfc::ParseDoubleFlag("--drop", value, &faults.drop_rate);
+    } else if (MatchFlag(arg, "--dup", &value)) {
+      ok = mfc::ParseDoubleFlag("--dup", value, &faults.duplicate_rate);
+    } else if (MatchFlag(arg, "--delay", &value)) {
+      ok = mfc::ParseDoubleFlag("--delay", value, &faults.delay_rate);
+    } else if (MatchFlag(arg, "--connect-fail", &value)) {
+      ok = mfc::ParseDoubleFlag("--connect-fail", value, &faults.connect_failure_rate);
+    } else if (MatchFlag(arg, "--fault-seed", &value)) {
+      ok = mfc::ParseU64Flag("--fault-seed", value, &fault_seed);
+    } else if (MatchFlag(arg, "--stats-interval", &value)) {
+      ok = mfc::ParseDoubleFlag("--stats-interval", value, &stats_interval) &&
+           stats_interval > 0;
+      if (!ok) {
+        fprintf(stderr, "--stats-interval must be a positive number of seconds\n");
+      }
+    } else if (MatchFlag(arg, "--unhealthy-after", &value)) {
+      ok = mfc::ParseSizeFlag("--unhealthy-after", value, &unhealthy_after);
+    } else if (MatchFlag(arg, "--crowd-step", &value)) {
+      ok = mfc::ParseSizeFlag("--crowd-step", value, &crowd_step) && crowd_step > 0;
+      if (!ok) {
+        fprintf(stderr, "--crowd-step must be a positive integer\n");
+      }
+    } else if (MatchFlag(arg, "--transport", &value)) {
+      transport_kind = value;
+      if (transport_kind != "udp" && transport_kind != "memory") {
+        fprintf(stderr, "invalid value for --transport: '%s' (expected udp or memory)\n",
+                value.c_str());
+        return Usage(argv[0]);
+      }
+    } else if (MatchFlag(arg, "--stats-stream", &value)) {
+      stats_path = value;
+    } else if (MatchFlag(arg, "--metrics", &value)) {
+      metrics_path = value;
+    } else if (strncmp(arg, "--", 2) == 0) {
+      fprintf(stderr, "unknown flag: %s\n", arg);
+      return Usage(argv[0]);
+    } else if (positional == 0) {
+      ok = mfc::ParseSizeFlag("fleet_size", arg, &fleet_size);
+      ++positional;
     } else if (positional == 1) {
-      knee = static_cast<size_t>(atoi(arg));
+      ok = mfc::ParseSizeFlag("knee", arg, &knee);
+      ++positional;
+    } else {
+      fprintf(stderr, "unexpected argument: %s\n", arg);
+      return Usage(argv[0]);
     }
-    ++positional;
+    if (!ok) {
+      return Usage(argv[0]);
+    }
   }
-  faults.seed = static_cast<uint64_t>(fault_seed);
+  faults.seed = fault_seed;
 
   mfc::Reactor reactor;
 
@@ -115,13 +166,30 @@ int main(int argc, char** argv) {
     retry.max_attempts = 8;
     retry.initial_backoff = mfc::Millis(20);
   }
-  mfc::LiveHarness harness(reactor, server.Port());
-  harness.set_request_timeout(2.0);
-  harness.set_retry_policy(retry);
+
+  // Control-plane backend: real UDP sockets, or a MemoryHub carrying the
+  // same session frames through reactor timers (no fds — the fleet soak's
+  // hundreds of agents would otherwise need one socket each).
+  mfc::ReactorTimerSource hub_clock(reactor);
+  mfc::MemoryHub hub(hub_clock);
+  std::unique_ptr<mfc::LiveHarness> harness;
+  mfc::TransportAddress coordinator_address;
+  if (transport_kind == "memory") {
+    auto endpoint = hub.CreateEndpoint();
+    coordinator_address = endpoint->LocalAddress();
+    harness = std::make_unique<mfc::LiveHarness>(reactor, server.Port(),
+                                                 std::move(endpoint));
+  } else {
+    harness = std::make_unique<mfc::LiveHarness>(reactor, server.Port());
+    coordinator_address =
+        mfc::TransportAddress::Udp(mfc::LoopbackEndpoint(harness->ControlPort()));
+  }
+  harness->set_request_timeout(2.0);
+  harness->set_retry_policy(retry);
   mfc::MetricsRegistry metrics;
-  harness.SetMetrics(&metrics);
+  harness->SetMetrics(&metrics);
   if (unhealthy_after > 0) {
-    harness.set_unhealthy_after_misses(static_cast<size_t>(unhealthy_after));
+    harness->set_unhealthy_after_misses(unhealthy_after);
   }
 
   // Health plane: a self-rearming reactor timer samples the per-agent health
@@ -142,7 +210,7 @@ int main(int argc, char** argv) {
     snapshot.t = reactor.Now();
     snapshot.clock = "wall";
     snapshot.source = "live";
-    snapshot.agents = harness.SnapshotAgents();
+    snapshot.agents = harness->SnapshotAgents();
     deltas.Collect(metrics, &snapshot.counter_deltas);
     stats->Emit(std::move(snapshot));
   };
@@ -162,8 +230,13 @@ int main(int argc, char** argv) {
   std::vector<std::unique_ptr<mfc::FaultInjector>> injectors;
   std::vector<std::unique_ptr<mfc::ClientAgent>> agents;
   for (size_t i = 0; i < fleet_size; ++i) {
-    agents.push_back(std::make_unique<mfc::ClientAgent>(
-        reactor, i, mfc::LoopbackEndpoint(harness.ControlPort())));
+    if (transport_kind == "memory") {
+      agents.push_back(std::make_unique<mfc::ClientAgent>(
+          reactor, i, hub.CreateEndpoint(), coordinator_address));
+    } else {
+      agents.push_back(std::make_unique<mfc::ClientAgent>(
+          reactor, i, mfc::LoopbackEndpoint(harness->ControlPort())));
+    }
     agents.back()->set_request_timeout(2.0);
     agents.back()->set_retry_policy(retry);
     if (faults.Enabled()) {
@@ -179,14 +252,14 @@ int main(int argc, char** argv) {
            faults.drop_rate, faults.duplicate_rate, faults.delay_rate,
            faults.connect_failure_rate, static_cast<unsigned long long>(faults.seed));
   }
-  size_t registered = harness.WaitForRegistrations(fleet_size, faults.Enabled() ? 10.0 : 2.0);
-  printf("coordinator on UDP :%u — %zu/%zu agents registered\n\n", harness.ControlPort(),
-         registered, fleet_size);
+  size_t registered = harness->WaitForRegistrations(fleet_size, faults.Enabled() ? 10.0 : 2.0);
+  printf("coordinator (%s transport) — %zu/%zu agents registered\n\n",
+         transport_kind.c_str(), registered, fleet_size);
 
   // Loopback-friendly experiment parameters (no 15 s leads or 10 s gaps).
   mfc::ExperimentConfig config;
   config.threshold = mfc::Millis(100);
-  config.crowd_step = 2;
+  config.crowd_step = crowd_step;
   config.max_crowd = fleet_size;
   config.min_clients = fleet_size;
   config.min_crowd_for_inference = 4;
@@ -205,7 +278,7 @@ int main(int argc, char** argv) {
 
   mfc::StageObjects objects;
   objects.base_page = *mfc::ParseUrl("http://127.0.0.1/");
-  mfc::Coordinator coordinator(harness, config, 5);
+  mfc::Coordinator coordinator(*harness, config, 5);
   mfc::ExperimentResult result = coordinator.Run(objects, {mfc::StageKind::kBase});
   if (stats != nullptr) {
     sampling = false;
@@ -230,19 +303,29 @@ int main(int argc, char** argv) {
       delayed += injector->stats().delayed;
       failed_connects += injector->stats().failed_connects;
     }
-    const mfc::ControlPlaneStats& cp = harness.stats();
     printf("faults injected: %llu datagrams dropped, %llu duplicated, %llu delayed, "
            "%llu connects failed\n",
            static_cast<unsigned long long>(dropped),
            static_cast<unsigned long long>(duplicated),
            static_cast<unsigned long long>(delayed),
            static_cast<unsigned long long>(failed_connects));
-    printf("control plane recovered: %llu ping, %llu rtt, %llu measure, %llu fire "
-           "retries; %llu duplicate samples discarded\n",
-           static_cast<unsigned long long>(cp.ping_retries),
+    // Transport-level recovery now lives in the session layer: count the
+    // coordinator's retransmits plus the whole fleet's.
+    uint64_t agent_retransmits = 0, agent_gave_up = 0;
+    for (const auto& agent : agents) {
+      agent_retransmits += agent->session_stats().retransmits;
+      agent_gave_up += agent->session_stats().gave_up;
+    }
+    const mfc::SessionStats& ss = harness->session_stats();
+    const mfc::ControlPlaneStats& cp = harness->stats();
+    printf("session layer recovered: %llu coordinator + %llu agent retransmits, "
+           "%llu duplicate frames suppressed, %llu transfers gave up\n",
+           static_cast<unsigned long long>(ss.retransmits),
+           static_cast<unsigned long long>(agent_retransmits),
+           static_cast<unsigned long long>(ss.duplicates),
+           static_cast<unsigned long long>(ss.gave_up + agent_gave_up));
+    printf("control plane recovered: %llu rtt retries; %llu duplicate samples discarded\n",
            static_cast<unsigned long long>(cp.rtt_retries),
-           static_cast<unsigned long long>(cp.measure_retries),
-           static_cast<unsigned long long>(cp.fire_retries),
            static_cast<unsigned long long>(cp.duplicate_samples));
   }
   if (stats != nullptr) {
@@ -260,5 +343,17 @@ int main(int argc, char** argv) {
     fclose(out);
     printf("live.* metrics -> %s\n", metrics_path.c_str());
   }
+
+  // Machine-readable verdict line, compared across clean/faulted runs by
+  // tools/check_fleet_soak.py. Keep key=value, one line, last.
+  const mfc::StageResult* base = result.Stage(mfc::StageKind::kBase);
+  std::string reason =
+      base != nullptr ? std::string(mfc::StageEndReasonName(base->end_reason)) : "none";
+  printf("RESULT transport=%s fleet=%zu registered=%zu stopped=%d reason=%s "
+         "crowd=%zu max_tested=%zu\n",
+         transport_kind.c_str(), fleet_size, registered,
+         base != nullptr && base->stopped ? 1 : 0, reason.c_str(),
+         base != nullptr ? base->stopping_crowd_size : static_cast<size_t>(0),
+         base != nullptr ? base->max_crowd_tested : static_cast<size_t>(0));
   return 0;
 }

@@ -8,105 +8,97 @@
 namespace mfc {
 namespace {
 
-// Command tokens older than this are forgotten; a coordinator re-issuing a
-// command after a minute has long since failed the stage.
+// Legacy-peer command tokens older than this are forgotten; a coordinator
+// re-issuing a command after a minute has long since failed the stage.
 constexpr double kSeenCommandTtl = 60.0;
 constexpr size_t kSeenCommandCap = 4096;
 
 }  // namespace
 
 ClientAgent::ClientAgent(Reactor& reactor, uint64_t client_id, const sockaddr_in& coordinator)
+    : ClientAgent(reactor, client_id,
+                  std::make_unique<UdpTransport>(reactor, static_cast<uint16_t>(0)),
+                  TransportAddress::Udp(coordinator)) {}
+
+ClientAgent::ClientAgent(Reactor& reactor, uint64_t client_id,
+                         std::unique_ptr<Transport> transport,
+                         const TransportAddress& coordinator)
     : reactor_(reactor), client_id_(client_id), coordinator_(coordinator),
-      socket_(reactor, 0), alive_(std::make_shared<bool>(true)) {
-  socket_.SetReceiver(
-      [this](std::string_view payload, const sockaddr_in& from) { OnDatagram(payload, from); });
+      alive_(std::make_shared<bool>(true)) {
+  udp_ = dynamic_cast<UdpTransport*>(transport.get());
+  transport_ = std::make_unique<FaultedTransport>(std::move(transport));
+  SessionConfig config;
+  config.conn = AgentConn(client_id);
+  config.retry = retry_;
+  session_ = std::make_unique<Session>(*transport_, config);
+  session_->SetDeliveryHandler(
+      [this](const ControlMessage& message, const TransportAddress& from,
+             uint64_t sender_conn) { OnDeliver(message, from, sender_conn); });
 }
 
-ClientAgent::~ClientAgent() {
-  *alive_ = false;
-  if (register_timer_ != 0) {
-    reactor_.CancelTimer(register_timer_);
-  }
-  for (auto& [id, pending] : pending_samples_) {
-    if (pending.timer != 0) {
-      reactor_.CancelTimer(pending.timer);
-    }
-  }
+ClientAgent::~ClientAgent() { *alive_ = false; }
+
+uint16_t ClientAgent::ControlPort() const { return udp_ != nullptr ? udp_->Port() : 0; }
+
+void ClientAgent::set_retry_policy(const RetryPolicy& policy) {
+  retry_ = policy;
+  session_->set_retry_policy(policy);
 }
 
 void ClientAgent::set_fault_injector(FaultInjector* fault) {
   fault_ = fault;
-  socket_.set_fault_injector(fault);
+  transport_->set_injector(fault);
 }
 
 void ClientAgent::Register() {
   registered_ = false;
-  register_attempts_ = 0;
-  if (register_timer_ != 0) {
-    reactor_.CancelTimer(register_timer_);
-    register_timer_ = 0;
-  }
-  SendRegister();
+  // Registered() means the coordinator's session layer acked our REGISTER —
+  // the coordinator processes the frame in the same tick it acks, so the ack
+  // doubles as the registration receipt (REGACK remains for legacy peers).
+  session_->SendReliable(MsgRegister{client_id_}, coordinator_, kLaneControl,
+                         [this](bool delivered) {
+                           if (delivered) {
+                             registered_ = true;
+                           }
+                         });
 }
 
-void ClientAgent::SendRegister() {
-  ++register_attempts_;
-  Send(MsgRegister{client_id_});
-  if (register_attempts_ >= retry_.max_attempts) {
-    return;  // out of attempts; Registered() stays false unless an ack lands
-  }
-  register_timer_ = reactor_.ScheduleAfter(
-      retry_.BackoffFor(register_attempts_), [this, alive = alive_] {
-        if (!*alive) {
-          return;
-        }
-        register_timer_ = 0;
-        if (!registered_) {
-          SendRegister();
-        }
-      });
+void ClientAgent::Reply(const ControlMessage& message, uint8_t lane) {
+  session_->SendReliable(message, coordinator_, lane);
 }
 
-void ClientAgent::Send(const ControlMessage& message) {
-  socket_.SendTo(EncodeMessage(message), coordinator_);
-}
-
-void ClientAgent::OnDatagram(std::string_view payload, const sockaddr_in&) {
-  auto message = DecodeMessage(payload);
-  if (!message.has_value()) {
-    return;  // garbage on the control port: drop, as any UDP service must
-  }
-  if (const auto* ping = std::get_if<MsgPing>(&*message)) {
+void ClientAgent::OnDeliver(const ControlMessage& message, const TransportAddress& from,
+                            uint64_t sender_conn) {
+  (void)from;
+  bool legacy = sender_conn == 0;
+  if (const auto* ping = std::get_if<MsgPing>(&message)) {
     // Piggyback the health payload on the pong the coordinator is owed
-    // anyway — the fleet's telemetry rides the existing probe cadence.
-    Send(MsgPong{ping->seq, CurrentStats()});
-  } else if (const auto* ack = std::get_if<MsgRegisterAck>(&*message)) {
+    // anyway — the fleet's telemetry rides the existing probe cadence. The
+    // pong leg is itself reliable, so a lost reply converges on its own.
+    MsgPong pong{ping->seq, CurrentStats()};
+    if (legacy) {
+      session_->SendBare(pong, coordinator_);
+    } else {
+      Reply(pong);
+    }
+  } else if (const auto* ack = std::get_if<MsgRegisterAck>(&message)) {
     if (ack->client_id == client_id_) {
-      registered_ = true;
-      if (register_timer_ != 0) {
-        reactor_.CancelTimer(register_timer_);
-        register_timer_ = 0;
-      }
+      registered_ = true;  // legacy coordinator's explicit receipt
     }
-  } else if (const auto* sample_ack = std::get_if<MsgSampleAck>(&*message)) {
-    auto it = pending_samples_.find(sample_ack->sample_id);
-    if (it != pending_samples_.end()) {
-      if (it->second.timer != 0) {
-        reactor_.CancelTimer(it->second.timer);
-      }
-      pending_samples_.erase(it);
-    }
-  } else if (const auto* measure = std::get_if<MsgMeasure>(&*message)) {
-    HandleMeasure(*measure);
-  } else if (const auto* fire = std::get_if<MsgFire>(&*message)) {
-    HandleFire(*fire);
-  } else if (const auto* probe = std::get_if<MsgRttProbe>(&*message)) {
-    HandleRttProbe(*probe);
+  } else if (std::get_if<MsgSampleAck>(&message) != nullptr) {
+    // Legacy-peer sample acks: session peers ack at the session layer, and
+    // samples to legacy peers are fire-and-forget, so nothing to cancel.
+  } else if (const auto* measure = std::get_if<MsgMeasure>(&message)) {
+    HandleMeasure(*measure, legacy);
+  } else if (const auto* fire = std::get_if<MsgFire>(&message)) {
+    HandleFire(*fire, legacy);
+  } else if (const auto* probe = std::get_if<MsgRttProbe>(&message)) {
+    HandleRttProbe(*probe, legacy);
   }
 }
 
 bool ClientAgent::SeenCommand(uint64_t token) {
-  double now = reactor_.Now();
+  double now = transport_->clock().Now();
   // Tokens are issued monotonically, so map order tracks receipt time: prune
   // from the front until the set is fresh and bounded.
   while (!seen_commands_.empty() &&
@@ -119,24 +111,34 @@ bool ClientAgent::SeenCommand(uint64_t token) {
   return !inserted;
 }
 
-void ClientAgent::HandleRttProbe(const MsgRttProbe& message) {
-  // TCP connect() round trip approximates the SYN RTT to the target.
-  double start = reactor_.Now();
+void ClientAgent::HandleRttProbe(const MsgRttProbe& message, bool legacy) {
+  // TCP connect() round trip approximates the SYN RTT to the target. Legacy
+  // coordinators can't parse session frames, so they get the reply bare.
+  double start = transport_->clock().Now();
   uint64_t token = message.token;
   uint64_t probe_id = next_fetch_id_++;
+  auto reply = [this, legacy](const ControlMessage& reply_message) {
+    if (legacy) {
+      session_->SendBare(reply_message, coordinator_);
+    } else {
+      Reply(reply_message);
+    }
+  };
   auto conn = TcpConnection::Connect(
       reactor_, LoopbackEndpoint(message.tcp_port),
-      [this, alive = alive_, token, probe_id, start](bool ok) {
+      [this, alive = alive_, token, probe_id, start, reply](bool ok) {
         if (!*alive) {
           return;
         }
-        double rtt = reactor_.Now() - start;
+        double rtt = transport_->clock().Now() - start;
         if (ok) {
           // TCP-style smoothing: 7/8 history, 1/8 new measurement.
           rtt_ewma_ = rtt_ewma_ < 0 ? rtt : 0.875 * rtt_ewma_ + 0.125 * rtt;
-          Send(MsgRtt{token, static_cast<uint64_t>(std::llround(rtt * 1e6))});
+          reply(MsgRtt{token, static_cast<uint64_t>(std::llround(rtt * 1e6))});
         } else {
-          Send(MsgRttFail{token});
+          // A silent client here would stall the coordinator until its
+          // deadline; tell it outright so it can retry or fall back.
+          reply(MsgRttFail{token});
         }
         reactor_.ScheduleAfter(0.0, [this, alive, probe_id] {
           if (*alive) {
@@ -148,59 +150,67 @@ void ClientAgent::HandleRttProbe(const MsgRttProbe& message) {
   if (conn != nullptr) {
     rtt_probes_[probe_id] = std::move(conn);
   } else {
-    // A silent client here would stall the coordinator until its deadline;
-    // tell it outright so it can retry or fall back immediately.
-    Send(MsgRttFail{token});
+    reply(MsgRttFail{token});
   }
 }
 
-void ClientAgent::HandleMeasure(const MsgMeasure& message) {
-  bool duplicate = SeenCommand(message.token);
-  Send(MsgCmdAck{message.token});  // ack duplicates too: the first ack was lost
-  if (duplicate) {
-    ++dedup_hits_;
-    return;
+void ClientAgent::HandleMeasure(const MsgMeasure& message, bool legacy) {
+  if (legacy) {
+    bool duplicate = SeenCommand(message.token);
+    // Ack duplicates too: the first ack was lost.
+    session_->SendBare(MsgCmdAck{message.token}, coordinator_);
+    if (duplicate) {
+      ++legacy_dedup_hits_;
+      return;
+    }
   }
+  // Session peers need neither token dedup (the session deduplicates by
+  // (conn, seq) before delivery) nor CMDACK (the session ack supersedes it).
+  //
   // Solo measurements tolerate connect retries — there is no crowd to stay
   // synchronized with.
   LaunchFetch(message.token, message.method, message.tcp_port, message.target,
-              /*attempt=*/1, /*retry_connect=*/true);
+              /*attempt=*/1, /*retry_connect=*/true, legacy);
 }
 
-void ClientAgent::HandleFire(const MsgFire& message) {
-  bool duplicate = SeenCommand(message.token);
-  Send(MsgCmdAck{message.token});
-  if (duplicate) {
-    ++dedup_hits_;
-    return;
+void ClientAgent::HandleFire(const MsgFire& message, bool legacy) {
+  if (legacy) {
+    bool duplicate = SeenCommand(message.token);
+    session_->SendBare(MsgCmdAck{message.token}, coordinator_);
+    if (duplicate) {
+      ++legacy_dedup_hits_;
+      return;
+    }
   }
   // Hold fire until the commanded instant: every client joins the burst
-  // together no matter when its (possibly re-issued) copy of the command
+  // together no matter when its (possibly retransmitted) copy of the command
   // arrived within the schedule lead.
   double fire_at = static_cast<double>(message.fire_at_micros) * 1e-6;
-  if (fire_at > reactor_.Now()) {
-    reactor_.ScheduleAt(fire_at, [this, alive = alive_, message] {
-      if (*alive) {
-        FireNow(message);
-      }
-    });
+  if (fire_at > transport_->clock().Now()) {
+    transport_->clock().ScheduleAfter(fire_at - transport_->clock().Now(),
+                                      [this, alive = alive_, message, legacy] {
+                                        if (*alive) {
+                                          FireNow(message, legacy);
+                                        }
+                                      });
     return;
   }
-  FireNow(message);
+  FireNow(message, legacy);
 }
 
-void ClientAgent::FireNow(const MsgFire& message) {
+void ClientAgent::FireNow(const MsgFire& message, bool legacy) {
   // MFC-mr: open |connections| parallel connections carrying the same
   // request (Section 4.1). No connect retries: a late re-fire would fall
   // outside the synchronized burst and skew the crowd's response times.
   for (uint32_t c = 0; c < message.connections; ++c) {
     LaunchFetch(message.token, message.method, message.tcp_port, message.target,
-                /*attempt=*/1, /*retry_connect=*/false);
+                /*attempt=*/1, /*retry_connect=*/false, legacy);
   }
 }
 
 void ClientAgent::LaunchFetch(uint64_t token, const std::string& method, uint16_t port,
-                              const std::string& target, size_t attempt, bool retry_connect) {
+                              const std::string& target, size_t attempt, bool retry_connect,
+                              bool legacy) {
   HttpRequest request;
   request.method = method == "HEAD" ? HttpMethod::kHead : HttpMethod::kGet;
   request.target = target;
@@ -211,17 +221,18 @@ void ClientAgent::LaunchFetch(uint64_t token, const std::string& method, uint16_
   uint64_t fetch_id = next_fetch_id_++;
   auto fetch = HttpFetch::Start(
       reactor_, port, request, request_timeout_,
-      [this, token, fetch_id, method, port, target, attempt,
-       retry_connect](const FetchResult& result) {
+      [this, token, fetch_id, method, port, target, attempt, retry_connect,
+       legacy](const FetchResult& result) {
         if (result.connect_failed || result.timed_out) {
           ++fetch_errors_;
         }
         if (result.connect_failed && retry_connect && attempt < retry_.max_attempts) {
           reactor_.ScheduleAfter(
               retry_.BackoffFor(attempt),
-              [this, alive = alive_, token, method, port, target, attempt, retry_connect] {
+              [this, alive = alive_, token, method, port, target, attempt, retry_connect,
+               legacy] {
                 if (*alive) {
-                  LaunchFetch(token, method, port, target, attempt + 1, retry_connect);
+                  LaunchFetch(token, method, port, target, attempt + 1, retry_connect, legacy);
                 }
               });
           fetches_.erase(fetch_id);
@@ -233,8 +244,17 @@ void ClientAgent::LaunchFetch(uint64_t token, const std::string& method, uint16_
         sample.bytes = result.bytes;
         sample.rt_microseconds = static_cast<uint64_t>(std::llround(result.elapsed * 1e6));
         sample.timed_out = result.timed_out;
+        sample.sample_id = next_sample_id_++;
         sample.stats = CurrentStats();
-        SendSampleReliably(sample);
+        if (legacy) {
+          // Pre-session coordinators get the paper's original fire-and-forget
+          // UDP report; only session peers get the reliable leg.
+          session_->SendBare(sample, coordinator_);
+        } else {
+          // The session retransmits the sample until the coordinator's ack
+          // lands or attempts run out (coordinator quorum decides then).
+          Reply(sample, kLaneBulk);
+        }
         fetches_.erase(fetch_id);
       },
       fault_);
@@ -248,50 +268,12 @@ AgentStats ClientAgent::CurrentStats() const {
   if (rtt_ewma_ >= 0) {
     stats.rtt_ewma_us = static_cast<uint64_t>(std::llround(rtt_ewma_ * 1e6));
   }
-  stats.dedup_hits = dedup_hits_;
+  stats.dedup_hits = legacy_dedup_hits_ + session_->stats().duplicates;
   if (fault_ != nullptr) {
     stats.fault_drops = fault_->stats().dropped;
   }
   stats.requests_fired = requests_fired_;
   return stats;
-}
-
-void ClientAgent::SendSampleReliably(MsgSample sample) {
-  sample.sample_id = next_sample_id_++;
-  Send(sample);
-  if (retry_.max_attempts <= 1) {
-    return;  // fire-and-forget, as the paper's original UDP control plane did
-  }
-  PendingSample pending;
-  pending.sample = sample;
-  pending.attempts = 1;
-  pending_samples_[sample.sample_id] = pending;
-  ScheduleSampleRetransmit(sample.sample_id);
-}
-
-void ClientAgent::ScheduleSampleRetransmit(uint64_t sample_id) {
-  auto it = pending_samples_.find(sample_id);
-  if (it == pending_samples_.end()) {
-    return;
-  }
-  it->second.timer = reactor_.ScheduleAfter(
-      retry_.BackoffFor(it->second.attempts), [this, alive = alive_, sample_id] {
-        if (!*alive) {
-          return;
-        }
-        auto entry = pending_samples_.find(sample_id);
-        if (entry == pending_samples_.end()) {
-          return;  // acked while the retransmit was queued
-        }
-        entry->second.timer = 0;
-        ++entry->second.attempts;
-        Send(entry->second.sample);
-        if (entry->second.attempts < retry_.max_attempts) {
-          ScheduleSampleRetransmit(sample_id);
-        } else {
-          pending_samples_.erase(entry);  // give up; coordinator quorum decides
-        }
-      });
 }
 
 }  // namespace mfc

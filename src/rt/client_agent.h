@@ -1,16 +1,16 @@
 // Live MFC client agent (Figure 2b over real sockets).
 //
-// Registers with the coordinator over UDP, answers latency probes, and on
-// command fires HTTP requests at the target. FIRE commands carry the burst
-// instant (Section 2.2.4's scheduled arrival): the agent holds fire until
-// then, so a command re-issued after control loss still joins the crowd on
-// time. Samples are pushed back over UDP as each request completes or hits
-// the kill timer.
+// Registers with the coordinator, answers latency probes, and on command
+// fires HTTP requests at the target. FIRE commands carry the burst instant
+// (Section 2.2.4's scheduled arrival): the agent holds fire until then, so a
+// command re-issued after control loss still joins the crowd on time.
 //
-// The control plane assumes loss: registration repeats until the coordinator
-// acks it, MEASURE/FIRE commands are acked on receipt (and deduplicated by
-// token, so a re-issued or fault-duplicated command never double-fires), and
-// samples are retransmitted with bounded backoff until SAMPLEACK arrives.
+// All control reliability lives in the session layer (src/rt/session.h):
+// REGISTER, PONG, RTT/RTTFAIL, and SAMPLE are reliable session sends that
+// retransmit until the coordinator's session ack; incoming MEASURE/FIRE
+// duplicates are suppressed by the session's (conn, seq) dedup. The agent
+// itself schedules no retransmits. A thin legacy path answers bare
+// (pre-session) coordinators with the PR-3 ack/token-dedup protocol.
 #ifndef MFC_SRC_RT_CLIENT_AGENT_H_
 #define MFC_SRC_RT_CLIENT_AGENT_H_
 
@@ -19,83 +19,90 @@
 
 #include "src/core/config.h"
 #include "src/rt/http_fetch.h"
+#include "src/rt/session.h"
 #include "src/rt/sockets.h"
+#include "src/rt/transport.h"
 #include "src/rt/wire.h"
 
 namespace mfc {
 
+// Session connection ids: the coordinator owns 1, agent |client_id| owns
+// |client_id| + 2 — disjoint and nonzero (0 is the legacy sentinel) for any
+// id the examples and tests mint.
+inline constexpr uint64_t kCoordinatorConn = 1;
+inline uint64_t AgentConn(uint64_t client_id) { return client_id + 2; }
+
 class ClientAgent {
  public:
+  // UDP backend: binds an ephemeral control socket on |reactor|.
   ClientAgent(Reactor& reactor, uint64_t client_id, const sockaddr_in& coordinator);
+  // Custom backend (e.g. a MemoryHub endpoint): control datagrams ride
+  // |transport|; HTTP fetches still use |reactor| sockets.
+  ClientAgent(Reactor& reactor, uint64_t client_id, std::unique_ptr<Transport> transport,
+              const TransportAddress& coordinator);
   ~ClientAgent();
   ClientAgent(const ClientAgent&) = delete;
   ClientAgent& operator=(const ClientAgent&) = delete;
 
-  // Announces this agent to the coordinator; re-sends with backoff until the
-  // coordinator's REGACK arrives (or attempts run out).
+  // Announces this agent to the coordinator; the session layer re-sends with
+  // backoff until the coordinator acks (or attempts run out).
   void Register();
   bool Registered() const { return registered_; }
 
   uint64_t ClientId() const { return client_id_; }
-  uint16_t ControlPort() const { return socket_.Port(); }
+  // Control port of the UDP backend; 0 when riding a custom transport.
+  uint16_t ControlPort() const;
   void set_request_timeout(double seconds) { request_timeout_ = seconds; }
-  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  void set_retry_policy(const RetryPolicy& policy);
 
   // Routes control datagrams and TCP connects through |fault| (which must
   // outlive the agent). nullptr restores fault-free operation.
   void set_fault_injector(FaultInjector* fault);
 
   uint64_t RequestsFired() const { return requests_fired_; }
+  const SessionStats& session_stats() const { return session_->stats(); }
 
   // Health payload piggybacked on every PONG and SAMPLE (wire.h [stats]):
   // instantaneous inflight count plus the agent's cumulative counters.
   AgentStats CurrentStats() const;
 
  private:
-  struct PendingSample {
-    MsgSample sample;
-    size_t attempts = 1;
-    Reactor::TimerId timer = 0;
-  };
-
-  void OnDatagram(std::string_view payload, const sockaddr_in& from);
-  void HandleMeasure(const MsgMeasure& message);
-  void HandleFire(const MsgFire& message);
+  void OnDeliver(const ControlMessage& message, const TransportAddress& from,
+                 uint64_t sender_conn);
+  void HandleMeasure(const MsgMeasure& message, bool legacy);
+  void HandleFire(const MsgFire& message, bool legacy);
   // Opens the command's parallel connections immediately; HandleFire defers
   // to this at the commanded fire_at instant.
-  void FireNow(const MsgFire& message);
-  void HandleRttProbe(const MsgRttProbe& message);
-  // True if |token| was already executed (duplicate command); records it
-  // otherwise. Old tokens are pruned so the set stays bounded.
+  void FireNow(const MsgFire& message, bool legacy);
+  void HandleRttProbe(const MsgRttProbe& message, bool legacy);
+  // Legacy-peer token dedup (session peers are deduplicated by (conn, seq)
+  // before delivery). True if |token| was already executed.
   bool SeenCommand(uint64_t token);
   void LaunchFetch(uint64_t token, const std::string& method, uint16_t port,
-                   const std::string& target, size_t attempt, bool retry_connect);
-  // Sends |sample| and schedules bounded retransmissions until SAMPLEACK.
-  void SendSampleReliably(MsgSample sample);
-  void ScheduleSampleRetransmit(uint64_t sample_id);
-  void SendRegister();
-  void Send(const ControlMessage& message);
+                   const std::string& target, size_t attempt, bool retry_connect,
+                   bool legacy);
+  // Reliable session send to the coordinator.
+  void Reply(const ControlMessage& message, uint8_t lane = kLaneControl);
 
   Reactor& reactor_;
   uint64_t client_id_;
-  sockaddr_in coordinator_;
-  UdpSocket socket_;
+  TransportAddress coordinator_;
+  std::unique_ptr<FaultedTransport> transport_;
+  UdpTransport* udp_ = nullptr;  // inner transport when UDP-backed, else null
+  std::unique_ptr<Session> session_;
   double request_timeout_ = 10.0;
   RetryPolicy retry_;
   FaultInjector* fault_ = nullptr;
   uint64_t requests_fired_ = 0;
-  uint64_t fetch_errors_ = 0;  // failed connects + kill-timer expiries
-  uint64_t dedup_hits_ = 0;    // duplicate MEASURE/FIRE commands discarded
-  double rtt_ewma_ = -1.0;     // target-RTT EWMA from RTTPROBE successes, seconds
+  uint64_t fetch_errors_ = 0;      // failed connects + kill-timer expiries
+  uint64_t legacy_dedup_hits_ = 0; // duplicate legacy commands discarded
+  double rtt_ewma_ = -1.0;  // target-RTT EWMA from RTTPROBE successes, seconds
   uint64_t next_fetch_id_ = 1;
   uint64_t next_sample_id_ = 1;
   bool registered_ = false;
-  size_t register_attempts_ = 0;
-  Reactor::TimerId register_timer_ = 0;
   std::map<uint64_t, std::unique_ptr<HttpFetch>> fetches_;
   std::map<uint64_t, std::unique_ptr<TcpConnection>> rtt_probes_;
-  std::map<uint64_t, PendingSample> pending_samples_;
-  std::map<uint64_t, double> seen_commands_;  // token -> receipt time
+  std::map<uint64_t, double> seen_commands_;  // legacy token -> receipt time
   // Guards every reactor task that captures |this|: the destructor flips it,
   // so tasks still queued when the agent dies become no-ops instead of
   // use-after-frees.

@@ -3,18 +3,41 @@
 #include <algorithm>
 #include <string>
 
+#include "src/rt/client_agent.h"
 #include "src/telemetry/metrics.h"
 
 namespace mfc {
 
 LiveHarness::LiveHarness(Reactor& reactor, uint16_t target_port, uint16_t control_port)
-    : reactor_(reactor), target_port_(target_port), socket_(reactor, control_port),
-      alive_(std::make_shared<bool>(true)) {
-  socket_.SetReceiver(
-      [this](std::string_view payload, const sockaddr_in& from) { OnDatagram(payload, from); });
+    : LiveHarness(reactor, target_port, std::make_unique<UdpTransport>(reactor, control_port)) {}
+
+LiveHarness::LiveHarness(Reactor& reactor, uint16_t target_port,
+                         std::unique_ptr<Transport> transport)
+    : reactor_(reactor), target_port_(target_port), alive_(std::make_shared<bool>(true)) {
+  udp_ = dynamic_cast<UdpTransport*>(transport.get());
+  transport_ = std::make_unique<FaultedTransport>(std::move(transport));
+  SessionConfig config;
+  config.conn = kCoordinatorConn;
+  config.retry = retry_;
+  session_ = std::make_unique<Session>(*transport_, config);
+  session_->SetDeliveryHandler(
+      [this](const ControlMessage& message, const TransportAddress& from,
+             uint64_t sender_conn) { OnDeliver(message, from, sender_conn); });
 }
 
 LiveHarness::~LiveHarness() { *alive_ = false; }
+
+uint16_t LiveHarness::ControlPort() const { return udp_ != nullptr ? udp_->Port() : 0; }
+
+void LiveHarness::set_retry_policy(const RetryPolicy& policy) {
+  retry_ = policy;
+  session_->set_retry_policy(policy);
+}
+
+void LiveHarness::SetMetrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  session_->SetMetrics(metrics);
+}
 
 void LiveHarness::Bump(uint64_t& counter, const char* metric, uint64_t delta) {
   counter += delta;
@@ -25,7 +48,15 @@ void LiveHarness::Bump(uint64_t& counter, const char* metric, uint64_t delta) {
 
 size_t LiveHarness::PendingControlEntries() const {
   return pending_pongs_.size() + completed_pongs_.size() + pong_owner_.size() +
-         pending_rtt_probes_.size() + completed_rtts_.size() + acked_commands_.size();
+         pending_rtt_probes_.size() + completed_rtts_.size() + session_->PendingReliable();
+}
+
+void LiveHarness::CancelTransfers(const std::vector<Session::TransferId>& ids) {
+  for (Session::TransferId id : ids) {
+    if (id != 0) {
+      session_->Cancel(id);
+    }
+  }
 }
 
 void LiveHarness::TouchAgent(size_t client, const AgentStats* stats) {
@@ -81,18 +112,22 @@ std::vector<AgentHealthSnapshot> LiveHarness::SnapshotAgents() const {
   return rows;
 }
 
-void LiveHarness::OnDatagram(std::string_view payload, const sockaddr_in& from) {
-  auto message = DecodeMessage(payload);
-  if (!message.has_value()) {
-    return;
-  }
-  if (const auto* reg = std::get_if<MsgRegister>(&*message)) {
-    // Re-registrations refresh the address; the ack is idempotent, so a
-    // client whose REGACK was lost simply re-sends and gets acked again.
-    clients_[static_cast<size_t>(reg->client_id)] = from;
-    TouchAgent(static_cast<size_t>(reg->client_id), nullptr);
-    socket_.SendTo(EncodeMessage(MsgRegisterAck{reg->client_id}), from);
-  } else if (const auto* pong = std::get_if<MsgPong>(&*message)) {
+void LiveHarness::OnDeliver(const ControlMessage& message, const TransportAddress& from,
+                            uint64_t sender_conn) {
+  if (const auto* reg = std::get_if<MsgRegister>(&message)) {
+    // Re-registrations refresh the address (and the peer's protocol level).
+    size_t id = static_cast<size_t>(reg->client_id);
+    clients_[id] = from;
+    if (sender_conn == 0) {
+      legacy_clients_.insert(id);
+      // Legacy agents need the explicit receipt; session agents take the
+      // session-level ack as registration confirmation.
+      session_->SendBare(MsgRegisterAck{reg->client_id}, from);
+    } else {
+      legacy_clients_.erase(id);
+    }
+    TouchAgent(id, nullptr);
+  } else if (const auto* pong = std::get_if<MsgPong>(&message)) {
     auto it = pending_pongs_.find(pong->seq);
     if (it != pending_pongs_.end()) {
       double rtt = reactor_.Now() - it->second;
@@ -108,27 +143,26 @@ void LiveHarness::OnDatagram(std::string_view payload, const sockaddr_in& from) 
         TouchAgent(owner->second, pong->stats.has_value() ? &*pong->stats : nullptr);
       }
     }
-  } else if (const auto* rtt = std::get_if<MsgRtt>(&*message)) {
+  } else if (const auto* rtt = std::get_if<MsgRtt>(&message)) {
     // Only solicited replies are recorded; late duplicates from earlier
     // attempts would otherwise pile up in completed_rtts_ forever.
     if (pending_rtt_probes_.erase(rtt->token) != 0) {
       completed_rtts_[rtt->token] = static_cast<double>(rtt->microseconds) * 1e-6;
     }
-  } else if (const auto* fail = std::get_if<MsgRttFail>(&*message)) {
+  } else if (const auto* fail = std::get_if<MsgRttFail>(&message)) {
     if (pending_rtt_probes_.erase(fail->token) != 0) {
       completed_rtts_[fail->token] = -1.0;  // explicit failure, not a timeout
       Bump(stats_.rtt_failures, "live.rtt_failures");
     }
-  } else if (const auto* ack = std::get_if<MsgCmdAck>(&*message)) {
-    // Only acks for commands the current crowd/fetch is waiting on matter; a
-    // late ack for a finished crowd would otherwise sit in the set forever.
-    if (crowd_.has_value() && crowd_->token_to_client.count(ack->token) != 0) {
-      acked_commands_.insert(ack->token);
+  } else if (std::get_if<MsgCmdAck>(&message) != nullptr) {
+    // Legacy command receipt; command delivery is tracked by session acks
+    // now, so there is nothing left to record.
+  } else if (const auto* sample = std::get_if<MsgSample>(&message)) {
+    if (sender_conn == 0) {
+      // Ack legacy samples unconditionally — late and duplicate copies
+      // included — so an old agent's retransmit loop always terminates.
+      session_->SendBare(MsgSampleAck{sample->sample_id}, from);
     }
-  } else if (const auto* sample = std::get_if<MsgSample>(&*message)) {
-    // Ack unconditionally — late and duplicate copies included — so the
-    // client's retransmit loop always terminates.
-    socket_.SendTo(EncodeMessage(MsgSampleAck{sample->sample_id}), from);
     if (!crowd_.has_value()) {
       return;
     }
@@ -159,11 +193,18 @@ void LiveHarness::OnDatagram(std::string_view payload, const sockaddr_in& from) 
   }
 }
 
-void LiveHarness::SendTo(size_t client, const ControlMessage& message) {
+Session::TransferId LiveHarness::SendTo(size_t client, const ControlMessage& message) {
   auto it = clients_.find(client);
-  if (it != clients_.end()) {
-    socket_.SendTo(EncodeMessage(message), it->second);
+  if (it == clients_.end()) {
+    return 0;
   }
+  if (legacy_clients_.count(client) != 0) {
+    // A bare-datagram agent cannot parse session frames: it gets the paper's
+    // original fire-and-forget command (no retransmit on loss).
+    session_->SendBare(message, it->second);
+    return 0;
+  }
+  return session_->SendReliable(message, it->second);
 }
 
 size_t LiveHarness::WaitForRegistrations(size_t count, double timeout) {
@@ -173,43 +214,30 @@ size_t LiveHarness::WaitForRegistrations(size_t count, double timeout) {
 }
 
 std::vector<size_t> LiveHarness::ProbeClients(SimDuration timeout) {
-  size_t attempts = std::max<size_t>(retry_.max_attempts, 1);
-  double slice = timeout / static_cast<double>(attempts);
+  // One reliable PING per agent; the session keeps re-sending it across the
+  // whole probe window, so no per-attempt re-probing is needed here.
   std::map<uint64_t, size_t> seq_to_client;  // every seq minted by this call
+  std::vector<Session::TransferId> transfers;
   std::set<size_t> answered;
-
-  for (size_t attempt = 1; attempt <= attempts; ++attempt) {
-    size_t missing = 0;
-    for (const auto& [id, addr] : clients_) {
-      if (answered.count(id) != 0) {
-        continue;
-      }
-      ++missing;
-      uint64_t seq = next_token_++;
-      pending_pongs_[seq] = reactor_.Now();
-      seq_to_client[seq] = id;
-      pong_owner_[seq] = id;
-      ++health_[id].pings_sent;
-      SendTo(id, MsgPing{seq});
-    }
-    if (missing == 0) {
-      break;
-    }
-    if (attempt > 1) {
-      Bump(stats_.ping_retries, "live.ping_retries", missing);
-    }
-    double deadline = reactor_.Now() + slice;
-    reactor_.RunUntil(
-        [this, &seq_to_client, &answered] {
-          for (const auto& [seq, client] : seq_to_client) {
-            if (completed_pongs_.count(seq) != 0) {
-              answered.insert(client);
-            }
-          }
-          return answered.size() >= clients_.size();
-        },
-        deadline);
+  for (const auto& [id, addr] : clients_) {
+    uint64_t seq = next_token_++;
+    pending_pongs_[seq] = reactor_.Now();
+    seq_to_client[seq] = id;
+    pong_owner_[seq] = id;
+    ++health_[id].pings_sent;
+    transfers.push_back(SendTo(id, MsgPing{seq}));
   }
+  double deadline = reactor_.Now() + timeout;
+  reactor_.RunUntil(
+      [this, &seq_to_client, &answered] {
+        for (const auto& [seq, client] : seq_to_client) {
+          if (completed_pongs_.count(seq) != 0) {
+            answered.insert(client);
+          }
+        }
+        return answered.size() >= clients_.size();
+      },
+      deadline);
   for (const auto& [seq, client] : seq_to_client) {
     if (completed_pongs_.count(seq) != 0) {
       answered.insert(client);
@@ -218,6 +246,7 @@ std::vector<size_t> LiveHarness::ProbeClients(SimDuration timeout) {
     completed_pongs_.erase(seq);
     pong_owner_.erase(seq);
   }
+  CancelTransfers(transfers);
   // Miss-streak accounting: one probe round answered resets the streak; a
   // silent round extends it. ClientHealthy turns the streak into a verdict
   // once set_unhealthy_after_misses arms it.
@@ -232,65 +261,39 @@ std::vector<size_t> LiveHarness::ProbeClients(SimDuration timeout) {
 }
 
 SimDuration LiveHarness::MeasureCoordRtt(size_t client) {
-  size_t attempts = std::max<size_t>(retry_.max_attempts, 1);
-  double slice = 1.0 / static_cast<double>(attempts);
-  std::vector<uint64_t> seqs;
-  SimDuration rtt = 1.0;  // conservative substitute when every attempt misses
-  bool got = false;
-
-  for (size_t attempt = 1; attempt <= attempts && !got; ++attempt) {
-    uint64_t seq = next_token_++;
-    pending_pongs_[seq] = reactor_.Now();
-    seqs.push_back(seq);
-    pong_owner_[seq] = client;
-    ++health_[client].pings_sent;
-    if (attempt > 1) {
-      Bump(stats_.ping_retries, "live.ping_retries");
-    }
-    SendTo(client, MsgPing{seq});
-    double deadline = reactor_.Now() + slice;
-    reactor_.RunUntil(
-        [this, &seqs] {
-          for (uint64_t s : seqs) {
-            if (completed_pongs_.count(s) != 0) {
-              return true;
-            }
-          }
-          return false;
-        },
-        deadline);
-    for (uint64_t s : seqs) {
-      auto it = completed_pongs_.find(s);
-      if (it != completed_pongs_.end()) {
-        rtt = it->second;
-        got = true;
-        break;
-      }
-    }
+  uint64_t seq = next_token_++;
+  pending_pongs_[seq] = reactor_.Now();
+  pong_owner_[seq] = client;
+  ++health_[client].pings_sent;
+  Session::TransferId transfer = SendTo(client, MsgPing{seq});
+  double deadline = reactor_.Now() + 1.0;
+  reactor_.RunUntil([this, seq] { return completed_pongs_.count(seq) != 0; }, deadline);
+  SimDuration rtt = 1.0;  // conservative substitute when the window closes empty
+  auto it = completed_pongs_.find(seq);
+  if (it != completed_pongs_.end()) {
+    rtt = it->second;
   }
-  for (uint64_t s : seqs) {
-    pending_pongs_.erase(s);
-    completed_pongs_.erase(s);
-    pong_owner_.erase(s);
-  }
+  pending_pongs_.erase(seq);
+  completed_pongs_.erase(seq);
+  pong_owner_.erase(seq);
+  CancelTransfers({transfer});
   return rtt;
 }
 
 SimDuration LiveHarness::MeasureTargetRtt(size_t client) {
+  // The datagram legs are reliable, so re-issuing here means "run another
+  // TCP probe" (after an explicit RTTFAIL), not "resend a lost datagram".
   size_t attempts = std::max<size_t>(retry_.max_attempts, 1);
   double slice = 1.0 / static_cast<double>(attempts);
-  std::vector<uint64_t> tokens;
   SimDuration rtt = 1.0;
   bool got = false;
-
   for (size_t attempt = 1; attempt <= attempts && !got; ++attempt) {
     uint64_t token = next_token_++;
     pending_rtt_probes_.insert(token);
-    tokens.push_back(token);
     if (attempt > 1) {
       Bump(stats_.rtt_retries, "live.rtt_retries");
     }
-    SendTo(client, MsgRttProbe{token, target_port_});
+    Session::TransferId transfer = SendTo(client, MsgRttProbe{token, target_port_});
     double deadline = reactor_.Now() + slice;
     // An RTTFAIL reply also completes the wait — that is the point of the
     // explicit failure message: retry immediately instead of idling to the
@@ -302,13 +305,12 @@ SimDuration LiveHarness::MeasureTargetRtt(size_t client) {
       rtt = it->second;
       got = true;
     }
+    pending_rtt_probes_.erase(token);
+    completed_rtts_.erase(token);
+    CancelTransfers({transfer});
   }
   if (!got) {
     Bump(stats_.rtt_fallbacks, "live.rtt_fallbacks");
-  }
-  for (uint64_t token : tokens) {
-    pending_rtt_probes_.erase(token);
-    completed_rtts_.erase(token);
   }
   return rtt;
 }
@@ -330,23 +332,10 @@ RequestSample LiveHarness::FetchOnce(size_t client, const HttpRequest& request) 
   measure.method = std::string(MethodName(request.method));
   measure.tcp_port = target_port_;
   measure.target = request.target;
+  Session::TransferId transfer = SendTo(client, measure);
 
-  size_t attempts = std::max<size_t>(retry_.max_attempts, 1);
-  SendTo(client, measure);
-  for (size_t attempt = 1; attempt < attempts; ++attempt) {
-    double deadline = reactor_.Now() + retry_.BackoffFor(attempt);
-    reactor_.RunUntil(
-        [this, token] {
-          return acked_commands_.count(token) != 0 || !crowd_->samples.empty();
-        },
-        deadline);
-    if (acked_commands_.count(token) != 0 || !crowd_->samples.empty()) {
-      break;
-    }
-    Bump(stats_.measure_retries, "live.measure_retries");
-    SendTo(client, measure);
-  }
-
+  // The session re-sends the command under loss; one wait with fetch
+  // headroom covers both delivery and execution.
   double deadline = reactor_.Now() + request_timeout_ + 1.0;
   reactor_.RunUntil([this] { return !crowd_->samples.empty(); }, deadline);
 
@@ -359,7 +348,7 @@ RequestSample LiveHarness::FetchOnce(size_t client, const HttpRequest& request) 
     sample.timed_out = true;
     sample.response_time = request_timeout_;
   }
-  acked_commands_.erase(token);
+  CancelTransfers({transfer});
   crowd_.reset();
   if (had_crowd) {
     crowd_ = std::move(saved);
@@ -367,35 +356,14 @@ RequestSample LiveHarness::FetchOnce(size_t client, const HttpRequest& request) 
   return sample;
 }
 
-void LiveHarness::ScheduleFireRetry(uint64_t generation, size_t client, const MsgFire& fire,
-                                    size_t attempt) {
-  if (attempt >= retry_.max_attempts) {
-    return;
-  }
-  reactor_.ScheduleAfter(
-      retry_.BackoffFor(attempt),
-      [this, alive = alive_, generation, client, fire, attempt] {
-        if (!*alive || crowd_generation_ != generation) {
-          return;  // harness gone or crowd over; the command no longer matters
-        }
-        if (acked_commands_.count(fire.token) != 0) {
-          return;
-        }
-        Bump(stats_.fire_retries, "live.fire_retries");
-        SendTo(client, fire);
-        ScheduleFireRetry(generation, client, fire, attempt + 1);
-      });
-}
-
 std::vector<RequestSample> LiveHarness::ExecuteCrowd(const std::vector<CrowdRequestPlan>& plans,
                                                      SimTime poll_time) {
   uint64_t generation = ++crowd_generation_;
   crowd_ = PendingCrowd{};
-  std::vector<uint64_t> tokens;
+  crowd_transfers_.clear();
   size_t expected = 0;
   for (const CrowdRequestPlan& plan : plans) {
     uint64_t token = next_token_++;
-    tokens.push_back(token);
     crowd_->token_to_client[token] = plan.client_id;
     crowd_->budget[token] = static_cast<uint32_t>(plan.connections);
     expected += plan.connections;
@@ -408,7 +376,7 @@ std::vector<RequestSample> LiveHarness::ExecuteCrowd(const std::vector<CrowdRequ
     fire.target = plan.request.target;
     // Ship the burst instant with the command and transmit right away: the
     // agent holds fire until the instant, so the whole schedule lead becomes
-    // headroom for re-issuing lost commands instead of dead air. Plans
+    // headroom for retransmitting lost commands instead of dead air. Plans
     // without an arrival time keep the legacy send-time pacing (the agent
     // fires on receipt).
     double send_at = std::max(plan.command_send_time, reactor_.Now());
@@ -417,24 +385,26 @@ std::vector<RequestSample> LiveHarness::ExecuteCrowd(const std::vector<CrowdRequ
       send_at = reactor_.Now();
     }
     size_t client = plan.client_id;
+    if (send_at <= reactor_.Now()) {
+      crowd_transfers_.push_back(SendTo(client, fire));
+      continue;
+    }
     reactor_.ScheduleAt(send_at, [this, alive = alive_, generation, client, fire] {
       if (!*alive || crowd_generation_ != generation) {
         return;
       }
-      SendTo(client, fire);
-      ScheduleFireRetry(generation, client, fire, 1);
+      crowd_transfers_.push_back(SendTo(client, fire));
     });
   }
   reactor_.RunUntil([this, expected] { return crowd_->samples.size() >= expected; },
                     poll_time);
   std::vector<RequestSample> samples = std::move(crowd_->samples);
   crowd_.reset();
-  // Invalidate any still-queued FIRE sends/retries and drop this crowd's ack
-  // bookkeeping: tokens are never reused, so leftover entries are pure leak.
+  // Invalidate any still-queued FIRE sends and stop retransmitting to agents
+  // that never acked: tokens are never reused, so leftovers are pure leak.
   ++crowd_generation_;
-  for (uint64_t token : tokens) {
-    acked_commands_.erase(token);
-  }
+  CancelTransfers(crowd_transfers_);
+  crowd_transfers_.clear();
   return samples;
 }
 

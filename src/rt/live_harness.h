@@ -3,12 +3,14 @@
 // simulation drives this over UDP control + TCP data on real hosts (here:
 // loopback agents).
 //
-// The control plane is loss-tolerant: registrations are acked (REGACK),
-// pings/RTT probes are re-sent with bounded backoff, MEASURE/FIRE commands
-// are re-issued until the client's CMDACK arrives, and every SAMPLE is acked
-// so client retransmissions stop. Duplicate samples (retransmits, or copies
-// minted by a fault injector) are deduplicated by (token, sample_id), and a
-// per-token budget caps how many samples one command may contribute.
+// Loss tolerance is delegated to the session layer (src/rt/session.h): every
+// command (PING, RTTPROBE, MEASURE, FIRE) is one reliable session send that
+// retransmits until the agent's session ack, and every reply leg (PONG,
+// RTT/RTTFAIL, SAMPLE) is reliable in the opposite direction — so each leg
+// converges independently and this harness schedules no retransmits of its
+// own. Duplicate frames are suppressed by (conn, seq) before delivery; an
+// app-level (token, sample_id) dedup plus a per-token budget remain as the
+// compat path for legacy (bare-datagram) agents.
 #ifndef MFC_SRC_RT_LIVE_HARNESS_H_
 #define MFC_SRC_RT_LIVE_HARNESS_H_
 
@@ -21,7 +23,9 @@
 
 #include "src/core/config.h"
 #include "src/core/harness.h"
+#include "src/rt/session.h"
 #include "src/rt/sockets.h"
+#include "src/rt/transport.h"
 #include "src/rt/wire.h"
 #include "src/telemetry/snapshot.h"
 
@@ -29,25 +33,28 @@ namespace mfc {
 
 class MetricsRegistry;
 
-// Control-plane health counters, exported to MetricsRegistry as live.*.
+// App-level control-plane health counters, exported to MetricsRegistry as
+// live.* (transport-level retry/dedup counters moved to the session layer's
+// live.session.* family).
 struct ControlPlaneStats {
-  uint64_t ping_retries = 0;     // PINGs re-sent after a missed slice
-  uint64_t rtt_retries = 0;      // RTTPROBEs re-sent
-  uint64_t rtt_failures = 0;     // explicit RTTFAIL replies received
-  uint64_t rtt_fallbacks = 0;    // probes that exhausted retries -> 1 s substitute
-  uint64_t measure_retries = 0;  // MEASUREs re-issued awaiting CMDACK
-  uint64_t fire_retries = 0;     // FIREs re-issued awaiting CMDACK
-  uint64_t duplicate_samples = 0;  // retransmitted/duplicated SAMPLEs discarded
+  uint64_t rtt_retries = 0;        // RTT probes re-issued (new token) after RTTFAIL
+  uint64_t rtt_failures = 0;       // explicit RTTFAIL replies received
+  uint64_t rtt_fallbacks = 0;      // probes that exhausted retries -> 1 s substitute
+  uint64_t duplicate_samples = 0;  // over-budget or legacy-duplicate SAMPLEs discarded
 };
 
 class LiveHarness : public ClientHarness {
  public:
-  // |target_port|: TCP port of the server under test (requests carry only
-  // the path; the harness owns the endpoint). |control_port| 0 = ephemeral.
+  // UDP backend. |target_port|: TCP port of the server under test (requests
+  // carry only the path; the harness owns the endpoint). |control_port| 0 =
+  // ephemeral.
   LiveHarness(Reactor& reactor, uint16_t target_port, uint16_t control_port = 0);
+  // Custom control-plane backend (e.g. a MemoryHub endpoint).
+  LiveHarness(Reactor& reactor, uint16_t target_port, std::unique_ptr<Transport> transport);
   ~LiveHarness() override;
 
-  uint16_t ControlPort() const { return socket_.Port(); }
+  // Control port of the UDP backend; 0 when riding a custom transport.
+  uint16_t ControlPort() const;
 
   // Blocks (runs the reactor) until |count| clients have registered or
   // |timeout| passes. Returns the registered count.
@@ -55,15 +62,17 @@ class LiveHarness : public ClientHarness {
 
   // Per-request client-side kill timer mirrored into fetch deadlines.
   void set_request_timeout(double seconds) { request_timeout_ = seconds; }
-  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  void set_retry_policy(const RetryPolicy& policy);
   // Routes the coordinator's own control datagrams through |fault| (must
   // outlive the harness). nullptr restores fault-free operation.
-  void set_fault_injector(FaultInjector* fault) { socket_.set_fault_injector(fault); }
-  // Mirrors ControlPlaneStats increments into |metrics| under live.* names.
-  void SetMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  void set_fault_injector(FaultInjector* fault) { transport_->set_injector(fault); }
+  // Mirrors stats increments into |metrics| under live.* / live.session.*.
+  void SetMetrics(MetricsRegistry* metrics);
 
   const ControlPlaneStats& stats() const { return stats_; }
-  // Total in-flight/leftover control-plane bookkeeping entries; tests assert
+  const SessionStats& session_stats() const { return session_->stats(); }
+  // Total in-flight/leftover control-plane bookkeeping entries — harness
+  // token maps plus the session's pending reliable transfers; tests assert
   // this stays bounded across stages (no token-map leaks).
   size_t PendingControlEntries() const;
 
@@ -97,7 +106,7 @@ class LiveHarness : public ClientHarness {
     double last_seen = -1.0;     // reactor time of the last attributed datagram
     uint64_t miss_streak = 0;    // consecutive ProbeClients rounds unanswered
     double rtt_ewma = -1.0;      // coordinator-side control RTT EWMA, seconds
-    uint64_t pings_sent = 0;     // PINGs addressed to this agent
+    uint64_t pings_sent = 0;     // PING rounds addressed to this agent
     uint64_t pongs_received = 0; // solicited PONGs attributed back
     bool has_agent_stats = false;
     AgentStats agent;            // last piggybacked [stats] payload
@@ -106,24 +115,27 @@ class LiveHarness : public ClientHarness {
   // Records a datagram attributed to |client| and merges an optional
   // piggybacked payload.
   void TouchAgent(size_t client, const AgentStats* stats);
-  void OnDatagram(std::string_view payload, const sockaddr_in& from);
-  void SendTo(size_t client, const ControlMessage& message);
+  void OnDeliver(const ControlMessage& message, const TransportAddress& from,
+                 uint64_t sender_conn);
+  // Reliable session send to a registered client; returns 0 if unknown.
+  Session::TransferId SendTo(size_t client, const ControlMessage& message);
   void Bump(uint64_t& counter, const char* metric, uint64_t delta = 1);
-  // Re-sends |fire| with backoff until the client acks it, the crowd
-  // generation moves on, or attempts run out.
-  void ScheduleFireRetry(uint64_t generation, size_t client, const MsgFire& fire,
-                         size_t attempt);
+  // Cancels any still-pending transfers a wait minted before returning.
+  void CancelTransfers(const std::vector<Session::TransferId>& ids);
 
   Reactor& reactor_;
   uint16_t target_port_;
-  UdpSocket socket_;
+  std::unique_ptr<FaultedTransport> transport_;
+  UdpTransport* udp_ = nullptr;  // inner transport when UDP-backed, else null
+  std::unique_ptr<Session> session_;
   double request_timeout_ = 10.0;
   RetryPolicy retry_;
   ControlPlaneStats stats_;
   MetricsRegistry* metrics_ = nullptr;
-  std::map<size_t, sockaddr_in> clients_;  // registered agents by id
-  std::map<size_t, AgentHealth> health_;   // health rows by client id
-  size_t unhealthy_after_misses_ = 0;      // 0 = ClientHealthy always true
+  std::map<size_t, TransportAddress> clients_;   // registered agents by id
+  std::set<size_t> legacy_clients_;              // agents speaking bare datagrams
+  std::map<size_t, AgentHealth> health_;         // health rows by client id
+  size_t unhealthy_after_misses_ = 0;            // 0 = ClientHealthy always true
 
   // In-flight expectations, keyed by token / seq. Every wait cleans up the
   // tokens it minted — from the completed maps too — so late or unsolicited
@@ -134,20 +146,23 @@ class LiveHarness : public ClientHarness {
   std::map<uint64_t, size_t> pong_owner_;       // seq -> client, for attribution
   std::set<uint64_t> pending_rtt_probes_;       // tokens with an outstanding probe
   std::map<uint64_t, double> completed_rtts_;   // token -> seconds (-1 = failed)
-  std::set<uint64_t> acked_commands_;           // MEASURE/FIRE tokens CMDACKed
   struct PendingCrowd {
     std::map<uint64_t, size_t> token_to_client;
     // token -> samples this command may still contribute (connections).
     std::map<uint64_t, uint32_t> budget;
-    // (token, sample_id) pairs already counted.
+    // (token, sample_id) pairs already counted — the legacy-agent dedup
+    // (session agents are deduplicated by (conn, seq) before delivery).
     std::set<std::pair<uint64_t, uint64_t>> seen;
     std::vector<RequestSample> samples;
   };
   std::optional<PendingCrowd> crowd_;
-  // Bumped at crowd start AND end so pending FIRE-retry timers from any
-  // earlier crowd turn into no-ops.
+  // Reliable transfers the current crowd minted; cancelled when it ends so
+  // FIREs to dead agents stop retransmitting into the next stage.
+  std::vector<Session::TransferId> crowd_transfers_;
+  // Bumped at crowd start AND end so scheduled FIRE sends from any earlier
+  // crowd turn into no-ops.
   uint64_t crowd_generation_ = 0;
-  // Guards reactor tasks that capture |this| (FIRE sends/retries) against
+  // Guards reactor tasks that capture |this| (deferred FIRE sends) against
   // the harness being destroyed first.
   std::shared_ptr<bool> alive_;
 };

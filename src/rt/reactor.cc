@@ -69,6 +69,7 @@ void Reactor::FireDueTimers() {
     }
     auto callback = std::move(it->second);
     timer_callbacks_.erase(it);
+    ++stats_.timers_fired;
     callback();
   }
 }
@@ -85,12 +86,14 @@ void Reactor::PollOnce(double max_wait) {
   double wait = std::min(max_wait, NextTimerDelay());
   int timeout_ms = static_cast<int>(wait * 1000.0);
   epoll_event events[64];
+  ++stats_.polls;
   int n = epoll_wait(epoll_fd_, events, 64, std::max(0, timeout_ms));
   for (int i = 0; i < n; ++i) {
     auto it = fd_callbacks_.find(events[i].data.fd);
     if (it != fd_callbacks_.end()) {
       // Copy: the callback may unwatch (and thus erase) itself.
       FdCallback callback = it->second;
+      ++stats_.fd_dispatches;
       callback(events[i].events);
     }
   }

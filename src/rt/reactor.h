@@ -16,6 +16,15 @@
 
 namespace mfc {
 
+// Loop-health counters, exported by the live harness through
+// MetricsRegistry (live.reactor.*): how often the loop turned, how much fd
+// and timer work each turn dispatched.
+struct ReactorStats {
+  uint64_t polls = 0;         // PollOnce calls (epoll_wait syscalls)
+  uint64_t fd_dispatches = 0;  // fd events handed to callbacks
+  uint64_t timers_fired = 0;   // timer callbacks run
+};
+
 class Reactor {
  public:
   using FdCallback = std::function<void(uint32_t epoll_events)>;
@@ -49,6 +58,8 @@ class Reactor {
   void Run();
   void Stop() { running_ = false; }
 
+  const ReactorStats& stats() const { return stats_; }
+
  private:
   struct TimerEntry {
     double when;
@@ -67,6 +78,7 @@ class Reactor {
 
   int epoll_fd_ = -1;
   bool running_ = false;
+  ReactorStats stats_;
   uint64_t next_seq_ = 0;
   TimerId next_timer_id_ = 1;
   std::priority_queue<TimerEntry> timers_;

@@ -237,6 +237,11 @@ void TcpListener::OnReadable() {
 UdpSocket::UdpSocket(Reactor& reactor, uint16_t port) : reactor_(reactor) {
   fd_.Reset(socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0));
   assert(fd_.Valid());
+  // A coordinator taking a whole fleet's SAMPLE burst on one socket can
+  // overrun the default receive buffer between polls; ask for headroom (the
+  // kernel clamps to rmem_max, so this is best-effort).
+  int rcvbuf = 1 << 20;
+  setsockopt(fd_.Get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
   sockaddr_in addr = LoopbackEndpoint(port);
   int rc = bind(fd_.Get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   assert(rc == 0);
@@ -246,9 +251,6 @@ UdpSocket::UdpSocket(Reactor& reactor, uint16_t port) : reactor_(reactor) {
 }
 
 UdpSocket::~UdpSocket() {
-  for (Reactor::TimerId id : pending_sends_) {
-    reactor_.CancelTimer(id);
-  }
   if (fd_.Valid()) {
     reactor_.UnwatchFd(fd_.Get());
   }
@@ -259,37 +261,48 @@ void UdpSocket::SetReceiver(DatagramCallback on_datagram) {
   reactor_.WatchFd(fd_.Get(), EPOLLIN, [this](uint32_t) { OnReadable(); });
 }
 
-void UdpSocket::RawSend(std::string_view payload, const sockaddr_in& to) {
+void UdpSocket::SendTo(std::string_view payload, const sockaddr_in& to) {
   sendto(fd_.Get(), payload.data(), payload.size(), 0,
          reinterpret_cast<const sockaddr*>(&to), sizeof(to));
 }
 
-void UdpSocket::SendTo(std::string_view payload, const sockaddr_in& to) {
-  if (fault_ == nullptr) {
-    RawSend(payload, to);
-    return;
-  }
-  FaultInjector::DatagramPlan plan = fault_->PlanDatagram(reactor_.Now());
-  if (plan.drop) {
-    return;
-  }
-  if (plan.delay <= 0.0) {
-    for (uint32_t c = 0; c < plan.copies; ++c) {
-      RawSend(payload, to);
-    }
-    return;
-  }
-  for (uint32_t c = 0; c < plan.copies; ++c) {
-    auto id = std::make_shared<Reactor::TimerId>(0);
-    *id = reactor_.ScheduleAfter(plan.delay, [this, id, copy = std::string(payload), to] {
-      pending_sends_.erase(*id);
-      RawSend(copy, to);
-    });
-    pending_sends_.insert(*id);
-  }
-}
-
 void UdpSocket::OnReadable() {
+#ifdef __linux__
+  // Batched drain: one recvmmsg syscall pulls up to a batch of datagrams.
+  constexpr unsigned kBatch = 32;
+  constexpr size_t kDatagramMax = 8192;
+  static thread_local char bufs[kBatch][kDatagramMax];
+  mmsghdr msgs[kBatch];
+  iovec iovs[kBatch];
+  sockaddr_in froms[kBatch];
+  for (;;) {
+    for (unsigned i = 0; i < kBatch; ++i) {
+      iovs[i] = {bufs[i], kDatagramMax};
+      memset(&msgs[i].msg_hdr, 0, sizeof(msgs[i].msg_hdr));
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+      msgs[i].msg_hdr.msg_name = &froms[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(froms[i]);
+    }
+    int n = recvmmsg(fd_.Get(), msgs, kBatch, 0, nullptr);
+    if (n <= 0) {
+      return;  // EAGAIN (drained) or transient error
+    }
+    ++recv_batches_;
+    datagrams_received_ += static_cast<uint64_t>(n);
+    for (int i = 0; i < n; ++i) {
+      if (on_datagram_) {
+        on_datagram_(std::string_view(bufs[i], msgs[i].msg_len), froms[i]);
+      }
+      if (!fd_.Valid()) {
+        return;  // a callback destroyed the socket's owner
+      }
+    }
+    if (static_cast<unsigned>(n) < kBatch) {
+      return;  // short batch: the queue is drained
+    }
+  }
+#else
   char buf[8192];
   for (;;) {
     sockaddr_in from{};
@@ -299,10 +312,16 @@ void UdpSocket::OnReadable() {
     if (n < 0) {
       return;
     }
+    ++recv_batches_;
+    ++datagrams_received_;
     if (on_datagram_) {
       on_datagram_(std::string_view(buf, static_cast<size_t>(n)), from);
     }
+    if (!fd_.Valid()) {
+      return;
+    }
   }
+#endif
 }
 
 }  // namespace mfc

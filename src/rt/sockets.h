@@ -105,6 +105,11 @@ class TcpListener {
   AcceptCallback on_accept_;
 };
 
+// Plain datagram socket: faults live one layer up (FaultedTransport in
+// src/rt/transport.h wraps any transport with the PR-3 injector), so this
+// class only moves bytes. Receives are batched with recvmmsg on Linux —
+// a coordinator draining hundreds of agents' replies pays one syscall per
+// batch instead of one per datagram.
 class UdpSocket {
  public:
   using DatagramCallback = std::function<void(std::string_view, const sockaddr_in& from)>;
@@ -119,22 +124,20 @@ class UdpSocket {
   void SendTo(std::string_view payload, const sockaddr_in& to);
   uint16_t Port() const { return port_; }
 
-  // When set, every outgoing datagram passes through |fault| (drop / delay /
-  // duplicate). The injector must outlive the socket.
-  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+  // Datagrams handed to the receiver / receive batches drained; the ratio is
+  // the syscall amortization the batched path buys.
+  uint64_t DatagramsReceived() const { return datagrams_received_; }
+  uint64_t RecvBatches() const { return recv_batches_; }
 
  private:
   void OnReadable();
-  void RawSend(std::string_view payload, const sockaddr_in& to);
 
   Reactor& reactor_;
   ScopedFd fd_;
   uint16_t port_ = 0;
   DatagramCallback on_datagram_;
-  FaultInjector* fault_ = nullptr;
-  // Timers for fault-delayed sends, cancelled on destruction so no scheduled
-  // lambda outlives the socket.
-  std::set<Reactor::TimerId> pending_sends_;
+  uint64_t datagrams_received_ = 0;
+  uint64_t recv_batches_ = 0;
 };
 
 }  // namespace mfc

@@ -1,0 +1,137 @@
+#include "src/rt/transport.h"
+
+#include <utility>
+
+#include "src/rt/fault_injector.h"
+
+namespace mfc {
+
+// ---------------------------------------------------------------------------
+// UdpTransport
+
+UdpTransport::UdpTransport(Reactor& reactor, uint16_t port)
+    : clock_(reactor), socket_(reactor, port) {}
+
+void UdpTransport::Send(std::string_view payload, const TransportAddress& to) {
+  if (to.kind != TransportAddress::Kind::kUdp) {
+    return;  // unroutable: a node address has no UDP endpoint
+  }
+  socket_.SendTo(payload, to.udp);
+}
+
+void UdpTransport::SetReceiver(RecvCallback on_datagram) {
+  socket_.SetReceiver([cb = std::move(on_datagram)](std::string_view payload,
+                                                    const sockaddr_in& from) {
+    cb(payload, TransportAddress::Udp(from));
+  });
+}
+
+TransportAddress UdpTransport::LocalAddress() const {
+  return TransportAddress::Udp(LoopbackEndpoint(socket_.Port()));
+}
+
+// ---------------------------------------------------------------------------
+// MemoryHub
+
+struct MemoryHub::State {
+  explicit State(TimerSource& c) : clock(c) {}
+  TimerSource& clock;
+  std::map<uint64_t, Endpoint*> endpoints;  // node id -> live endpoint
+  uint64_t next_node = 1;
+  uint64_t delivered = 0;
+};
+
+class MemoryHub::Endpoint : public Transport {
+ public:
+  Endpoint(std::shared_ptr<State> state, uint64_t node)
+      : state_(std::move(state)), node_(node) {
+    state_->endpoints[node_] = this;
+  }
+  ~Endpoint() override { state_->endpoints.erase(node_); }
+
+  void Send(std::string_view payload, const TransportAddress& to) override {
+    if (to.kind != TransportAddress::Kind::kNode) {
+      return;  // unroutable: UDP addresses don't exist inside the hub
+    }
+    // Delivery is always a separate clock task — a receiver never runs inside
+    // the sender's call stack, matching real-socket asynchrony. The task
+    // holds the hub state alive; an endpoint destroyed before the task fires
+    // just isn't in the map any more, like UDP to a closed port.
+    const TransportAddress from = TransportAddress::Node(node_);
+    state_->clock.ScheduleAfter(
+        0.0, [state = state_, data = std::string(payload), dest = to.node, from]() {
+          auto it = state->endpoints.find(dest);
+          if (it == state->endpoints.end() || !it->second->on_datagram_) {
+            return;
+          }
+          ++state->delivered;
+          it->second->on_datagram_(data, from);
+        });
+  }
+
+  void SetReceiver(RecvCallback on_datagram) override {
+    on_datagram_ = std::move(on_datagram);
+  }
+
+  TransportAddress LocalAddress() const override { return TransportAddress::Node(node_); }
+  TimerSource& clock() override { return state_->clock; }
+
+ private:
+  std::shared_ptr<State> state_;
+  uint64_t node_;
+  RecvCallback on_datagram_;
+};
+
+MemoryHub::MemoryHub(TimerSource& clock) : state_(std::make_shared<State>(clock)) {}
+
+MemoryHub::~MemoryHub() = default;
+
+std::unique_ptr<Transport> MemoryHub::CreateEndpoint() {
+  return std::make_unique<Endpoint>(state_, state_->next_node++);
+}
+
+uint64_t MemoryHub::Delivered() const { return state_->delivered; }
+
+// ---------------------------------------------------------------------------
+// FaultedTransport
+
+FaultedTransport::FaultedTransport(std::unique_ptr<Transport> inner, FaultInjector* injector)
+    : inner_(std::move(inner)), injector_(injector) {}
+
+FaultedTransport::~FaultedTransport() {
+  for (uint64_t id : pending_sends_) {
+    inner_->clock().Cancel(id);
+  }
+}
+
+void FaultedTransport::Send(std::string_view payload, const TransportAddress& to) {
+  if (injector_ == nullptr || !injector_->config().AffectsDatagrams()) {
+    inner_->Send(payload, to);
+    return;
+  }
+  FaultInjector::DatagramPlan plan = injector_->PlanDatagram(inner_->clock().Now());
+  if (plan.drop) {
+    return;
+  }
+  for (uint32_t i = 0; i < plan.copies; ++i) {
+    if (plan.delay <= 0.0) {
+      inner_->Send(payload, to);
+      continue;
+    }
+    auto id = std::make_shared<uint64_t>(0);
+    *id = inner_->clock().ScheduleAfter(
+        plan.delay, [this, data = std::string(payload), to, id]() {
+          pending_sends_.erase(*id);
+          inner_->Send(data, to);
+        });
+    pending_sends_.insert(*id);
+  }
+}
+
+void FaultedTransport::SetReceiver(RecvCallback on_datagram) {
+  inner_->SetReceiver(std::move(on_datagram));
+}
+
+TransportAddress FaultedTransport::LocalAddress() const { return inner_->LocalAddress(); }
+
+}  // namespace mfc

@@ -203,4 +203,81 @@ std::optional<ControlMessage> DecodeMessage(std::string_view line) {
   return std::nullopt;
 }
 
+std::string EncodeSessionFrame(const SessionFrame& frame) {
+  return "S1 " + std::to_string(frame.conn) + " " + std::to_string(frame.seq) + " " +
+         std::to_string(frame.lane) + " " + (frame.reliable ? "1" : "0") + " " +
+         EncodeMessage(frame.body);
+}
+
+std::string EncodeSessionAck(const SessionAck& ack) {
+  return "A1 " + std::to_string(ack.conn) + " " + std::to_string(ack.seq);
+}
+
+bool LooksLikeSessionDatagram(std::string_view datagram) {
+  return datagram.size() >= 3 && datagram[2] == ' ' && datagram[1] == '1' &&
+         (datagram[0] == 'S' || datagram[0] == 'A');
+}
+
+std::optional<SessionFrame> DecodeSessionFrame(std::string_view datagram) {
+  if (datagram.size() < 3 || datagram.substr(0, 3) != "S1 ") {
+    return std::nullopt;
+  }
+  // Header = 4 fixed words after the magic; the rest of the line is the
+  // inner message, decoded by the plain codec.
+  std::string_view rest = datagram.substr(3);
+  SessionFrame frame;
+  uint32_t lane = 0;
+  uint32_t rel = 0;
+  uint32_t* header_u32[] = {&lane, &rel};
+  uint64_t* header_u64[] = {&frame.conn, &frame.seq};
+  size_t word = 0;
+  size_t pos = 0;
+  while (word < 4) {
+    while (pos < rest.size() && rest[pos] == ' ') {
+      ++pos;
+    }
+    size_t end = pos;
+    while (end < rest.size() && rest[end] != ' ') {
+      ++end;
+    }
+    if (end == pos) {
+      return std::nullopt;  // ran out of header words
+    }
+    std::string_view token = rest.substr(pos, end - pos);
+    bool ok = word < 2 ? ParseNumber(token, *header_u64[word])
+                       : ParseNumber(token, *header_u32[word - 2]);
+    if (!ok) {
+      return std::nullopt;
+    }
+    pos = end;
+    ++word;
+  }
+  if (lane > kLaneBulk || rel > 1) {
+    return std::nullopt;
+  }
+  frame.lane = static_cast<uint8_t>(lane);
+  frame.reliable = rel == 1;
+  auto body = DecodeMessage(rest.substr(pos));
+  if (!body.has_value()) {
+    return std::nullopt;
+  }
+  frame.body = std::move(*body);
+  return frame;
+}
+
+std::optional<SessionAck> DecodeSessionAck(std::string_view datagram) {
+  if (datagram.size() < 3 || datagram.substr(0, 3) != "A1 ") {
+    return std::nullopt;
+  }
+  auto words = SplitWords(datagram.substr(3));
+  if (words.size() != 2) {
+    return std::nullopt;
+  }
+  SessionAck ack;
+  if (!ParseNumber(words[0], ack.conn) || !ParseNumber(words[1], ack.seq)) {
+    return std::nullopt;
+  }
+  return ack;
+}
+
 }  // namespace mfc

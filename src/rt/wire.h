@@ -124,6 +124,47 @@ std::string EncodeMessage(const ControlMessage& message);
 // Returns nullopt on malformed input (wrong verb, missing/garbage fields).
 std::optional<ControlMessage> DecodeMessage(std::string_view line);
 
+// --- Session framing (DESIGN.md §13) ---------------------------------------
+//
+// The session layer wraps control messages in a thin text frame so one
+// generic ack/retransmit/dedup mechanism covers every message type:
+//
+//   data  S1 <conn> <seq> <lane> <rel> <inner control message>
+//   ack   A1 <conn> <seq>
+//
+// <conn> is the sender's connection id, <seq> a per-connection sequence
+// number, <lane> 0 = control / 1 = bulk, <rel> 1 if the sender retransmits
+// until acked (the receiver must reply A1). Datagrams that don't start with
+// "S1 "/"A1 " are legacy bare control messages from pre-session peers; the
+// session layer falls back to DecodeMessage and treats them as conn 0.
+
+inline constexpr uint8_t kLaneControl = 0;  // PING/RTT/MEASURE/FIRE/REGISTER/...
+inline constexpr uint8_t kLaneBulk = 1;     // SAMPLE
+
+struct SessionFrame {
+  uint64_t conn = 0;
+  uint64_t seq = 0;
+  uint8_t lane = kLaneControl;
+  bool reliable = false;
+  ControlMessage body;
+};
+
+struct SessionAck {
+  uint64_t conn = 0;
+  uint64_t seq = 0;
+};
+
+std::string EncodeSessionFrame(const SessionFrame& frame);
+std::string EncodeSessionAck(const SessionAck& ack);
+
+// True if |datagram| carries a session prefix ("S1 "/"A1 ") — such datagrams
+// must never be fed to DecodeMessage directly.
+bool LooksLikeSessionDatagram(std::string_view datagram);
+
+// Returns nullopt on malformed framing or malformed inner message.
+std::optional<SessionFrame> DecodeSessionFrame(std::string_view datagram);
+std::optional<SessionAck> DecodeSessionAck(std::string_view datagram);
+
 }  // namespace mfc
 
 #endif  // MFC_SRC_RT_WIRE_H_

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Fleet soak gate for the session/transport layer (DESIGN.md §13).
+
+Runs live_loopback twice at fleet scale over the in-process memory transport
+— once fault-free, once with heavy control-plane faults (20% datagram drop,
+5% connect failures by default) — and requires both runs to reach the same
+verdict: same stopped/reason, and a stopping crowd size within one crowd
+step. The faulted run recovering to the clean verdict is the acceptance bar
+for the whole layer: retransmits, dedup, and lanes doing the work instead of
+skewing the measurement.
+
+Usage:
+    check_fleet_soak.py --live-bin PATH [--fleet N] [--knee N]
+                        [--crowd-step N] [--drop P] [--connect-fail P]
+"""
+
+import argparse
+import subprocess
+import sys
+
+
+def parse_result(output, label):
+    """Extracts the RESULT key=value line a run prints last."""
+    line = None
+    for candidate in output.splitlines():
+        if candidate.startswith("RESULT "):
+            line = candidate
+    if line is None:
+        print(f"check_fleet_soak: {label} run printed no RESULT line")
+        print(output[-2000:])
+        sys.exit(1)
+    fields = {}
+    for pair in line.split()[1:]:
+        key, _, value = pair.partition("=")
+        fields[key] = value
+    for key in ("transport", "fleet", "registered", "stopped", "reason", "crowd"):
+        if key not in fields:
+            print(f"check_fleet_soak: {label} RESULT line missing '{key}': {line}")
+            sys.exit(1)
+    return fields
+
+
+def run_one(args, faulted):
+    cmd = [
+        args.live_bin,
+        str(args.fleet),
+        str(args.knee),
+        "--transport=memory",
+        f"--crowd-step={args.crowd_step}",
+    ]
+    if faulted:
+        cmd += [f"--drop={args.drop}", f"--connect-fail={args.connect_fail}",
+                f"--fault-seed={args.fault_seed}"]
+    label = "faulted" if faulted else "clean"
+    print(f"check_fleet_soak: [{label}] {' '.join(cmd)}")
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=args.timeout)
+    if proc.returncode != 0:
+        print(f"check_fleet_soak: {label} run exited {proc.returncode}")
+        print(proc.stdout[-2000:])
+        print(proc.stderr[-2000:])
+        sys.exit(1)
+    result = parse_result(proc.stdout, label)
+    print(f"check_fleet_soak: [{label}] {result}")
+    return result
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--live-bin", required=True, help="path to live_loopback")
+    parser.add_argument("--fleet", type=int, default=200)
+    parser.add_argument("--knee", type=int, default=12)
+    parser.add_argument("--crowd-step", type=int, default=4)
+    parser.add_argument("--drop", type=float, default=0.2)
+    parser.add_argument("--connect-fail", type=float, default=0.05)
+    parser.add_argument("--fault-seed", type=int, default=11)
+    parser.add_argument("--timeout", type=int, default=240,
+                        help="per-run wall-clock limit, seconds")
+    args = parser.parse_args()
+
+    clean = run_one(args, faulted=False)
+    faulted = run_one(args, faulted=True)
+
+    errors = []
+    if int(clean["registered"]) != args.fleet:
+        errors.append(f"clean run registered {clean['registered']}/{args.fleet} agents")
+    # Under 20% loss a straggler registration is tolerable; the coordinator
+    # runs with min_clients = fleet - fleet/4, so hold the soak to that bar.
+    min_registered = args.fleet - args.fleet // 4
+    if int(faulted["registered"]) < min_registered:
+        errors.append(
+            f"faulted run registered only {faulted['registered']}/{args.fleet} "
+            f"(need >= {min_registered})")
+    if clean["stopped"] != "1":
+        errors.append("clean run found no constraint — the knee must be detectable")
+    if faulted["stopped"] != clean["stopped"]:
+        errors.append(f"verdicts differ: clean stopped={clean['stopped']}, "
+                      f"faulted stopped={faulted['stopped']}")
+    if faulted["reason"] != clean["reason"]:
+        errors.append(f"end reasons differ: clean {clean['reason']}, "
+                      f"faulted {faulted['reason']}")
+    crowd_delta = abs(int(faulted["crowd"]) - int(clean["crowd"]))
+    if crowd_delta > args.crowd_step:
+        errors.append(
+            f"stopping crowd sizes diverge: clean {clean['crowd']}, faulted "
+            f"{faulted['crowd']} (allowed drift: one step = {args.crowd_step})")
+
+    if errors:
+        print("check_fleet_soak: FAIL")
+        for error in errors:
+            print(f"  - {error}")
+        sys.exit(1)
+    print(f"check_fleet_soak: OK — {args.fleet} agents under drop={args.drop} "
+          f"connect-fail={args.connect_fail} reached the clean verdict "
+          f"(crowd {faulted['crowd']} vs {clean['crowd']})")
+
+
+if __name__ == "__main__":
+    main()
