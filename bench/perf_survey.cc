@@ -5,20 +5,75 @@
 // identity check across allocator rewrites: same commit-to-commit counts or
 // the speedup is measuring different work.
 //
-// Two non-headline scenarios ride along: the rank3 band re-run as a 2-way
+// Three non-headline scenarios ride along: the rank3 band re-run as a 2-way
 // interleaved shard partition (whose summed breakdown must equal the
 // headline's single-process run — the shard-equivalence contract of
-// DESIGN.md §12, timed), and the streaming long-tail sampler regenerating
-// sites from (seed, cohort, index) with no instances vector.
+// DESIGN.md §12, timed), the same band run 4-way under the multi-process
+// SurveySupervisor (DESIGN.md §14 — fork/exec/wait overhead on top of the
+// simulation, the unattended-survey configuration), and the streaming
+// long-tail sampler regenerating sites from (seed, cohort, index) with no
+// instances vector.
 //
 //   perf_survey [--repeats=N] [--sites=N] [--jobs=N] [--out=PATH]
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstring>
 
 #include "bench/perf_util.h"
 #include "src/core/population.h"
+#include "src/core/supervisor.h"
 #include "src/core/survey.h"
 
+namespace {
+
+// Re-exec target for the supervised scenario: run one 4-way shard of the
+// rank3 band and write its breakdown counts where the parent can fold them.
+// Handled before ParsePerfArgs — it is not a user-facing flag.
+int RunSupervisedWorker(int argc, char** argv) {
+  size_t shard = 0, sites = 0, jobs = 1;
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    if (sscanf(argv[i], "--supervised-worker=%zu", &shard) == 1) continue;
+    if (sscanf(argv[i], "--worker-sites=%zu", &sites) == 1) continue;
+    if (sscanf(argv[i], "--worker-jobs=%zu", &jobs) == 1) continue;
+    if (strncmp(argv[i], "--worker-out=", 13) == 0) out = argv[i] + 13;
+  }
+  if (sites == 0 || out.empty()) {
+    return 2;
+  }
+  mfc::SurveyRunOptions run;
+  run.shards = 4;
+  run.shard_index = shard;
+  mfc::SurveyBreakdown b = mfc::RunSurveyCohortParallel(
+      mfc::Cohort::kRank10KTo100K, mfc::StageKind::kLargeObject, sites, 85, 902, jobs,
+      nullptr, nullptr, nullptr, run);
+  FILE* f = fopen(out.c_str(), "w");
+  if (!f) {
+    return 1;
+  }
+  fprintf(f, "%zu %zu %zu %zu %zu %zu %zu %zu\n", b.servers, b.b10, b.b20, b.b30, b.b40,
+          b.b50, b.b50plus, b.nostop);
+  fclose(f);
+  return 0;
+}
+
+std::string SelfExePath(const char* fallback) {
+  char buf[4096];
+  ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) {
+    return fallback;
+  }
+  buf[n] = '\0';
+  return buf;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc > 1 && strncmp(argv[1], "--supervised-worker=", 20) == 0) {
+    return RunSupervisedWorker(argc, argv);
+  }
   mfc::PerfArgs args = mfc::ParsePerfArgs(argc, argv, "BENCH_survey.json");
   if (!args.ok) {
     return 2;
@@ -104,6 +159,75 @@ int main(int argc, char** argv) {
     sharded.wall_seconds.push_back(timer.Seconds());
   }
   report.Add(std::move(sharded));
+
+  // The same rank3 band as a real supervised fleet: fork/exec 4 shard worker
+  // processes (re-execing this binary in --supervised-worker mode) under the
+  // SurveySupervisor and fold their written breakdowns. Times what an
+  // unattended `mfc_profile --supervise` run pays on top of the simulation —
+  // process launch, heartbeat polling, exit collection — and re-checks the
+  // shard-equivalence contract across a process boundary.
+  mfc::PerfScenario supervised;
+  supervised.name = "supervised_fig9_4shard";
+  supervised.items_unit = "sites";
+  supervised.items = sites_per_band;
+  std::string self_exe = SelfExePath(argv[0]);
+  std::string worker_prefix = args.out_path + ".supworker";
+  for (size_t rep = 0; rep < args.repeats; ++rep) {
+    for (size_t shard = 0; shard < 4; ++shard) {
+      remove((worker_prefix + std::to_string(shard)).c_str());
+    }
+    mfc::PerfTimer timer;
+    mfc::SupervisorOptions opt;
+    opt.shards = 4;
+    opt.command = [&](size_t shard) {
+      return std::vector<std::string>{
+          self_exe, "--supervised-worker=" + std::to_string(shard),
+          "--worker-sites=" + std::to_string(sites_per_band),
+          "--worker-jobs=" + std::to_string(jobs),
+          "--worker-out=" + worker_prefix + std::to_string(shard)};
+    };
+    for (size_t shard = 0; shard < 4; ++shard) {
+      opt.journal_paths.push_back(worker_prefix + std::to_string(shard));
+    }
+    opt.hang_timeout = 600.0;  // workers journal nothing; never hang-kill
+    opt.poll_interval = 0.002;
+    opt.log = nullptr;
+    mfc::SupervisorResult sup = mfc::SurveySupervisor(std::move(opt)).Run();
+    if (!sup.ok) {
+      fprintf(stderr, "supervised 4-shard run failed: %s\n", sup.error.c_str());
+      return 1;
+    }
+    mfc::SurveyBreakdown shard_sum;
+    shard_sum.cohort = kBands[2];
+    for (size_t shard = 0; shard < 4; ++shard) {
+      std::string out_file = worker_prefix + std::to_string(shard);
+      FILE* f = fopen(out_file.c_str(), "r");
+      size_t v[8] = {0};
+      if (!f || fscanf(f, "%zu %zu %zu %zu %zu %zu %zu %zu", &v[0], &v[1], &v[2], &v[3],
+                       &v[4], &v[5], &v[6], &v[7]) != 8) {
+        fprintf(stderr, "supervised worker %zu left no breakdown in %s\n", shard,
+                out_file.c_str());
+        if (f) fclose(f);
+        return 1;
+      }
+      fclose(f);
+      remove(out_file.c_str());
+      shard_sum.servers += v[0];
+      shard_sum.b10 += v[1];
+      shard_sum.b20 += v[2];
+      shard_sum.b30 += v[3];
+      shard_sum.b40 += v[4];
+      shard_sum.b50 += v[5];
+      shard_sum.b50plus += v[6];
+      shard_sum.nostop += v[7];
+    }
+    if (!(shard_sum == breakdowns[2])) {
+      fprintf(stderr, "supervised 4-shard partition does not reproduce the rank3 band\n");
+      return 1;
+    }
+    supervised.wall_seconds.push_back(timer.Seconds());
+  }
+  report.Add(std::move(supervised));
 
   // Streaming long-tail sampling: regenerate sites_per_band * 2500 sites as
   // pure functions of (seed, cohort, index). The checksum keeps the work

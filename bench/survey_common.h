@@ -18,6 +18,9 @@
 //                     ('-' = stdout); --stats-interval=<S> sets the cadence
 //   --progress        verbose per-site stderr lines (default: a rate-limited
 //                     single progress line, terminal only)
+//
+// Exit codes match mfc_profile (see the README table): 0 success, 1 output
+// write failure, 2 usage errors, 3 journal errors, 130 interrupted.
 #ifndef MFC_BENCH_SURVEY_COMMON_H_
 #define MFC_BENCH_SURVEY_COMMON_H_
 
@@ -205,7 +208,7 @@ class SurveyRecorder {
                                      &error);
       if (journal_ == nullptr) {
         fprintf(stderr, "journal error: %s\n", error.c_str());
-        exit(2);
+        exit(3);  // journal error — permanent, same across restarts
       }
       if (!journal_->Warning().empty()) {
         fprintf(stderr, "journal warning: %s\n", journal_->Warning().c_str());
@@ -233,7 +236,7 @@ class SurveyRecorder {
       if (!journal_->BeginCohort(cohort, stage, servers, max_crowd, seed, telemetry_.next_pid,
                                  &error, run_.shards, run_.shard_index, run_.legacy_seeds)) {
         fprintf(stderr, "journal error: %s\n", error.c_str());
-        exit(2);
+        exit(3);  // journal error — permanent, same across restarts
       }
     }
     telemetry_.stats_label = std::string(CohortName(cohort));

@@ -549,6 +549,19 @@ std::string EncodeSiteRecord(const JournalSiteRecord& record) {
   return body;
 }
 
+std::string EncodeQuarantineRecord(const JournalQuarantineRecord& record) {
+  std::string body = "{\"type\":\"quarantine\",";
+  AppendKeyU64(body, "cohort", record.cohort_ordinal);
+  body += ',';
+  AppendKeyU64(body, "index", record.site_index);
+  body += ',';
+  AppendKeyU64(body, "crashes", record.crashes);
+  body += ',';
+  AppendKeyString(body, "signature", record.signature);
+  body += '}';
+  return body;
+}
+
 std::string FrameJournalRecord(const std::string& body) {
   char crc[20];
   snprintf(crc, sizeof(crc), "%016llx", static_cast<unsigned long long>(Fnv1a64(body)));
@@ -656,6 +669,12 @@ bool DecodeSiteRecord(const JsonValue& body, JournalSiteRecord* out) {
   return true;
 }
 
+bool DecodeQuarantineRecord(const JsonValue& body, JournalQuarantineRecord* out) {
+  return GetSize(body, "cohort", &out->cohort_ordinal) &&
+         GetSize(body, "index", &out->site_index) && GetSize(body, "crashes", &out->crashes) &&
+         out->crashes >= 1 && GetString(body, "signature", &out->signature);
+}
+
 std::string EncodeHeader(const std::string& tool, const std::string& fingerprint) {
   std::string body = "{\"type\":\"header\",";
   AppendKeyString(body, "magic", kMagic);
@@ -705,6 +724,8 @@ struct JournalScan {
   std::string fingerprint;
   std::vector<JournalCohortRecord> cohorts;
   std::map<std::pair<size_t, size_t>, JournalSiteRecord> sites;
+  std::vector<JournalQuarantineRecord> quarantines;
+  std::map<std::pair<size_t, size_t>, size_t> quarantine_index;
   size_t valid_end = 0;
   std::string corrupt;
   std::string hard_error;
@@ -786,10 +807,45 @@ void ScanJournalContents(const std::string& path, const std::string& contents,
         }
       }
       auto key = std::make_pair(record.cohort_ordinal, record.site_index);
+      if (scan->quarantine_index.count(key) != 0) {
+        // A quarantined site must never execute: a site record after the
+        // quarantine means two writers disagreed about this journal.
+        scan->corrupt = "record " + std::to_string(record_index) +
+                        ": site record for a quarantined site";
+        break;
+      }
       if (!scan->sites.emplace(key, std::move(record)).second) {
         scan->corrupt = "record " + std::to_string(record_index) + ": duplicate site record";
         break;
       }
+    } else if (type == "quarantine") {
+      JournalQuarantineRecord record;
+      if (!DecodeQuarantineRecord(body, &record)) {
+        scan->corrupt =
+            "record " + std::to_string(record_index) + ": malformed quarantine record";
+        break;
+      }
+      if (record.cohort_ordinal < scan->cohorts.size()) {
+        const JournalCohortRecord& cohort = scan->cohorts[record.cohort_ordinal];
+        if (record.site_index >= cohort.servers ||
+            record.site_index % cohort.shards != cohort.shard_index) {
+          scan->corrupt = "record " + std::to_string(record_index) +
+                          ": quarantine record inconsistent with its cohort";
+          break;
+        }
+      }
+      auto key = std::make_pair(record.cohort_ordinal, record.site_index);
+      if (scan->sites.count(key) != 0) {
+        scan->corrupt = "record " + std::to_string(record_index) +
+                        ": quarantine for an already-executed site";
+        break;
+      }
+      if (!scan->quarantine_index.emplace(key, scan->quarantines.size()).second) {
+        scan->corrupt =
+            "record " + std::to_string(record_index) + ": duplicate quarantine record";
+        break;
+      }
+      scan->quarantines.push_back(std::move(record));
     } else {
       scan->corrupt = "record " + std::to_string(record_index) + ": unknown type \"" + type +
                       "\"";
@@ -862,6 +918,8 @@ std::unique_ptr<SurveyJournal> SurveyJournal::Open(const std::string& path,
   }
   journal->cohorts_ = std::move(scan.cohorts);
   journal->sites_ = std::move(scan.sites);
+  journal->quarantines_ = std::move(scan.quarantines);
+  journal->quarantine_index_ = std::move(scan.quarantine_index);
 
   if (!scan.corrupt.empty()) {
     // Recover by replaying only the valid prefix: count what we drop, warn,
@@ -878,7 +936,8 @@ std::unique_ptr<SurveyJournal> SurveyJournal::Open(const std::string& path,
     return fail(path + ": not an mfc journal (no valid header record)");
   }
 
-  if (!resume && (!journal->cohorts_.empty() || !journal->sites_.empty())) {
+  if (!resume &&
+      (!journal->cohorts_.empty() || !journal->sites_.empty() || !journal->quarantines_.empty())) {
     return fail(path + ": journal already contains experiment records; pass --resume to replay "
                        "them or remove the file to start over");
   }
@@ -935,6 +994,7 @@ bool ReadJournalFile(const std::string& path, JournalFileData* out, std::string*
   out->fingerprint = std::move(scan.fingerprint);
   out->cohorts = std::move(scan.cohorts);
   out->sites = std::move(scan.sites);
+  out->quarantines = std::move(scan.quarantines);
   if (!scan.corrupt.empty()) {
     out->records_dropped = CountDroppedRecords(contents, scan.valid_end);
     out->warning = "journal corruption (" + scan.corrupt + "): ignored " +
@@ -1015,6 +1075,15 @@ const JournalSiteRecord* SurveyJournal::SiteAt(size_t ordinal, size_t index) con
   return it == sites_.end() ? nullptr : &it->second;
 }
 
+const JournalQuarantineRecord* SurveyJournal::Quarantined(size_t index) const {
+  return QuarantineAt(current_ordinal_, index);
+}
+
+const JournalQuarantineRecord* SurveyJournal::QuarantineAt(size_t ordinal, size_t index) const {
+  auto it = quarantine_index_.find(std::make_pair(ordinal, index));
+  return it == quarantine_index_.end() ? nullptr : &quarantines_[it->second];
+}
+
 void SurveyJournal::AppendSite(const JournalSiteRecord& record) {
   std::string body = EncodeSiteRecord(record);
   {
@@ -1028,6 +1097,66 @@ void SurveyJournal::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   fflush(file_);
   fsync(fileno(file_));
+}
+
+bool AppendQuarantineRecord(const std::string& path, const JournalQuarantineRecord& record,
+                            std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  FILE* file = fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    return fail("cannot open journal " + path);
+  }
+  std::string contents;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), file)) > 0) {
+    contents.append(buf, n);
+  }
+  if (ferror(file)) {
+    fclose(file);
+    return fail("cannot read journal " + path);
+  }
+
+  JournalScan scan;
+  ScanJournalContents(path, contents, &scan);
+  if (!scan.hard_error.empty()) {
+    fclose(file);
+    return fail(scan.hard_error);
+  }
+  if (!scan.saw_header) {
+    fclose(file);
+    return fail(path + ": not an mfc journal (no valid header record)");
+  }
+  auto key = std::make_pair(record.cohort_ordinal, record.site_index);
+  if (scan.sites.count(key) != 0 || scan.quarantine_index.count(key) != 0) {
+    // Already executed (the crash was blamed on the wrong site) or already
+    // quarantined: nothing to record.
+    fclose(file);
+    return true;
+  }
+
+  // The writer died mid-append in the worst case: drop the torn tail exactly
+  // as Open would, so our record continues the valid prefix.
+  if (scan.valid_end < contents.size()) {
+    if (ftruncate(fileno(file), static_cast<off_t>(scan.valid_end)) != 0) {
+      fclose(file);
+      return fail("cannot truncate corrupt journal suffix in " + path);
+    }
+  }
+  if (fseek(file, static_cast<long>(scan.valid_end), SEEK_SET) != 0) {
+    fclose(file);
+    return fail("cannot seek journal " + path);
+  }
+  std::string line = FrameJournalRecord(EncodeQuarantineRecord(record));
+  bool ok = fwrite(line.data(), 1, line.size(), file) == line.size() && fflush(file) == 0 &&
+            fsync(fileno(file)) == 0;
+  fclose(file);
+  return ok ? true : fail("cannot append quarantine record to " + path);
 }
 
 }  // namespace mfc

@@ -18,7 +18,13 @@
 //   site   — one per completed site experiment: cohort ordinal, site index,
 //            seed, stage, merged-trace pid, the full ExperimentResult, and
 //            (when collected) the site's private trace spans and metrics
-//            registry, all encoded with exact bit-pattern doubles.
+//            registry, all encoded with exact bit-pattern doubles;
+//   quarantine — written by the shard supervisor (DESIGN.md §14) after a
+//            site crashes its worker repeatedly: cohort ordinal, site index,
+//            consecutive crash count, and the crash signature. A quarantined
+//            site is skipped on resume (its slot stays a default
+//            ExperimentResult, excluded from the breakdown) instead of
+//            wedging the shard forever.
 //
 // Because each site experiment is a pure function of (instance, config,
 // seed) and the telemetry fold walks sites in index order, replaying the
@@ -83,6 +89,17 @@ struct JournalSiteRecord {
   MetricsRegistry metrics;
 };
 
+// A poisoned-site quarantine decision (DESIGN.md §14): appended by the
+// supervisor to a dead worker's journal, honored by the worker on its next
+// --resume. |signature| is the human-readable exit description of the crash
+// being blamed (e.g. "signal 6 (Aborted)").
+struct JournalQuarantineRecord {
+  size_t cohort_ordinal = 0;
+  size_t site_index = 0;
+  size_t crashes = 0;  // consecutive worker crashes blamed on this site
+  std::string signature;
+};
+
 // Record-body codecs, exposed for tests and tools. Encoders emit compact
 // single-line JSON; decoders reject structurally invalid input.
 std::string EncodeExperimentResult(const ExperimentResult& result);
@@ -92,9 +109,20 @@ bool DecodeTraceSpans(const JsonValue& value, std::vector<TraceSpan>* out);
 std::string EncodeMetrics(const MetricsRegistry& metrics);
 bool DecodeMetrics(const JsonValue& value, MetricsRegistry* out);
 std::string EncodeSiteRecord(const JournalSiteRecord& record);
+std::string EncodeQuarantineRecord(const JournalQuarantineRecord& record);
 
 // Frames |body| as one journal line with its checksum.
 std::string FrameJournalRecord(const std::string& body);
+
+// Appends a quarantine record to the journal at |path| without opening it for
+// replay. Used by the supervisor on a journal whose writer process is dead:
+// any torn tail record is truncated first (exactly as Open would), so the
+// appended record lands on the valid prefix. A quarantine for a site the
+// journal already executed — or already quarantined — is a silent no-op.
+// Returns false and fills |error| when the file is not a valid journal or
+// the write fails.
+bool AppendQuarantineRecord(const std::string& path, const JournalQuarantineRecord& record,
+                            std::string* error);
 
 // One survey run's journal: loaded state (for replay) + append handle.
 // Thread-safety: AppendSite may be called from ParallelRunner workers; all
@@ -141,6 +169,14 @@ class SurveyJournal {
   // Arbitrary lookup (single-experiment tools, tests).
   const JournalSiteRecord* SiteAt(size_t ordinal, size_t index) const;
 
+  // Quarantine record for site |index| of the current cohort, or null when
+  // the site is not quarantined. Quarantined sites are skipped by the survey
+  // loop: never executed, never journaled as site records.
+  const JournalQuarantineRecord* Quarantined(size_t index) const;
+  const JournalQuarantineRecord* QuarantineAt(size_t ordinal, size_t index) const;
+  // All quarantine records, in journal order.
+  const std::vector<JournalQuarantineRecord>& Quarantines() const { return quarantines_; }
+
   const std::vector<JournalCohortRecord>& Cohorts() const { return cohorts_; }
 
   // Appends one completed site experiment and fsyncs — after this returns
@@ -171,6 +207,9 @@ class SurveyJournal {
   std::vector<JournalCohortRecord> cohorts_;
   // Immutable after Open: (ordinal, index) -> replay record.
   std::map<std::pair<size_t, size_t>, JournalSiteRecord> sites_;
+  // Immutable after Open, in journal order (plus a lookup map).
+  std::vector<JournalQuarantineRecord> quarantines_;
+  std::map<std::pair<size_t, size_t>, size_t> quarantine_index_;
   size_t current_ordinal_ = 0;
   size_t begun_cohorts_ = 0;
 };
@@ -184,6 +223,7 @@ struct JournalFileData {
   std::string fingerprint;
   std::vector<JournalCohortRecord> cohorts;
   std::map<std::pair<size_t, size_t>, JournalSiteRecord> sites;
+  std::vector<JournalQuarantineRecord> quarantines;
   std::string warning;
   size_t records_dropped = 0;
 };

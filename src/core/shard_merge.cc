@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <map>
 
+#include "src/core/journal/json.h"
+
 namespace mfc {
 namespace {
 
@@ -23,6 +25,16 @@ bool SameCohortModuloShard(const JournalCohortRecord& a, const JournalCohortReco
   return a.ordinal == b.ordinal && a.cohort == b.cohort && a.stage == b.stage &&
          a.servers == b.servers && a.max_crowd == b.max_crowd && a.seed == b.seed &&
          a.pid_base == b.pid_base && a.shards == b.shards && a.legacy_seeds == b.legacy_seeds;
+}
+
+size_t CountSitesForOrdinal(const JournalFileData& data, size_t ordinal) {
+  size_t count = 0;
+  for (const auto& entry : data.sites) {
+    if (entry.first.first == ordinal) {
+      ++count;
+    }
+  }
+  return count;
 }
 
 }  // namespace
@@ -52,20 +64,55 @@ bool MergeShardJournals(const std::vector<std::string>& paths, ShardMergeResult*
     }
   }
 
-  // Index every shard's cohort records by ordinal and cross-check them.
-  const size_t ordinals = files[0].cohorts.size();
+  // Index every shard's cohort records by ordinal and cross-check them. A
+  // shard with fewer cohort records than its peers is not corrupt — its
+  // worker died early. Classify precisely instead of rejecting ambiguously:
+  // a journal holding only a header, or a BeginCohort with no site record
+  // yet, is "resumable, zero progress".
+  size_t ordinals = 0;
+  for (const JournalFileData& file : files) {
+    ordinals = std::max(ordinals, file.cohorts.size());
+  }
   for (size_t f = 0; f < files.size(); ++f) {
-    if (files[f].cohorts.size() != ordinals) {
-      char buf[128];
-      snprintf(buf, sizeof(buf), "%s: has %zu cohort record(s), %s has %zu", paths[f].c_str(),
-               files[f].cohorts.size(), paths[0].c_str(), ordinals);
-      *error = buf;
-      return false;
+    if (files[f].cohorts.size() == ordinals) {
+      continue;
     }
+    char buf[320];
+    if (files[f].cohorts.empty()) {
+      snprintf(buf, sizeof(buf),
+               "%s: resumable, zero progress — a valid header but no cohort records yet (its "
+               "worker died during startup); re-run that shard with --resume before merging",
+               paths[f].c_str());
+    } else {
+      const JournalCohortRecord& last = files[f].cohorts.back();
+      if (CountSitesForOrdinal(files[f], last.ordinal) == 0) {
+        snprintf(buf, sizeof(buf),
+                 "%s: shard %zu is resumable, zero progress on cohort %zu — its worker died "
+                 "between BeginCohort and the first site record; re-run that shard with "
+                 "--resume before merging",
+                 paths[f].c_str(), last.shard_index, last.ordinal);
+      } else {
+        snprintf(buf, sizeof(buf),
+                 "%s: shard %zu has %zu cohort record(s) but its peers have %zu; re-run that "
+                 "shard with --resume before merging",
+                 paths[f].c_str(), last.shard_index, files[f].cohorts.size(), ordinals);
+      }
+    }
+    *error = buf;
+    return false;
   }
   if (ordinals == 0) {
     *error = paths[0] + ": no cohort records (nothing to merge)";
     return false;
+  }
+
+  // Quarantine records are keyed by (ordinal, global index); the scan layer
+  // already validated shard membership and site/quarantine exclusivity.
+  std::map<std::pair<size_t, size_t>, const JournalQuarantineRecord*> quarantined;
+  for (const JournalFileData& file : files) {
+    for (const JournalQuarantineRecord& q : file.quarantines) {
+      quarantined[{q.cohort_ordinal, q.site_index}] = &q;
+    }
   }
 
   out->tool = files[0].tool;
@@ -73,6 +120,7 @@ bool MergeShardJournals(const std::vector<std::string>& paths, ShardMergeResult*
   out->cohorts.clear();
   out->breakdowns.clear();
   out->per_site.clear();
+  out->quarantined.clear();
   out->has_trace = false;
   out->has_metrics = false;
 
@@ -113,17 +161,33 @@ bool MergeShardJournals(const std::vector<std::string>& paths, ShardMergeResult*
 
     // Completeness: every global site must exist in its owning shard. A gap
     // means that shard was interrupted — merging a partial survey would
-    // silently understate the breakdown, so this is a hard error.
+    // silently understate the breakdown, so this is a hard error. The one
+    // legal gap is a quarantined site: its slot stays default-constructed
+    // (invisible to the breakdown, matching what the surviving worker
+    // computed) and the record is surfaced in the merged report instead.
     SurveyBreakdown breakdown;
     breakdown.cohort = ref.cohort;
     std::vector<ExperimentResult> sites(ref.servers);
+    std::vector<JournalQuarantineRecord> cohort_quarantined;
     for (size_t i = 0; i < ref.servers; ++i) {
       const size_t f = owner[i % shard_count];
       auto it = files[f].sites.find({ord, i});
       if (it == files[f].sites.end()) {
-        *error = paths[f] + ": missing site " + std::to_string(i) + " of cohort " +
-                 std::to_string(ord) +
-                 " — that shard looks interrupted; finish it with --resume before merging";
+        auto q = quarantined.find({ord, i});
+        if (q != quarantined.end()) {
+          cohort_quarantined.push_back(*q->second);
+          continue;
+        }
+        if (CountSitesForOrdinal(files[f], ord) == 0) {
+          *error = paths[f] + ": shard " + std::to_string(i % shard_count) +
+                   " is resumable, zero progress on cohort " + std::to_string(ord) +
+                   " — its worker died between BeginCohort and the first site record; re-run "
+                   "that shard with --resume before merging";
+        } else {
+          *error = paths[f] + ": shard " + std::to_string(i % shard_count) + " is missing site " +
+                   std::to_string(i) + " of cohort " + std::to_string(ord) +
+                   " — that shard looks interrupted; finish it with --resume before merging";
+        }
         return false;
       }
       const JournalSiteRecord& record = it->second;
@@ -149,6 +213,7 @@ bool MergeShardJournals(const std::vector<std::string>& paths, ShardMergeResult*
     out->cohorts.push_back(merged);
     out->breakdowns.push_back(breakdown);
     out->per_site.push_back(std::move(sites));
+    out->quarantined.push_back(std::move(cohort_quarantined));
   }
   return true;
 }
@@ -168,6 +233,18 @@ std::string BuildSurveyReportJson(const SurveyReportInput& input) {
            "\"b40\": %zu, \"b50\": %zu, \"gt50\": %zu, \"nostop\": %zu},\n",
            b.servers, b.b10, b.b20, b.b30, b.b40, b.b50, b.b50plus, b.nostop);
   json += line;
+  if (input.quarantined != nullptr && !input.quarantined->empty()) {
+    json += "  \"quarantined_sites\": [\n";
+    for (size_t i = 0; i < input.quarantined->size(); ++i) {
+      const JournalQuarantineRecord& q = (*input.quarantined)[i];
+      snprintf(line, sizeof(line), "    {\"index\": %zu, \"crashes\": %zu, \"signature\": ",
+               q.site_index, q.crashes);
+      json += line;
+      JsonAppendQuoted(json, q.signature);
+      json += i + 1 < input.quarantined->size() ? "},\n" : "}\n";
+    }
+    json += "  ],\n";
+  }
   json += "  \"sites\": [\n";
   const size_t n = input.per_site != nullptr ? input.per_site->size() : 0;
   for (size_t i = 0; i < n; ++i) {

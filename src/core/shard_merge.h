@@ -11,7 +11,12 @@
 //   2. per cohort ordinal, the shards' cohort records agree on everything
 //      except shard_index, and the shard_index values are exactly 0..k-1;
 //   3. every global site of every cohort is present in its owning shard
-//      (a gap means that shard was interrupted — resume it first);
+//      (a gap means that shard was interrupted — resume it first), with one
+//      legal exception: a site covered by a quarantine record (DESIGN.md
+//      §14) was deliberately skipped and is surfaced in the merged report
+//      instead of failing the merge. A shard with a cohort record but zero
+//      site records is classified "resumable, zero progress" — a worker
+//      that died between BeginCohort and its first site, not corruption;
 //   4. sites fold in (ordinal, global index) order: breakdown accumulation,
 //      metrics Merge, trace MergeFrom at the journaled pid — the same walk
 //      RunSurveyCohortParallel does, so the outputs are byte-identical.
@@ -41,6 +46,10 @@ struct ShardMergeResult {
   // Per cohort: breakdown + per-site results in global index order.
   std::vector<SurveyBreakdown> breakdowns;
   std::vector<std::vector<ExperimentResult>> per_site;
+  // Per cohort: quarantined sites in global index order. Their per_site
+  // slots stay default-constructed (excluded from the breakdown), mirroring
+  // what the surviving worker computed.
+  std::vector<std::vector<JournalQuarantineRecord>> quarantined;
   // Folded telemetry; empty when the shards recorded none.
   MetricsRegistry metrics;
   Tracer trace;
@@ -68,6 +77,10 @@ struct SurveyReportInput {
   SurveyBreakdown breakdown;
   // Per-site results in global index order, exactly |servers| entries.
   const std::vector<ExperimentResult>* per_site = nullptr;
+  // Sites excluded by supervisor quarantine, in global index order. The
+  // report gains a "quarantined_sites" array only when non-empty, so
+  // quarantine-free runs stay byte-identical to earlier versions.
+  const std::vector<JournalQuarantineRecord>* quarantined = nullptr;
 };
 std::string BuildSurveyReportJson(const SurveyReportInput& input);
 

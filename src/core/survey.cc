@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "src/core/journal/journal.h"
@@ -78,8 +79,30 @@ SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t s
   std::atomic<size_t> processed{0};
   const uint64_t pid_base = telemetry != nullptr ? telemetry->next_pid : 0;
 
+  // Fault-injection hook for the supervisor's chaos gate (DESIGN.md §14):
+  // when MFC_CRASH_SITE names a global site index, *executing* that site
+  // aborts the process. Replayed and quarantined sites never trip it, so a
+  // quarantine decision demonstrably un-wedges the shard.
+  long long crash_site = -1;
+  if (const char* env = getenv("MFC_CRASH_SITE")) {
+    crash_site = strtoll(env, nullptr, 10);
+  }
+
   auto run_site = [&](size_t local) {
     const size_t i = global_of(local);
+    // A quarantined site (poisoned: it crashed this shard's worker
+    // repeatedly) is skipped entirely: its slot keeps a default
+    // ExperimentResult, which AccumulateBreakdown ignores, and no site
+    // record is ever appended for it.
+    if (journal != nullptr && journal->Quarantined(i) != nullptr) {
+      processed.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry != nullptr && telemetry->progress) {
+        size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        fprintf(stderr, "[survey] site %zu/%zu (index %zu): quarantined, skipped\n", done,
+                local_count, i);
+      }
+      return ExperimentResult{};
+    }
     // Replay from the journal when this site already completed in an
     // earlier (interrupted) run: restore the result and the telemetry shard
     // exactly as the live path would have produced them.
@@ -112,6 +135,10 @@ SurveyBreakdown RunSurveyCohortParallel(Cohort cohort, StageKind stage, size_t s
       if (telemetry->collect_metrics) {
         site_telemetry.metrics = &shards[local]->metrics;
       }
+    }
+    if (crash_site >= 0 && i == static_cast<size_t>(crash_site)) {
+      fprintf(stderr, "[survey] MFC_CRASH_SITE: crashing on site index %zu\n", i);
+      abort();
     }
     ExperimentResult result =
         RunSiteExperiment(sites.Site(i), config, {stage}, sites.ExperimentSeed(i),

@@ -351,6 +351,155 @@ TEST(ShardMergeTest, RejectsDuplicateAndMissingShardIndices) {
   remove(b.c_str());
 }
 
+// ---- quarantine records & crash-shaped corruption (DESIGN.md §14) --------
+
+// A quarantined site is the one legal gap in a shard journal: the merge
+// carries the record through to the report instead of failing, and the
+// site's slot stays default (excluded from the breakdown).
+TEST(ShardMergeTest, QuarantinedSiteIsALegalGapAndSurfacesInReport) {
+  std::string a = TempPath("merge_q_0.jsonl");
+  std::string b = TempPath("merge_q_1.jsonl");
+  remove(a.c_str());
+  remove(b.c_str());
+  RunShard(a, false, 2, 0, 1);
+  RunShard(b, false, 2, 1, 1);
+  // Drop shard 1's last site record (jobs=1 journals in index order, so
+  // that is global site 5), as if site 5 kept crashing the worker.
+  std::string contents = Slurp(b);
+  size_t cut = contents.rfind('\n', contents.size() - 2);
+  ASSERT_NE(cut, std::string::npos);
+  Spit(b, contents.substr(0, cut + 1));
+  JournalQuarantineRecord q;
+  q.cohort_ordinal = 0;
+  q.site_index = 5;
+  q.crashes = 3;
+  q.signature = "signal 9 (Killed)";
+  std::string error;
+  ASSERT_TRUE(AppendQuarantineRecord(b, q, &error)) << error;
+  // Quarantining an already-executed site is a silent no-op, not an error —
+  // the supervisor may race a worker that made progress after all.
+  std::string before = Slurp(b);
+  JournalQuarantineRecord executed = q;
+  executed.site_index = 1;
+  ASSERT_TRUE(AppendQuarantineRecord(b, executed, &error)) << error;
+  EXPECT_EQ(Slurp(b), before);
+  // The restarted worker replays sites 1 and 3 and skips 5 entirely.
+  RunShard(b, /*resume=*/true, 2, 1, 1);
+
+  ShardMergeResult merged;
+  ASSERT_TRUE(MergeShardJournals({a, b}, &merged, &error)) << error;
+  ASSERT_EQ(merged.quarantined.size(), 1u);
+  ASSERT_EQ(merged.quarantined[0].size(), 1u);
+  EXPECT_EQ(merged.quarantined[0][0].site_index, 5u);
+  EXPECT_EQ(merged.quarantined[0][0].crashes, 3u);
+  // Five of six sites contribute to the breakdown; slot 5 is default.
+  EXPECT_EQ(merged.breakdowns[0].servers, 5u);
+  EXPECT_TRUE(merged.per_site[0][5].stages.empty());
+
+  SurveyReportInput report;
+  report.cohort_name = "x";
+  report.breakdown = merged.breakdowns[0];
+  report.per_site = &merged.per_site[0];
+  report.quarantined = &merged.quarantined[0];
+  std::string json = BuildSurveyReportJson(report);
+  EXPECT_NE(json.find("\"quarantined_sites\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"signature\": \"signal 9 (Killed)\""), std::string::npos) << json;
+  // Without quarantines the key is absent — quarantine-free reports stay
+  // byte-identical to pre-supervisor builds.
+  report.quarantined = nullptr;
+  EXPECT_EQ(BuildSurveyReportJson(report).find("quarantined_sites"), std::string::npos);
+  remove(a.c_str());
+  remove(b.c_str());
+}
+
+// A worker that died between BeginCohort and its first site record leaves a
+// valid journal with zero progress; the merge names the shard and says
+// "resumable" instead of rejecting it ambiguously.
+TEST(ShardMergeTest, ClassifiesZeroProgressShards) {
+  std::string a = TempPath("merge_zp_0.jsonl");
+  std::string b = TempPath("merge_zp_1.jsonl");
+  remove(a.c_str());
+  remove(b.c_str());
+  RunShard(a, false, 2, 0, 1);
+  RunShard(b, false, 2, 1, 1);
+  std::string contents = Slurp(b);
+  // Keep header + cohort record only: BeginCohort done, no site yet.
+  size_t first = contents.find('\n');
+  size_t second = contents.find('\n', first + 1);
+  ASSERT_NE(second, std::string::npos);
+  Spit(b, contents.substr(0, second + 1));
+  ShardMergeResult merged;
+  std::string error;
+  EXPECT_FALSE(MergeShardJournals({a, b}, &merged, &error));
+  EXPECT_NE(error.find("zero progress"), std::string::npos) << error;
+  EXPECT_NE(error.find("shard 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("--resume"), std::string::npos) << error;
+  // Header only (died during startup, before BeginCohort): same class.
+  Spit(b, contents.substr(0, first + 1));
+  EXPECT_FALSE(MergeShardJournals({a, b}, &merged, &error));
+  EXPECT_NE(error.find("zero progress"), std::string::npos) << error;
+  EXPECT_NE(error.find("--resume"), std::string::npos) << error;
+  remove(a.c_str());
+  remove(b.c_str());
+}
+
+// Crash-shaped corruption around quarantine records recovers exactly like
+// site records: drop the invalid suffix with a warning, keep the valid
+// prefix, resume re-derives the rest.
+TEST(ShardMergeTest, QuarantineRecordCorruptionRecovers) {
+  std::string path = TempPath("merge_qcorrupt.jsonl");
+  remove(path.c_str());
+  {
+    auto journal = OpenShard(path, false, 2, 1);
+    ASSERT_NE(journal, nullptr);
+  }
+  JournalQuarantineRecord q;
+  q.cohort_ordinal = 0;
+  q.site_index = 3;
+  q.crashes = 2;
+  q.signature = "signal 11 (Segmentation fault)";
+  std::string error;
+  ASSERT_TRUE(AppendQuarantineRecord(path, q, &error)) << error;
+  std::string valid = Slurp(path);
+
+  // Torn tail: a half-written record after the quarantine is dropped and the
+  // quarantine survives. AppendQuarantineRecord itself also truncates torn
+  // tails before writing, so a second append lands on the valid prefix.
+  Spit(path, valid + "{\"crc\":\"0123");
+  {
+    auto journal = SurveyJournal::Open(path, kTool, kPrint, true, &error);
+    ASSERT_NE(journal, nullptr) << error;
+    EXPECT_FALSE(journal->Warning().empty());
+    ASSERT_EQ(journal->Quarantines().size(), 1u);
+    EXPECT_EQ(journal->Quarantines()[0].site_index, 3u);
+  }
+
+  // Duplicate quarantine record: corruption from that record on.
+  Spit(path, valid + FrameJournalRecord(EncodeQuarantineRecord(q)));
+  {
+    auto journal = SurveyJournal::Open(path, kTool, kPrint, true, &error);
+    ASSERT_NE(journal, nullptr) << error;
+    EXPECT_NE(journal->Warning().find("duplicate quarantine"), std::string::npos)
+        << journal->Warning();
+    EXPECT_EQ(journal->Quarantines().size(), 1u);
+  }
+
+  // Bit-flipped checksum inside the quarantine frame: the record is dropped,
+  // leaving a clean header + cohort journal.
+  std::string flipped = valid;
+  size_t frame = flipped.rfind("{\"crc\":\"");
+  ASSERT_NE(frame, std::string::npos);
+  flipped[frame + 8] = flipped[frame + 8] == '0' ? 'f' : '0';
+  Spit(path, flipped);
+  {
+    auto journal = SurveyJournal::Open(path, kTool, kPrint, true, &error);
+    ASSERT_NE(journal, nullptr) << error;
+    EXPECT_FALSE(journal->Warning().empty());
+    EXPECT_TRUE(journal->Quarantines().empty());
+  }
+  remove(path.c_str());
+}
+
 // Pre-PR-8 journals carry no shard keys; they decode as an unsharded
 // legacy-seed run, so resuming them without --legacy-seeds is a hard
 // mismatch instead of a silent reseed.

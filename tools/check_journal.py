@@ -11,18 +11,26 @@ Checks (stdlib only, no third-party deps):
     seed mode — SplitMix64(seed, cohort, index) by default, seed * 1000 +
     index under legacy_seeds — pid == pid_base + index, matching stage) and
     never duplicated;
+  * quarantine records (appended by the survey supervisor, DESIGN.md §14)
+    name a site of their shard, carry crashes >= 1 and a signature, and
+    never collide with a site record or another quarantine;
   * every site record embeds a structurally complete ExperimentResult.
+
+A journal whose last cohort has no site or quarantine records yet is valid
+but flagged "resumable, zero progress" (a worker died between BeginCohort
+and its first site) naming the shard index.
 
 Usage:
   check_journal.py <journal.jsonl>
   check_journal.py --profile-bin <mfc_profile> [--workdir <dir>]
 
 The second form runs a small fixed-seed journaled survey through
-mfc_profile, validates the journal, resumes it (complete and after a
-simulated torn tail write) and requires byte-identical trace/metrics
+mfc_profile, validates the journal, resumes it (complete, after a simulated
+torn tail write, after a mid-journal checksum bit flip, and with a
+quarantine record present) and requires byte-identical trace/metrics
 outputs, and finally checks that config mismatches and a missing --resume
-are hard errors. Exit status 0 = valid, 1 = validation failure,
-2 = usage/setup error.
+are hard errors (exit 3 — see the README exit-code table). Exit status
+0 = valid, 1 = validation failure, 2 = usage/setup error.
 """
 
 import json
@@ -145,6 +153,7 @@ def check_journal(path):
 
     cohorts = []
     sites = set()
+    quarantines = set()
     for i, rec in enumerate(records[1:], start=1):
         rtype = rec.get("type")
         if rtype == "header":
@@ -185,16 +194,62 @@ def check_journal(path):
                     return fail("record %d: site stage inconsistent with cohort" % i)
             if (ordinal, index) in sites:
                 return fail("record %d: duplicate site (%d, %d)" % (i, ordinal, index))
+            if (ordinal, index) in quarantines:
+                return fail(
+                    "record %d: site record for quarantined site (%d, %d)"
+                    % (i, ordinal, index)
+                )
             sites.add((ordinal, index))
             error = check_result(rec["result"], "record %d" % i)
             if error is not None:
                 return fail(error)
+        elif rtype == "quarantine":
+            for key in ("cohort", "index", "crashes", "signature"):
+                if key not in rec:
+                    return fail("record %d: quarantine record missing %r" % (i, key))
+            ordinal, index = rec["cohort"], rec["index"]
+            if not isinstance(rec["crashes"], int) or rec["crashes"] < 1:
+                return fail("record %d: quarantine crashes %r < 1" % (i, rec["crashes"]))
+            if ordinal < len(cohorts):
+                cohort = cohorts[ordinal]
+                if index >= cohort["servers"]:
+                    return fail(
+                        "record %d: quarantine index %d >= cohort servers %d"
+                        % (i, index, cohort["servers"])
+                    )
+                shards, shard_index, _ = cohort_seed_layout(cohort)
+                if index % shards != shard_index:
+                    return fail(
+                        "record %d: quarantine index %d not in shard %d/%d"
+                        % (i, index, shard_index, shards)
+                    )
+            if (ordinal, index) in sites:
+                return fail(
+                    "record %d: quarantine for executed site (%d, %d)"
+                    % (i, ordinal, index)
+                )
+            if (ordinal, index) in quarantines:
+                return fail(
+                    "record %d: duplicate quarantine (%d, %d)" % (i, ordinal, index)
+                )
+            quarantines.add((ordinal, index))
         else:
             return fail("record %d: unknown type %r" % (i, rtype))
 
+    if cohorts:
+        last = len(cohorts) - 1
+        progressed = any(ordinal == last for ordinal, _ in sites | quarantines)
+        if not progressed:
+            shards, shard_index, _ = cohort_seed_layout(cohorts[last])
+            print(
+                "check_journal: NOTE: shard %d/%d is resumable, zero progress on "
+                "cohort %d (BeginCohort written, no site records yet)"
+                % (shard_index, shards, last)
+            )
     print(
-        "check_journal: OK: %d record(s): header + %d cohort(s) + %d site(s)"
-        % (len(records), len(cohorts), len(sites))
+        "check_journal: OK: %d record(s): header + %d cohort(s) + %d site(s) + "
+        "%d quarantine(s)"
+        % (len(records), len(cohorts), len(sites), len(quarantines))
     )
     return 0
 
@@ -276,22 +331,102 @@ def run_profile(profile_bin, workdir):
         return rc
     print("check_journal: OK: torn-tail resume recovered and is byte-identical")
 
-    # 4. A different seed changes the config fingerprint: hard error.
+    # 4. A different seed changes the config fingerprint: hard error, exit 3
+    #    (journal error — see the README exit-code table).
     proc = run(survey_cmd(6, "t4.json", "m4.csv", resume=True))
-    if proc.returncode != 2 or b"journal error" not in proc.stderr:
+    if proc.returncode != 3 or b"journal error" not in proc.stderr:
         return fail(
-            "config-mismatch resume should exit 2 with a journal error, got %d: %r"
+            "config-mismatch resume should exit 3 with a journal error, got %d: %r"
             % (proc.returncode, proc.stderr)
         )
 
-    # 5. Reusing a populated journal without --resume: hard error.
+    # 5. Reusing a populated journal without --resume: hard error, exit 3.
     proc = run(survey_cmd(5, "t5.json", "m5.csv", resume=False))
-    if proc.returncode != 2 or b"--resume" not in proc.stderr:
+    if proc.returncode != 3 or b"--resume" not in proc.stderr:
         return fail(
-            "populated journal without --resume should exit 2, got %d: %r"
+            "populated journal without --resume should exit 3, got %d: %r"
             % (proc.returncode, proc.stderr)
         )
     print("check_journal: OK: config mismatch and missing --resume are hard errors")
+
+    # 6. Bit-flipped checksum mid-journal: the checker must reject it, and a
+    #    resume must warn, drop everything from the flipped record on,
+    #    re-execute those sites, and still reproduce identical outputs.
+    with open(journal, "rb") as f:
+        lines = f.read().split(b"\n")
+    flipped = bytearray(lines[2])  # first site record's frame
+    flipped[9] = ord(b"0") if flipped[9] != ord(b"0") else ord(b"f")  # crc hex digit
+    with open(journal, "wb") as f:
+        f.write(b"\n".join(lines[:2] + [bytes(flipped)] + lines[3:]))
+    if check_journal(journal) == 0:
+        return fail("checker accepted a journal with a bit-flipped checksum")
+    proc = run(survey_cmd(5, "t6.json", "m6.csv", resume=True))
+    if proc.returncode != 0:
+        print(proc.stderr.decode(errors="replace"), file=sys.stderr)
+        return fail("resume of a bit-flipped journal exited %d" % proc.returncode)
+    if b"journal warning" not in proc.stderr:
+        return fail("bit-flip resume emitted no corruption warning")
+    if slurp("t1.json") != slurp("t6.json"):
+        return fail("trace differs after bit-flip resume")
+    if slurp("m1.csv") != slurp("m6.csv"):
+        return fail("metrics differ after bit-flip resume")
+    rc = check_journal(journal)
+    if rc != 0:
+        return rc
+    print("check_journal: OK: bit-flipped-checksum resume recovered, byte-identical")
+
+    # 7. Quarantine round-trip: crash the worker on site 1 (jobs=1, so site 0
+    #    is durable first), append a supervisor-style quarantine record, and
+    #    resume: the run must skip site 1 and complete.
+    q_journal = os.path.join(workdir, "quarantine.jsonl")
+
+    def q_cmd(resume):
+        return [
+            profile_bin,
+            "--cohort=startup",
+            "--survey=4",
+            "--seed=5",
+            "--max-crowd=20",
+            "--jobs=1",
+            "--quiet",
+            "--journal=" + q_journal,
+        ] + (["--resume"] if resume else [])
+
+    env = dict(os.environ, MFC_CRASH_SITE="1")
+    proc = subprocess.run(q_cmd(resume=False), stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, env=env)
+    if proc.returncode == 0:
+        return fail("MFC_CRASH_SITE=1 run unexpectedly succeeded")
+    record = json.dumps(
+        {"type": "quarantine", "cohort": 0, "index": 1, "crashes": 3,
+         "signature": "signal 6 (Aborted)"},
+        separators=(",", ":")).encode()
+    with open(q_journal, "ab") as f:
+        f.write(b'{"crc":"%016x","body":%s}\n' % (fnv1a64(record), record))
+    rc = check_journal(q_journal)
+    if rc != 0:
+        return rc
+    proc = run(q_cmd(resume=True))
+    if proc.returncode != 0:
+        print(proc.stderr.decode(errors="replace"), file=sys.stderr)
+        return fail("resume with a quarantined site exited %d" % proc.returncode)
+    if b"1 site(s) replayed, 2 executed" not in proc.stdout:
+        return fail("quarantine resume had unexpected replay counts: %r" % proc.stdout)
+    print("check_journal: OK: quarantine record skips its site on resume")
+
+    # 8. A duplicate quarantine record is corruption: the checker rejects it,
+    #    and a resume drops it (plus anything after) with a warning.
+    with open(q_journal, "ab") as f:
+        f.write(b'{"crc":"%016x","body":%s}\n' % (fnv1a64(record), record))
+    if check_journal(q_journal) == 0:
+        return fail("checker accepted a duplicate quarantine record")
+    proc = run(q_cmd(resume=True))
+    if proc.returncode != 0 or b"journal warning" not in proc.stderr:
+        return fail(
+            "duplicate-quarantine resume should warn and recover, got %d: %r"
+            % (proc.returncode, proc.stderr)
+        )
+    print("check_journal: OK: duplicate quarantine record is dropped corruption")
     return 0
 
 

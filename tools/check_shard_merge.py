@@ -181,18 +181,41 @@ def run_checks(profile_bin, workdir):
             "byte-identical" % shards
         )
 
-    # 3. Merging an incomplete shard is a hard error with a resume hint.
+    # 3. Merging an incomplete shard is a hard error (exit 3, see the README
+    #    exit-code table) with a resume hint naming the shard.
     contents = slurp(journals[1])
     cut = contents.rstrip(b"\n").rfind(b"\n")
     with open(journals[1], "wb") as f:
         f.write(contents[: cut + 1])
     proc = run([profile_bin, "--merge=" + ",".join(journals), "--json=" + path("bad.json")])
-    if proc.returncode != 2 or b"missing site" not in proc.stderr or b"--resume" not in proc.stderr:
+    if (
+        proc.returncode != 3
+        or b"missing site" not in proc.stderr
+        or b"--resume" not in proc.stderr
+    ):
         return fail(
-            "incomplete-shard merge should exit 2 with a resume hint, got %d: %r"
+            "incomplete-shard merge should exit 3 with a resume hint, got %d: %r"
             % (proc.returncode, proc.stderr)
         )
     print("check_shard_merge: OK: incomplete-shard merge is a hard error")
+
+    # 3b. A shard that died between BeginCohort and its first site record is
+    #     classified "resumable, zero progress" naming the shard, not
+    #     rejected ambiguously.
+    lines = contents.split(b"\n")
+    with open(journals[1], "wb") as f:
+        f.write(b"\n".join(lines[:2]) + b"\n")  # header + cohort record only
+    proc = run([profile_bin, "--merge=" + ",".join(journals), "--json=" + path("bad.json")])
+    if (
+        proc.returncode != 3
+        or b"zero progress" not in proc.stderr
+        or b"--resume" not in proc.stderr
+    ):
+        return fail(
+            "zero-progress shard merge should exit 3 and classify the shard, got %d: %r"
+            % (proc.returncode, proc.stderr)
+        )
+    print("check_shard_merge: OK: zero-progress shard is classified resumable")
 
     # 4. Streaming sampling holds no instances at 100k sites and is
     # reproducible.

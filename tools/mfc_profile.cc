@@ -12,6 +12,7 @@
 // Prints per-epoch progress and the operator inference report; --survey=N
 // instead profiles N sites sampled from the cohort in parallel and prints
 // the stopping-crowd-size breakdown.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "src/core/arg_parse.h"
 #include "src/core/experiment_runner.h"
 #include "src/core/export.h"
@@ -29,13 +32,28 @@
 #include "src/core/journal/shutdown.h"
 #include "src/core/parallel_runner.h"
 #include "src/core/shard_merge.h"
+#include "src/core/supervisor.h"
 #include "src/core/survey.h"
 #include "src/telemetry/stats_stream.h"
 
 namespace mfc {
 namespace {
 
+// Exit codes (see the README table): 0 success; 1 experiment aborted;
+// 2 usage / flag errors; 3 journal or merge errors; 130 interrupted by
+// SIGINT/SIGTERM (after draining). The supervisor relies on the split:
+// 2/3 are permanent (restarting the same argv would fail identically),
+// everything else is retryable.
+enum ExitCode {
+  kExitOk = 0,
+  kExitAborted = 1,
+  kExitUsage = 2,
+  kExitJournal = 3,
+  kExitInterrupted = 130,
+};
+
 struct Options {
+  std::string argv0 = "mfc_profile";  // worker re-exec fallback (--supervise)
   std::string profile;          // named profile, or empty
   std::string cohort;           // survey cohort, or empty
   double theta_ms = 100.0;
@@ -52,6 +70,9 @@ struct Options {
   size_t shard_index = 0;       // this process's shard in [0, shards)
   bool legacy_seeds = false;    // pre-PR-8 sampling + seed*1000+i seeds
   std::vector<std::string> merge_paths;  // --merge: shard journals to fold
+  bool supervise = false;       // fork/monitor shard workers, then auto-merge
+  double hang_timeout = 30.0;   // supervise: no-heartbeat deadline (seconds)
+  size_t quarantine_after = 3;  // supervise: same-site crashes before quarantine
   bool sample_only = false;     // stream/sample survey sites, run nothing
   bool crawl = false;           // profile via crawling instead of operator input
   bool verbose_epochs = true;
@@ -87,6 +108,14 @@ void Usage() {
       "                        runs sites with index %% K == --shard-index (needs --journal)\n"
       "  --shard-index=<J>     this process's shard (default 0)\n"
       "  --merge=<p1,p2,...>   fold K shard journals into the single-run report/outputs\n"
+      "  --supervise           run the whole sharded survey unattended: fork one worker\n"
+      "                        per shard (journals at <--journal>.shard<j>), restart\n"
+      "                        crashes with backoff, kill+restart hung workers,\n"
+      "                        quarantine poisoned sites, then merge automatically\n"
+      "  --hang-timeout=<S>    supervise: seconds without journal/stats growth before\n"
+      "                        a live worker is declared hung (default 30)\n"
+      "  --quarantine-after=<K> supervise: consecutive no-progress crashes on the same\n"
+      "                        site before it is quarantined (default 3)\n"
       "  --legacy-seeds        pre-PR-8 seed derivation (sequential sampling, seed*1000+i;\n"
       "                        collides past 1000 sites) for replaying old journals\n"
       "  --sample-only         stream-sample the survey sites (no experiments); prints a\n"
@@ -110,6 +139,9 @@ void Usage() {
 
 std::optional<Options> ParseArgs(int argc, char** argv) {
   Options options;
+  if (argc > 0 && argv[0] != nullptr && argv[0][0] != '\0') {
+    options.argv0 = argv[0];
+  }
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto value_of = [&arg](const char* prefix) -> std::optional<std::string> {
@@ -164,6 +196,13 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
         }
         pos = comma + 1;
       }
+    } else if (arg == "--supervise") {
+      options.supervise = true;
+    } else if (auto v = value_of("--hang-timeout=")) {
+      if (!ParseDoubleFlag("--hang-timeout", *v, &options.hang_timeout)) return std::nullopt;
+    } else if (auto v = value_of("--quarantine-after=")) {
+      if (!ParseSizeFlag("--quarantine-after", *v, &options.quarantine_after))
+        return std::nullopt;
     } else if (arg == "--legacy-seeds") {
       options.legacy_seeds = true;
     } else if (arg == "--sample-only") {
@@ -231,7 +270,41 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
             options.shards);
     return std::nullopt;
   }
-  if (options.shards > 1) {
+  if (options.supervise) {
+    // Supervised runs drive full shard workers and merge their journals, so
+    // --json/--trace/--metrics are fine at any shard count — the supervisor
+    // writes them from the merged view, never a partial one.
+    if (options.survey == 0) {
+      fprintf(stderr, "--supervise requires --survey=<N>\n");
+      return std::nullopt;
+    }
+    if (options.journal_path.empty()) {
+      fprintf(stderr,
+              "--supervise requires --journal=<prefix> (shard journals land at "
+              "<prefix>.shard<j>)\n");
+      return std::nullopt;
+    }
+    if (!options.merge_paths.empty()) {
+      fprintf(stderr, "--supervise merges automatically; drop --merge\n");
+      return std::nullopt;
+    }
+    if (options.sample_only) {
+      fprintf(stderr, "--supervise cannot be combined with --sample-only\n");
+      return std::nullopt;
+    }
+    if (options.shard_index != 0) {
+      fprintf(stderr, "--shard-index is assigned by the supervisor; drop it\n");
+      return std::nullopt;
+    }
+    if (options.hang_timeout <= 0.0) {
+      fprintf(stderr, "--hang-timeout must be > 0\n");
+      return std::nullopt;
+    }
+    if (options.quarantine_after == 0) {
+      fprintf(stderr, "--quarantine-after must be >= 1\n");
+      return std::nullopt;
+    }
+  } else if (options.shards > 1) {
     if (options.survey == 0) {
       fprintf(stderr, "--shards requires --survey=<N>\n");
       return std::nullopt;
@@ -432,14 +505,14 @@ int RunSurvey(const Options& options) {
              telemetry.collect_trace ? 1 : 0, telemetry.collect_metrics ? 1 : 0);
     journal = OpenJournal(options, "mfc_profile:survey", fingerprint);
     if (journal == nullptr) {
-      return 2;
+      return kExitJournal;
     }
     std::string error;
     if (!journal->BeginCohort(*cohort, stage, options.survey, options.max_crowd, options.seed,
                               0, &error, options.shards, options.shard_index,
                               options.legacy_seeds)) {
       fprintf(stderr, "journal error: %s\n", error.c_str());
-      return 2;
+      return kExitJournal;
     }
     ClearShutdownRequest();
     InstallShutdownHandlers();
@@ -480,10 +553,24 @@ int RunSurvey(const Options& options) {
     if (journal->interrupted.load()) {
       fprintf(stderr, "interrupted: resume with --journal=%s --resume\n",
               journal->Path().c_str());
-      return 130;
+      return kExitInterrupted;
     }
   }
   if (want_report) {
+    // Quarantine records in a resumed journal surface in this run's report
+    // too, in global index order — the same view --merge would build.
+    std::vector<JournalQuarantineRecord> quarantined;
+    if (journal != nullptr) {
+      for (const JournalQuarantineRecord& q : journal->Quarantines()) {
+        if (q.cohort_ordinal == journal->CurrentOrdinal()) {
+          quarantined.push_back(q);
+        }
+      }
+      std::sort(quarantined.begin(), quarantined.end(),
+                [](const JournalQuarantineRecord& a, const JournalQuarantineRecord& b2) {
+                  return a.site_index < b2.site_index;
+                });
+    }
     SurveyReportInput report;
     report.cohort_name = std::string(CohortName(*cohort));
     report.stage = static_cast<int>(stage);
@@ -493,33 +580,38 @@ int RunSurvey(const Options& options) {
     report.legacy_seeds = options.legacy_seeds;
     report.breakdown = b;
     report.per_site = &per_site;
+    report.quarantined = &quarantined;
     WriteFile(options.json_path, BuildSurveyReportJson(report));
   }
-  return 0;
+  return kExitOk;
 }
 
-// --merge=<paths>: fold the shard journals of one sharded survey back into
-// the single-process outputs (report JSON, merged trace/metrics). The report
-// goes through the same builder as an unsharded --survey --json run, so the
-// two are comparable byte for byte.
-int RunMerge(const Options& options) {
+// Folds the shard journals at |paths| back into the single-process outputs
+// (report JSON, merged trace/metrics). The report goes through the same
+// builder as an unsharded --survey --json run, so the two are comparable
+// byte for byte. Shared by --merge and the --supervise auto-merge.
+int MergeAndWrite(const Options& options, const std::vector<std::string>& paths) {
   ShardMergeResult merged;
   std::string error;
-  if (!MergeShardJournals(options.merge_paths, &merged, &error)) {
+  if (!MergeShardJournals(paths, &merged, &error)) {
     fprintf(stderr, "merge error: %s\n", error.c_str());
-    return 2;
+    return kExitJournal;
   }
-  printf("merged %zu shard journal(s): tool=%s cohorts=%zu\n", options.merge_paths.size(),
+  printf("merged %zu shard journal(s): tool=%s cohorts=%zu\n", paths.size(),
          merged.tool.c_str(), merged.cohorts.size());
   for (size_t ord = 0; ord < merged.breakdowns.size(); ++ord) {
     printf("[%s] ", std::string(CohortName(merged.cohorts[ord].cohort)).c_str());
     PrintSurveyBreakdownLine(merged.breakdowns[ord]);
+    for (const JournalQuarantineRecord& q : merged.quarantined[ord]) {
+      printf("  quarantined site %zu after %zu crash(es): %s\n", q.site_index, q.crashes,
+             q.signature.c_str());
+    }
   }
   if (!options.json_path.empty()) {
     if (merged.cohorts.size() != 1) {
       fprintf(stderr, "--json merge report requires single-cohort journals (these hold %zu)\n",
               merged.cohorts.size());
-      return 2;
+      return kExitJournal;
     }
     const JournalCohortRecord& c = merged.cohorts[0];
     SurveyReportInput report;
@@ -531,22 +623,170 @@ int RunMerge(const Options& options) {
     report.legacy_seeds = c.legacy_seeds;
     report.breakdown = merged.breakdowns[0];
     report.per_site = &merged.per_site[0];
+    report.quarantined = &merged.quarantined[0];
     if (!WriteFile(options.json_path, BuildSurveyReportJson(report))) {
-      return 1;
+      return kExitAborted;
     }
   }
   if (!options.trace_path.empty() &&
       !WriteFile(options.trace_path, ExportTraceJson(merged.trace))) {
-    return 1;
+    return kExitAborted;
   }
   if (!options.metrics_path.empty() &&
       !WriteFile(options.metrics_path, ExportMetricsCsv(merged.metrics))) {
-    return 1;
+    return kExitAborted;
   }
-  return 0;
+  return kExitOk;
+}
+
+int RunMerge(const Options& options) { return MergeAndWrite(options, options.merge_paths); }
+
+const char* StageFlagName(StageKind kind) {
+  switch (kind) {
+    case StageKind::kBase:
+      return "base";
+    case StageKind::kSmallQuery:
+      return "query";
+    case StageKind::kLargeObject:
+      return "large";
+  }
+  return "base";
+}
+
+// The path workers are exec'd from: this very binary, so supervisor and
+// worker can never skew versions. argv[0] is the fallback off-proc.
+std::string SelfExePath(const std::string& fallback) {
+  char buf[4096];
+  ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) {
+    return fallback;
+  }
+  buf[n] = '\0';
+  return buf;
+}
+
+// --supervise: run the whole sharded survey unattended (DESIGN.md §14).
+// Forks one worker per shard with its own journal/stats/log files derived
+// from --journal, restarts crashes from their journals, SIGKILLs hung
+// workers, quarantines poisoned sites, and on success merges everything into
+// the same report/trace/metrics files an unsharded run would have written.
+int RunSupervise(const Options& options) {
+  auto cohort = ResolveCohort(options);
+  if (!cohort.has_value()) {
+    return kExitUsage;
+  }
+  const std::string exe = SelfExePath(options.argv0);
+  const size_t shards = options.shards;
+  // Each worker gets an equal slice of the machine unless --jobs pins it.
+  size_t worker_jobs = options.jobs;
+  if (worker_jobs == 0) {
+    worker_jobs = std::max<size_t>(1, ResolveJobs(0) / shards);
+  }
+  std::vector<std::string> journal_paths;
+  std::vector<std::string> stats_paths;
+  std::vector<std::string> log_paths;
+  for (size_t j = 0; j < shards; ++j) {
+    journal_paths.push_back(options.journal_path + ".shard" + std::to_string(j));
+    stats_paths.push_back(journal_paths.back() + ".stats");
+    log_paths.push_back(journal_paths.back() + ".log");
+  }
+  // Workers always stream stats: their growth is the heartbeat that lets the
+  // supervisor tell "slow site" from "wedged worker", so the cadence must
+  // beat the hang deadline comfortably.
+  const double worker_stats_interval =
+      std::min(options.stats_interval, options.hang_timeout / 4.0);
+
+  SupervisorOptions sup;
+  sup.shards = shards;
+  sup.journal_paths = journal_paths;
+  sup.heartbeat_paths = stats_paths;
+  sup.log_paths = log_paths;
+  sup.hang_timeout = options.hang_timeout;
+  sup.quarantine_after = options.quarantine_after;
+  sup.seed = options.seed;
+  sup.command = [&](size_t shard) {
+    std::vector<std::string> argv = {exe};
+    if (!options.cohort.empty()) {
+      argv.push_back("--cohort=" + options.cohort);
+    }
+    argv.push_back("--survey=" + std::to_string(options.survey));
+    argv.push_back("--max-crowd=" + std::to_string(options.max_crowd));
+    argv.push_back("--seed=" + std::to_string(options.seed));
+    std::string stages = "--stages=";
+    for (size_t i = 0; i < options.stages.size(); ++i) {
+      if (i > 0) {
+        stages += ',';
+      }
+      stages += StageFlagName(options.stages[i]);
+    }
+    argv.push_back(stages);
+    if (options.legacy_seeds) {
+      argv.push_back("--legacy-seeds");
+    }
+    argv.push_back("--jobs=" + std::to_string(worker_jobs));
+    argv.push_back("--shards=" + std::to_string(shards));
+    argv.push_back("--shard-index=" + std::to_string(shard));
+    argv.push_back("--journal=" + journal_paths[shard]);
+    // --resume makes every launch — first, restart, whole-command re-run —
+    // the same argv: replay what the journal has, execute the rest.
+    argv.push_back("--resume");
+    argv.push_back("--stats-stream=" + stats_paths[shard]);
+    char interval[48];
+    snprintf(interval, sizeof(interval), "--stats-interval=%g", worker_stats_interval);
+    argv.push_back(interval);
+    // Trace/metrics requests make workers journal their telemetry so the
+    // merge can export it; the workers' own export files are scratch.
+    if (!options.trace_path.empty()) {
+      argv.push_back("--trace=" + journal_paths[shard] + ".trace.json");
+    }
+    if (!options.metrics_path.empty()) {
+      argv.push_back("--metrics=" + journal_paths[shard] + ".metrics.csv");
+    }
+    return argv;
+  };
+  std::unique_ptr<StatsStream> stats;
+  if (!options.stats_stream_path.empty()) {
+    std::string error;
+    stats = StatsStream::Open(options.stats_stream_path, &error);
+    if (stats == nullptr) {
+      fprintf(stderr, "%s\n", error.c_str());
+      return kExitUsage;
+    }
+    sup.stats = stats.get();
+    sup.stats_interval = options.stats_interval;
+  }
+
+  printf("supervise: shards=%zu jobs/worker=%zu hang-timeout=%.0fs quarantine-after=%zu "
+         "journals=%s.shard<j>\n",
+         shards, worker_jobs, options.hang_timeout, options.quarantine_after,
+         options.journal_path.c_str());
+  SurveySupervisor supervisor(std::move(sup));
+  SupervisorResult result = supervisor.Run();
+  if (result.interrupted) {
+    size_t done = 0;
+    for (const SupervisorShardStatus& s : result.shards) {
+      done += s.completed ? 1 : 0;
+    }
+    fprintf(stderr,
+            "interrupted: %zu/%zu shard(s) complete; re-run the same --supervise command to "
+            "resume\n",
+            done, shards);
+    return kExitInterrupted;
+  }
+  if (!result.ok) {
+    fprintf(stderr, "supervise error: %s\n", result.error.c_str());
+    return kExitJournal;
+  }
+  printf("supervise: all %zu shard(s) complete (%zu restart(s), %zu hang kill(s), "
+         "%zu quarantine(s))\n",
+         shards, result.restarts, result.hang_kills, result.quarantines.size());
+  return MergeAndWrite(options, journal_paths);
 }
 
 int Run(const Options& options) {
+  if (options.supervise) {
+    return RunSupervise(options);
+  }
   if (!options.merge_paths.empty()) {
     return RunMerge(options);
   }
@@ -581,7 +821,7 @@ int Run(const Options& options) {
              want_metrics ? 1 : 0);
     journal = OpenJournal(options, "mfc_profile:single", fingerprint);
     if (journal == nullptr) {
-      return 2;
+      return kExitJournal;
     }
   }
 
@@ -729,7 +969,7 @@ int main(int argc, char** argv) {
   auto options = mfc::ParseArgs(argc, argv);
   if (!options.has_value()) {
     mfc::Usage();
-    return 2;
+    return 2;  // kExitUsage
   }
   return mfc::Run(*options);
 }
